@@ -1,0 +1,87 @@
+//! Plain work-conserving earliest-deadline-first dispatch: every free slot
+//! goes to the eligible job with the nearest deadline, no minimum-share
+//! bookkeeping. Sits between FCFS and MinEDF-WC in sophistication.
+
+use crate::slot_sim::{DispatchPolicy, JobSnapshot, Pool};
+use desim::SimTime;
+use workload::JobId;
+
+/// Earliest deadline first, fully work-conserving.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Edf;
+
+impl DispatchPolicy for Edf {
+    fn choose(&mut self, _pool: Pool, candidates: &[JobSnapshot], _now: SimTime) -> Option<JobId> {
+        candidates
+            .iter()
+            .min_by_key(|s| (s.deadline, s.arrival, s.id))
+            .map(|s| s.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot_sim::run_slot_sim;
+    use desim::SimTime;
+    use workload::{Job, Task, TaskId, TaskKind};
+
+    fn job(id: u32, arrival: i64, d: i64, map_secs: &[i64]) -> Job {
+        let mut t = id * 100;
+        Job {
+            id: JobId(id),
+            arrival: SimTime::from_secs(arrival),
+            earliest_start: SimTime::from_secs(arrival),
+            deadline: SimTime::from_secs(d),
+            map_tasks: map_secs
+                .iter()
+                .map(|&s| {
+                    t += 1;
+                    Task {
+                        id: TaskId(t),
+                        job: JobId(id),
+                        kind: TaskKind::Map,
+                        exec_time: SimTime::from_secs(s),
+                        req: 1,
+                    }
+                })
+                .collect(),
+            reduce_tasks: vec![],
+            precedences: vec![],
+        }
+    }
+
+    #[test]
+    fn urgent_job_jumps_the_queue() {
+        // j0 occupies the slot 0..10. While it runs, j2 (loose) arrives
+        // before j1 (urgent). At t=10 EDF picks j1 by deadline, so both
+        // waiting jobs meet their deadlines; FCFS would run j2 first and
+        // make j1 late (see the Fcfs tests).
+        let jobs = vec![
+            job(0, 0, 10_000, &[10]),
+            job(2, 1, 10_000, &[10]),
+            job(1, 2, 25, &[10]),
+        ];
+        let m = run_slot_sim(1, 1, jobs, &mut Edf, 0);
+        assert_eq!(m.late, 0);
+    }
+
+    #[test]
+    fn work_conserving_uses_all_slots() {
+        // A single job with 4 maps gets all 4 slots at once even though its
+        // deadline is loose.
+        let jobs = vec![job(0, 0, 10_000, &[10, 10, 10, 10])];
+        let m = run_slot_sim(4, 1, jobs, &mut Edf, 0);
+        assert!((m.end_time_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_task_is_not_preempted() {
+        // j0 (loose) occupies the slot; urgent j1 arrives mid-task and must
+        // wait for completion (no preemption in the slot model).
+        let jobs = vec![job(0, 0, 10_000, &[10]), job(1, 2, 11, &[5])];
+        let m = run_slot_sim(1, 1, jobs, &mut Edf, 0);
+        // j1 runs 10..15, deadline 11 → late.
+        assert_eq!(m.late, 1);
+    }
+}

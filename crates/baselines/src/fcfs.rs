@@ -1,0 +1,77 @@
+//! First-come-first-served dispatch — the classic Hadoop FIFO scheduler,
+//! included as a deadline-oblivious floor for the comparisons.
+
+use crate::slot_sim::{DispatchPolicy, JobSnapshot, Pool};
+use desim::SimTime;
+use workload::JobId;
+
+/// Dispatch slots to the earliest-arrived job with eligible work.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fcfs;
+
+impl DispatchPolicy for Fcfs {
+    fn choose(&mut self, _pool: Pool, candidates: &[JobSnapshot], _now: SimTime) -> Option<JobId> {
+        candidates
+            .iter()
+            .min_by_key(|s| (s.arrival, s.id))
+            .map(|s| s.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot_sim::run_slot_sim;
+    use desim::SimTime;
+    use workload::{Job, Task, TaskId, TaskKind};
+
+    fn job(id: u32, arrival: i64, d: i64, map_secs: i64) -> Job {
+        Job {
+            id: JobId(id),
+            arrival: SimTime::from_secs(arrival),
+            earliest_start: SimTime::from_secs(arrival),
+            deadline: SimTime::from_secs(d),
+            map_tasks: vec![Task {
+                id: TaskId(id * 10),
+                job: JobId(id),
+                kind: TaskKind::Map,
+                exec_time: SimTime::from_secs(map_secs),
+                req: 1,
+            }],
+            reduce_tasks: vec![],
+            precedences: vec![],
+        }
+    }
+
+    #[test]
+    fn serves_in_arrival_order_regardless_of_deadline() {
+        // j0 arrives first with a huge deadline; j1 arrives later but is
+        // urgent. FCFS runs j0 first → j1 misses.
+        let jobs = vec![job(0, 0, 10_000, 10), job(1, 1, 12, 10)];
+        let m = run_slot_sim(1, 1, jobs, &mut Fcfs, 0);
+        assert_eq!(m.late, 1);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let a = JobSnapshot {
+            id: JobId(2),
+            arrival: SimTime::ZERO,
+            earliest_start: SimTime::ZERO,
+            deadline: SimTime::from_secs(5),
+            pending_maps: 1,
+            pending_reduces: 0,
+            running_maps: 0,
+            running_reduces: 0,
+            maps_left: 1,
+        };
+        let b = JobSnapshot {
+            id: JobId(1),
+            ..a
+        };
+        assert_eq!(
+            Fcfs.choose(Pool::Map, &[a, b], SimTime::ZERO),
+            Some(JobId(1))
+        );
+    }
+}

@@ -1,0 +1,487 @@
+//! Slot-level discrete event simulator shared by every baseline policy.
+//!
+//! Models the cluster as ARIA does: `total map slots` + `total reduce
+//! slots` (resource identity is irrelevant to slot schedulers). Whenever a
+//! slot frees or a job becomes eligible, the dispatch loop repeatedly asks
+//! the policy which job should receive each free slot until no further
+//! dispatch is possible. Reduces become eligible when all maps of the job
+//! have completed; jobs become eligible at `max(arrival, s_j)`.
+
+use desim::engine::Flow;
+use desim::{Engine, EventQueue, SimTime};
+use std::collections::VecDeque;
+use workload::{Job, JobId};
+
+/// What a policy sees about each dispatchable job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSnapshot {
+    /// Job identity.
+    pub id: JobId,
+    /// Arrival time `v_j`.
+    pub arrival: SimTime,
+    /// Earliest start `s_j`.
+    pub earliest_start: SimTime,
+    /// Deadline `d_j`.
+    pub deadline: SimTime,
+    /// Map tasks not yet dispatched.
+    pub pending_maps: usize,
+    /// Reduce tasks not yet dispatched (eligible only when
+    /// `maps_left == 0`).
+    pub pending_reduces: usize,
+    /// Map tasks currently running.
+    pub running_maps: u32,
+    /// Reduce tasks currently running.
+    pub running_reduces: u32,
+    /// Map tasks not yet completed (pending + running).
+    pub maps_left: usize,
+}
+
+/// Which slot pool a dispatch decision concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// Map slots.
+    Map,
+    /// Reduce slots.
+    Reduce,
+}
+
+/// A slot-dispatch policy: the only thing baselines differ in.
+pub trait DispatchPolicy {
+    /// Pick the job (from `candidates`, all of which have an eligible
+    /// pending task of the pool's kind) to receive one free slot, or `None`
+    /// to leave the slot idle (non-work-conserving policies do this).
+    fn choose(&mut self, pool: Pool, candidates: &[JobSnapshot], now: SimTime) -> Option<JobId>;
+
+    /// Observe an arrival (for policies that precompute per-job state).
+    fn on_arrival(&mut self, _job: &Job, _now: SimTime, _total_map: u32, _total_reduce: u32) {}
+
+    /// Observe a completion.
+    fn on_completion(&mut self, _job: JobId) {}
+}
+
+/// Metrics of one baseline run (same definitions as the MRCP-RM driver:
+/// turnaround is `CT_j − s_j`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BaselineMetrics {
+    /// Jobs that arrived.
+    pub arrived: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs measured after warm-up.
+    pub measured: usize,
+    /// Late jobs among measured.
+    pub late: usize,
+    /// Proportion late.
+    pub p_late: f64,
+    /// Mean turnaround, seconds.
+    pub mean_turnaround_s: f64,
+    /// Simulated end time, seconds.
+    pub end_time_s: f64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    Eligible(usize),
+    MapDone(usize),
+    ReduceDone(usize),
+}
+
+struct JState {
+    id: JobId,
+    arrival: SimTime,
+    earliest_start: SimTime,
+    deadline: SimTime,
+    pending_maps: VecDeque<SimTime>,
+    pending_reduces: VecDeque<SimTime>,
+    running_maps: u32,
+    running_reduces: u32,
+    maps_left: usize,
+    tasks_left: usize,
+    eligible: bool,
+    done: bool,
+}
+
+impl JState {
+    fn snapshot(&self) -> JobSnapshot {
+        JobSnapshot {
+            id: self.id,
+            arrival: self.arrival,
+            earliest_start: self.earliest_start,
+            deadline: self.deadline,
+            pending_maps: self.pending_maps.len(),
+            pending_reduces: self.pending_reduces.len(),
+            running_maps: self.running_maps,
+            running_reduces: self.running_reduces,
+            maps_left: self.maps_left,
+        }
+    }
+}
+
+struct Sim<'p, P: DispatchPolicy> {
+    policy: &'p mut P,
+    jobs: Vec<Option<Job>>,
+    states: Vec<Option<JState>>,
+    free_maps: u32,
+    free_reduces: u32,
+    total_maps: u32,
+    total_reduces: u32,
+    completions: Vec<BaselineJobOutcome>,
+    arrived: usize,
+    index: std::collections::HashMap<JobId, usize>,
+}
+
+impl<P: DispatchPolicy> Sim<'_, P> {
+    /// Hand out free slots until no dispatch is possible.
+    fn dispatch(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        loop {
+            let mut progressed = false;
+            if self.free_maps > 0 {
+                progressed |= self.dispatch_one(Pool::Map, now, queue);
+            }
+            if self.free_reduces > 0 {
+                progressed |= self.dispatch_one(Pool::Reduce, now, queue);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn dispatch_one(&mut self, pool: Pool, now: SimTime, queue: &mut EventQueue<Ev>) -> bool {
+        let candidates: Vec<JobSnapshot> = self
+            .states
+            .iter()
+            .flatten()
+            .filter(|s| {
+                s.eligible
+                    && !s.done
+                    && match pool {
+                        Pool::Map => !s.pending_maps.is_empty(),
+                        Pool::Reduce => s.maps_left == 0 && !s.pending_reduces.is_empty(),
+                    }
+            })
+            .map(|s| s.snapshot())
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let Some(chosen) = self.policy.choose(pool, &candidates, now) else {
+            return false;
+        };
+        let idx = self.index[&chosen];
+        let state = self.states[idx].as_mut().expect("chosen job exists");
+        match pool {
+            Pool::Map => {
+                let dur = state
+                    .pending_maps
+                    .pop_front()
+                    .expect("policy chose a job with pending maps");
+                state.running_maps += 1;
+                self.free_maps -= 1;
+                queue.schedule_at(now + dur, Ev::MapDone(idx));
+            }
+            Pool::Reduce => {
+                let dur = state
+                    .pending_reduces
+                    .pop_front()
+                    .expect("policy chose a job with pending reduces");
+                state.running_reduces += 1;
+                self.free_reduces -= 1;
+                queue.schedule_at(now + dur, Ev::ReduceDone(idx));
+            }
+        }
+        true
+    }
+
+    fn finish_if_done(&mut self, idx: usize, now: SimTime) {
+        let state = self.states[idx].as_mut().expect("job exists");
+        if state.tasks_left == 0 && !state.done {
+            state.done = true;
+            self.completions.push(BaselineJobOutcome {
+                job: state.id,
+                earliest_start: state.earliest_start,
+                completion: now,
+                deadline: state.deadline,
+                late: now > state.deadline,
+            });
+            self.policy.on_completion(state.id);
+        }
+    }
+}
+
+impl<P: DispatchPolicy> desim::Process<Ev> for Sim<'_, P> {
+    fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) -> Flow {
+        match ev {
+            Ev::Arrival(idx) => {
+                let job = self.jobs[idx].take().expect("job arrives once");
+                self.arrived += 1;
+                self.index.insert(job.id, idx);
+                self.policy
+                    .on_arrival(&job, now, self.total_maps, self.total_reduces);
+                let eligible_at = job.earliest_start.max(now);
+                let maps: VecDeque<SimTime> =
+                    job.map_tasks.iter().map(|t| t.exec_time).collect();
+                let reduces: VecDeque<SimTime> =
+                    job.reduce_tasks.iter().map(|t| t.exec_time).collect();
+                let maps_left = maps.len();
+                let tasks_left = maps.len() + reduces.len();
+                self.states[idx] = Some(JState {
+                    id: job.id,
+                    arrival: job.arrival,
+                    earliest_start: job.earliest_start,
+                    deadline: job.deadline,
+                    pending_maps: maps,
+                    pending_reduces: reduces,
+                    running_maps: 0,
+                    running_reduces: 0,
+                    maps_left,
+                    tasks_left,
+                    eligible: eligible_at <= now,
+                    done: false,
+                });
+                if eligible_at > now {
+                    queue.schedule_at(eligible_at, Ev::Eligible(idx));
+                } else {
+                    self.dispatch(now, queue);
+                }
+            }
+            Ev::Eligible(idx) => {
+                if let Some(s) = self.states[idx].as_mut() {
+                    s.eligible = true;
+                }
+                self.dispatch(now, queue);
+            }
+            Ev::MapDone(idx) => {
+                {
+                    let s = self.states[idx].as_mut().expect("job exists");
+                    s.running_maps -= 1;
+                    s.maps_left -= 1;
+                    s.tasks_left -= 1;
+                }
+                self.free_maps += 1;
+                self.finish_if_done(idx, now);
+                self.dispatch(now, queue);
+            }
+            Ev::ReduceDone(idx) => {
+                {
+                    let s = self.states[idx].as_mut().expect("job exists");
+                    s.running_reduces -= 1;
+                    s.tasks_left -= 1;
+                }
+                self.free_reduces += 1;
+                self.finish_if_done(idx, now);
+                self.dispatch(now, queue);
+            }
+        }
+        Flow::Continue
+    }
+}
+
+/// Per-job outcome of a detailed baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineJobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// Earliest start `s_j`.
+    pub earliest_start: SimTime,
+    /// Completion time.
+    pub completion: SimTime,
+    /// Deadline.
+    pub deadline: SimTime,
+    /// Whether the deadline was missed.
+    pub late: bool,
+}
+
+/// Run `policy` over `jobs` on a cluster with the given slot totals.
+/// `warmup_jobs` completions are excluded from the metrics.
+pub fn run_slot_sim<P: DispatchPolicy>(
+    total_map_slots: u32,
+    total_reduce_slots: u32,
+    jobs: Vec<Job>,
+    policy: &mut P,
+    warmup_jobs: usize,
+) -> BaselineMetrics {
+    run_slot_sim_detailed(total_map_slots, total_reduce_slots, jobs, policy, warmup_jobs).0
+}
+
+/// Like [`run_slot_sim`] but also returns per-job outcomes in completion
+/// order.
+pub fn run_slot_sim_detailed<P: DispatchPolicy>(
+    total_map_slots: u32,
+    total_reduce_slots: u32,
+    jobs: Vec<Job>,
+    policy: &mut P,
+    warmup_jobs: usize,
+) -> (BaselineMetrics, Vec<BaselineJobOutcome>) {
+    assert!(total_map_slots > 0, "need at least one map slot");
+    assert!(
+        total_reduce_slots > 0 || jobs.iter().all(|j| j.reduce_tasks.is_empty()),
+        "jobs carry reduce tasks but the cluster has no reduce slots — the run would never drain"
+    );
+    let n = jobs.len();
+    let mut engine: Engine<Ev> = Engine::new();
+    for (i, j) in jobs.iter().enumerate() {
+        engine.queue_mut().schedule_at(j.arrival, Ev::Arrival(i));
+    }
+    let mut sim = Sim {
+        policy,
+        jobs: jobs.into_iter().map(Some).collect(),
+        states: (0..n).map(|_| None).collect(),
+        free_maps: total_map_slots,
+        free_reduces: total_reduce_slots,
+        total_maps: total_map_slots,
+        total_reduces: total_reduce_slots,
+        completions: Vec::with_capacity(n),
+        arrived: 0,
+        index: std::collections::HashMap::with_capacity(n),
+    };
+    let end = engine.run(&mut sim);
+
+    let completed = sim.completions.len();
+    let measured_slice = &sim.completions[warmup_jobs.min(completed)..];
+    let measured = measured_slice.len();
+    let late = measured_slice.iter().filter(|c| c.late).count();
+    let turnaround: f64 = measured_slice
+        .iter()
+        .map(|c| (c.completion - c.earliest_start).as_secs_f64())
+        .sum();
+    let metrics = BaselineMetrics {
+        arrived: sim.arrived,
+        completed,
+        measured,
+        late,
+        p_late: if measured > 0 {
+            late as f64 / measured as f64
+        } else {
+            0.0
+        },
+        mean_turnaround_s: if measured > 0 {
+            turnaround / measured as f64
+        } else {
+            0.0
+        },
+        end_time_s: end.as_secs_f64(),
+    };
+    (metrics, sim.completions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimTime;
+    use workload::{Task, TaskId, TaskKind};
+
+    /// Trivial policy: first candidate (stable order = job index).
+    struct First;
+    impl DispatchPolicy for First {
+        fn choose(&mut self, _p: Pool, c: &[JobSnapshot], _n: SimTime) -> Option<JobId> {
+            c.first().map(|s| s.id)
+        }
+    }
+
+    pub(crate) fn mk_job(
+        id: u32,
+        arrival: i64,
+        s: i64,
+        d: i64,
+        maps: &[i64],
+        reduces: &[i64],
+    ) -> Job {
+        let mut next = id * 1000;
+        let mut task = |kind, secs: i64| {
+            let t = Task {
+                id: TaskId(next),
+                job: JobId(id),
+                kind,
+                exec_time: SimTime::from_secs(secs),
+                req: 1,
+            };
+            next += 1;
+            t
+        };
+        Job {
+            id: JobId(id),
+            arrival: SimTime::from_secs(arrival),
+            earliest_start: SimTime::from_secs(s),
+            deadline: SimTime::from_secs(d),
+            map_tasks: maps.iter().map(|&e| task(TaskKind::Map, e)).collect(),
+            reduce_tasks: reduces.iter().map(|&e| task(TaskKind::Reduce, e)).collect(),
+            precedences: vec![],
+        }
+    }
+
+    #[test]
+    fn single_job_runs_map_then_reduce() {
+        let jobs = vec![mk_job(0, 0, 0, 100, &[10, 10], &[5])];
+        let m = run_slot_sim(2, 1, jobs, &mut First, 0);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.late, 0);
+        // Maps in parallel (10s), reduce 5s → completion 15, turnaround 15.
+        assert!((m.mean_turnaround_s - 15.0).abs() < 1e-9);
+        assert!((m.end_time_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_waits_for_all_maps() {
+        // One map slot: maps serialize 0..10, 10..20; reduce 20..25.
+        let jobs = vec![mk_job(0, 0, 0, 100, &[10, 10], &[5])];
+        let m = run_slot_sim(1, 4, jobs, &mut First, 0);
+        assert!((m.end_time_s - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn earliest_start_is_honoured() {
+        let jobs = vec![mk_job(0, 0, 50, 100, &[10], &[])];
+        let m = run_slot_sim(4, 4, jobs, &mut First, 0);
+        // Starts at 50, ends at 60; turnaround from s_j = 10.
+        assert!((m.end_time_s - 60.0).abs() < 1e-9);
+        assert!((m.mean_turnaround_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_jobs_are_counted() {
+        // Two 10s jobs, one slot, both due by 15 → second is late.
+        let jobs = vec![
+            mk_job(0, 0, 0, 15, &[10], &[]),
+            mk_job(1, 0, 0, 15, &[10], &[]),
+        ];
+        let m = run_slot_sim(1, 1, jobs, &mut First, 0);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.late, 1);
+        assert!((m.p_late - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_excludes_early_completions() {
+        let jobs = vec![
+            mk_job(0, 0, 0, 100, &[10], &[]),
+            mk_job(1, 0, 0, 100, &[10], &[]),
+        ];
+        let m = run_slot_sim(1, 1, jobs, &mut First, 1);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.measured, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reduce slots")]
+    fn reduce_work_without_reduce_slots_panics() {
+        let jobs = vec![mk_job(0, 0, 0, 100, &[5], &[5])];
+        run_slot_sim(2, 0, jobs, &mut First, 0);
+    }
+
+    #[test]
+    fn map_only_jobs_run_fine_without_reduce_slots() {
+        let jobs = vec![mk_job(0, 0, 0, 100, &[5, 5], &[])];
+        let m = run_slot_sim(2, 0, jobs, &mut First, 0);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn slots_limit_parallelism() {
+        // 4 maps of 10s on 2 slots → two waves → end 20.
+        let jobs = vec![mk_job(0, 0, 0, 100, &[10, 10, 10, 10], &[])];
+        let m = run_slot_sim(2, 1, jobs, &mut First, 0);
+        assert!((m.end_time_s - 20.0).abs() < 1e-9);
+    }
+}

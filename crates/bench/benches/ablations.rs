@@ -1,0 +1,151 @@
+//! Design-choice ablations (DESIGN.md §5).
+//!
+//! * **split** — §V.D separated scheduling/matchmaking vs the monolithic
+//!   multi-resource CP model (the paper saw ~4× on its 50-resource batch),
+//! * **defer** — §V.E far-future-job deferral on vs off,
+//! * **warm start** — greedy incumbent on vs off,
+//! * **ordering** — job-id vs EDF vs least-laxity search priorities,
+//! * **budget** — the anytime curve: solve quality/cost vs node budget.
+
+use bench::{batch_scenario, bench_scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpsolve::search::{solve, SolveParams};
+use mrcp::closed::solve_closed;
+use mrcp::defer::DeferPolicy;
+use mrcp::modelmap::{build_model, JobInput, TaskInput};
+use mrcp::{simulate, JobOrdering, SimConfig};
+use std::hint::black_box;
+
+const N_JOBS: usize = 25;
+
+/// §V.D: split vs monolithic solve on the same batch.
+fn bench_split_vs_full(c: &mut Criterion) {
+    let (cluster, jobs) = batch_scenario(12, 11);
+    let params = SolveParams {
+        node_limit: 2_000,
+        fail_limit: 2_000,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("ablation_split_vs_full");
+    g.bench_function("split(V.D)", |b| {
+        b.iter(|| {
+            solve_closed(black_box(&cluster), &jobs, JobOrdering::Edf, &params, true).unwrap()
+        })
+    });
+    g.bench_function("monolithic", |b| {
+        b.iter(|| {
+            solve_closed(black_box(&cluster), &jobs, JobOrdering::Edf, &params, false).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// §V.E: deferral on vs off over an open stream with future starts.
+fn bench_defer(c: &mut Criterion) {
+    let (cluster, jobs, _) = bench_scenario(N_JOBS, 12);
+    let mut g = c.benchmark_group("ablation_defer");
+    for (label, policy) in [("on(V.E)", DeferPolicy::default()), ("off", DeferPolicy::disabled())]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::default();
+                cfg.manager.defer = policy;
+                black_box(simulate(&cfg, &cluster, jobs.clone()))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Greedy warm start on vs off (pure solver, batch model).
+fn bench_warm_start(c: &mut Criterion) {
+    let (cluster, jobs) = batch_scenario(10, 13);
+    let inputs: Vec<JobInput<'_>> = jobs
+        .iter()
+        .map(|job| JobInput {
+            job,
+            release: job.earliest_start,
+            priority: job.deadline.as_millis(),
+            tasks: job
+                .tasks()
+                .map(|t| TaskInput {
+                    id: t.id,
+                    kind: t.kind,
+                    exec_time: t.exec_time,
+                    req: t.req,
+                    pinned: None,
+                })
+                .collect(),
+        })
+        .collect();
+    let mm = build_model(&cluster, &inputs).unwrap();
+    let mut g = c.benchmark_group("ablation_warm_start");
+    for (label, warm) in [("on", true), ("off", false)] {
+        let params = SolveParams {
+            node_limit: 2_000,
+            fail_limit: 2_000,
+            warm_start: warm,
+            ..Default::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(solve(&mm.model, &params)))
+        });
+    }
+    g.finish();
+}
+
+/// Job ordering strategies over the open stream.
+fn bench_orderings(c: &mut Criterion) {
+    let (cluster, jobs, _) = bench_scenario(N_JOBS, 14);
+    let mut g = c.benchmark_group("ablation_ordering");
+    for ordering in JobOrdering::all() {
+        g.bench_function(ordering.name(), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::default();
+                cfg.manager.ordering = ordering;
+                black_box(simulate(&cfg, &cluster, jobs.clone()))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Anytime curve: batch solve cost vs node budget.
+fn bench_budget_curve(c: &mut Criterion) {
+    let (cluster, jobs) = batch_scenario(12, 15);
+    let mut g = c.benchmark_group("ablation_budget");
+    for nodes in [100u64, 1_000, 10_000] {
+        let params = SolveParams {
+            node_limit: nodes,
+            fail_limit: nodes,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                solve_closed(black_box(&cluster), &jobs, JobOrdering::Edf, &params, true)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets =
+    bench_split_vs_full,
+    bench_defer,
+    bench_warm_start,
+    bench_orderings,
+    bench_budget_curve
+
+}
+criterion_main!(benches);

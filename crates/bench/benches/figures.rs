@@ -1,0 +1,137 @@
+//! One bench group per paper artifact.
+//!
+//! Each group times a single replication of the figure's midpoint
+//! configuration at smoke scale, so any regression in the code path behind
+//! a table or figure (generator → manager → solver → simulator → metrics)
+//! shows up in `cargo bench`. Full regeneration with confidence intervals
+//! is the `run_experiments` binary's job; these benches guard the cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::RngStreams;
+use std::hint::black_box;
+
+use baselines::{run_slot_sim, MinEdfWc};
+use mrcp::{simulate, SimConfig};
+use workload::{FacebookConfig, FacebookGenerator, SyntheticConfig, SyntheticGenerator};
+
+const SYNTH_JOBS: usize = 30;
+const FB_JOBS: usize = 40;
+
+fn synth_cfg() -> SyntheticConfig {
+    // Table 3 defaults shrunk 10× (tasks and cluster alike).
+    SyntheticConfig {
+        maps_per_job: (1, 10),
+        reduces_per_job: (1, 10),
+        resources: 5,
+        ..Default::default()
+    }
+}
+
+fn run_synth(cfg: &SyntheticConfig) -> f64 {
+    let rng = RngStreams::new(1).stream("bench");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(SYNTH_JOBS);
+    let m = simulate(&SimConfig::default(), &cfg.cluster(), jobs);
+    m.p_late
+}
+
+fn fb_cfg() -> FacebookConfig {
+    FacebookConfig {
+        lambda: 3e-4,
+        task_scale: 0.02,
+        resources: 2,
+        ..Default::default()
+    }
+}
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let cfg = fb_cfg();
+    let mut g = c.benchmark_group("fig2_fig3_facebook");
+    g.bench_function("mrcp_rm", |b| {
+        b.iter(|| {
+            let rng = RngStreams::new(2).stream("bench");
+            let jobs = FacebookGenerator::new(cfg.clone(), rng).take_jobs(FB_JOBS);
+            black_box(simulate(&SimConfig::default(), &cfg.cluster(), jobs))
+        })
+    });
+    g.bench_function("minedf_wc", |b| {
+        b.iter(|| {
+            let rng = RngStreams::new(2).stream("bench");
+            let jobs = FacebookGenerator::new(cfg.clone(), rng).take_jobs(FB_JOBS);
+            black_box(run_slot_sim(
+                cfg.total_map_slots(),
+                cfg.total_reduce_slots(),
+                jobs,
+                &mut MinEdfWc::default(),
+                0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+macro_rules! synth_fig {
+    ($fn_name:ident, $group:literal, $($label:literal => $cfg:expr),+ $(,)?) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut g = c.benchmark_group($group);
+                    $(
+                g.bench_function($label, |b| {
+                    let cfg: SyntheticConfig = $cfg;
+                    b.iter(|| black_box(run_synth(&cfg)))
+                });
+            )+
+            g.finish();
+        }
+    };
+}
+
+synth_fig!(bench_fig4, "fig4_exec_time",
+    "e_max=10" => SyntheticConfig { e_max: 10, ..synth_cfg() },
+    "e_max=100" => SyntheticConfig { e_max: 100, ..synth_cfg() },
+);
+
+synth_fig!(bench_fig5, "fig5_earliest_start",
+    "s_max=10000" => SyntheticConfig { s_max: 10_000, ..synth_cfg() },
+    "s_max=250000" => SyntheticConfig { s_max: 250_000, ..synth_cfg() },
+);
+
+synth_fig!(bench_fig6, "fig6_future_start_p",
+    "p=0.1" => SyntheticConfig { p_future_start: 0.1, ..synth_cfg() },
+    "p=0.9" => SyntheticConfig { p_future_start: 0.9, ..synth_cfg() },
+);
+
+synth_fig!(bench_fig7, "fig7_deadline",
+    "d_M=2" => SyntheticConfig { deadline_multiplier: 2.0, ..synth_cfg() },
+    "d_M=10" => SyntheticConfig { deadline_multiplier: 10.0, ..synth_cfg() },
+);
+
+synth_fig!(bench_fig8, "fig8_arrival_rate",
+    "lambda=0.001" => SyntheticConfig { lambda: 0.001, ..synth_cfg() },
+    "lambda=0.02" => SyntheticConfig { lambda: 0.02, ..synth_cfg() },
+);
+
+synth_fig!(bench_fig9, "fig9_resources",
+    "m=3" => SyntheticConfig { resources: 3, ..synth_cfg() },
+    "m=10" => SyntheticConfig { resources: 10, ..synth_cfg() },
+);
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets =
+    bench_fig2_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9
+
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! CP-solver microbenches: how expensive are the pieces the paper's `O`
+//! metric is made of?
+
+use bench::batch_scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrcp::closed::solve_closed;
+use mrcp::modelmap::{build_model, JobInput, TaskInput};
+use mrcp::JobOrdering;
+use std::hint::black_box;
+
+fn inputs(jobs: &[workload::Job]) -> Vec<JobInput<'_>> {
+    jobs.iter()
+        .map(|job| JobInput {
+            job,
+            release: job.earliest_start,
+            priority: job.deadline.as_millis(),
+            tasks: job
+                .tasks()
+                .map(|t| TaskInput {
+                    id: t.id,
+                    kind: t.kind,
+                    exec_time: t.exec_time,
+                    req: t.req,
+                    pinned: None,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Model construction cost (the paper's "model generation" component).
+fn bench_model_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_build");
+    for n in [5usize, 15, 30] {
+        let (cluster, jobs) = batch_scenario(n, 1);
+        let ji = inputs(&jobs);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| build_model(black_box(&cluster), black_box(&ji)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Greedy EDF warm start (the incumbent generator).
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_warm_start");
+    for n in [5usize, 15, 30] {
+        let (cluster, jobs) = batch_scenario(n, 2);
+        let ji = inputs(&jobs);
+        let mm = build_model(&cluster, &ji).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| cpsolve::greedy::greedy_edf(black_box(&mm.model)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end budgeted solve (split path), the dominant part of `O`.
+fn bench_batch_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_solve_split");
+    for n in [5usize, 15, 30] {
+        let (cluster, jobs) = batch_scenario(n, 3);
+        let params = cpsolve::search::SolveParams {
+            node_limit: 2_000,
+            fail_limit: 2_000,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                solve_closed(
+                    black_box(&cluster),
+                    black_box(&jobs),
+                    JobOrdering::Edf,
+                    &params,
+                    true,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_model_build, bench_greedy, bench_batch_solve
+}
+criterion_main!(benches);

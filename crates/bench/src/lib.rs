@@ -1,0 +1,63 @@
+//! Shared fixtures for the criterion benches.
+//!
+//! Three bench suites live in `benches/`:
+//!
+//! * `solver` — CP-solver microbenches (greedy warm start, propagation-heavy
+//!   root solve, full branch-and-bound) across instance sizes,
+//! * `figures` — one group per paper artifact, timing a single replication
+//!   of each figure's midpoint so regressions in any experiment path are
+//!   caught,
+//! * `ablations` — the design-choice ablations called out in DESIGN.md §5:
+//!   split scheduling/matchmaking on/off (§V.D), deferral on/off (§V.E),
+//!   warm start on/off, job orderings, and the solver-budget anytime curve.
+
+use desim::RngStreams;
+use workload::{Job, Resource, SyntheticConfig, SyntheticGenerator};
+
+/// A synthetic scenario sized for benching: `n_jobs` Table 3-shaped jobs
+/// (shrunk 5×) on a 6-node cluster at moderate contention.
+pub fn bench_scenario(n_jobs: usize, seed: u64) -> (Vec<Resource>, Vec<Job>, SyntheticConfig) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 20),
+        reduces_per_job: (1, 10),
+        e_max: 50,
+        resources: 6,
+        deadline_multiplier: 2.0,
+        ..Default::default()
+    };
+    let rng = RngStreams::new(seed).stream("bench");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n_jobs);
+    (cfg.cluster(), jobs, cfg)
+}
+
+/// A batch (all jobs available at t = 0) for closed-system solver benches.
+pub fn batch_scenario(n_jobs: usize, seed: u64) -> (Vec<Resource>, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 10),
+        reduces_per_job: (1, 5),
+        e_max: 30,
+        resources: 4,
+        deadline_multiplier: 2.0,
+        p_future_start: 0.0,
+        lambda: 10.0, // essentially simultaneous arrivals
+        ..Default::default()
+    };
+    let rng = RngStreams::new(seed).stream("bench-batch");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n_jobs);
+    (cfg.cluster(), jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let (c1, j1, _) = bench_scenario(10, 3);
+        let (c2, j2, _) = bench_scenario(10, 3);
+        assert_eq!(c1, c2);
+        assert_eq!(j1, j2);
+        let (_, b1) = batch_scenario(5, 3);
+        assert_eq!(b1.len(), 5);
+    }
+}

@@ -1,0 +1,429 @@
+//! Greedy EDF list scheduler — warm-start incumbents for branch-and-bound.
+//!
+//! Jobs are taken earliest-deadline-first; within a job, maps are placed
+//! longest-first at the earliest feasible slot time, then reduces behind the
+//! job's last map end. The result is always a feasible schedule (deadlines
+//! are *not* hard here — late jobs are simply counted), which gives the
+//! solver an immediate upper bound on `Σ N_j` and lets the objective cut
+//! prune from the first node, mirroring how a CP Optimizer run benefits
+//! from a starting point.
+//!
+//! Only unit capacity requirements (`q_t = 1`, the paper's setting) are
+//! supported; models with larger requirements solve without a warm start.
+
+use crate::model::{Model, ResRef, SlotKind, TaskRef};
+use crate::solution::Solution;
+
+/// Busy intervals of one slot, kept sorted by start.
+#[derive(Debug, Default, Clone)]
+struct Slot {
+    busy: Vec<(i64, i64)>,
+}
+
+impl Slot {
+    /// Earliest `s ≥ t0` such that `[s, s+dur)` avoids every busy interval.
+    fn earliest_fit(&self, t0: i64, dur: i64) -> i64 {
+        let mut s = t0;
+        for &(bs, be) in &self.busy {
+            if bs >= s + dur {
+                break; // gap before this interval fits
+            }
+            if be > s {
+                s = be; // collide: jump past
+            }
+        }
+        s
+    }
+
+    /// True when `[start, start+dur)` is free.
+    fn fits(&self, start: i64, dur: i64) -> bool {
+        self.busy
+            .iter()
+            .all(|&(bs, be)| be <= start || bs >= start + dur)
+    }
+
+    /// Insert `[start, start+dur)` keeping order.
+    fn insert(&mut self, start: i64, dur: i64) {
+        let pos = self.busy.partition_point(|&(bs, _)| bs < start);
+        self.busy.insert(pos, (start, start + dur));
+    }
+}
+
+/// Per-resource slot calendars for one task kind.
+#[derive(Debug)]
+struct Pool {
+    /// `slots[r]` holds `cap(r, kind)` slot calendars.
+    slots: Vec<Vec<Slot>>,
+}
+
+impl Pool {
+    fn new(model: &Model, kind: SlotKind) -> Self {
+        Pool {
+            slots: model
+                .resources
+                .iter()
+                .map(|r| vec![Slot::default(); r.cap(kind) as usize])
+                .collect(),
+        }
+    }
+
+    /// Best `(resource, slot, start)` over the candidate set: earliest
+    /// start, ties to the lower resource/slot index.
+    fn best_fit(&self, candidates: u128, t0: i64, dur: i64) -> Option<(usize, usize, i64)> {
+        let mut best: Option<(usize, usize, i64)> = None;
+        for (r, slots) in self.slots.iter().enumerate() {
+            if candidates & (1u128 << r) == 0 {
+                continue;
+            }
+            for (si, slot) in slots.iter().enumerate() {
+                let s = slot.earliest_fit(t0, dur);
+                if best.is_none_or(|(_, _, bs)| s < bs) {
+                    best = Some((r, si, s));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Schedule `model` greedily. Fails when a pinned task cannot be honoured
+/// (capacity conflict among pinned tasks) or when a task has `q_t > 1`.
+///
+/// Models with user precedences are routed through the topological variant
+/// ([`greedy_topo`]), which respects arbitrary precedence DAGs at the cost
+/// of a weaker job-grouping heuristic.
+///
+/// ```
+/// use cpsolve::model::{ModelBuilder, SlotKind};
+/// use cpsolve::greedy::greedy_edf;
+///
+/// let mut b = ModelBuilder::new();
+/// b.add_resource(2, 1);
+/// let j = b.add_job(0, 100);
+/// b.add_task(j, SlotKind::Map, 10, 1);
+/// b.add_task(j, SlotKind::Map, 10, 1);
+/// b.add_task(j, SlotKind::Reduce, 5, 1);
+/// let model = b.build().unwrap();
+///
+/// let schedule = greedy_edf(&model).unwrap();
+/// schedule.verify(&model).unwrap();       // independent feasibility check
+/// assert_eq!(schedule.makespan(&model), 15); // maps parallel, reduce behind
+/// ```
+pub fn greedy_edf(model: &Model) -> Result<Solution, String> {
+    if model.tasks.iter().any(|t| t.req != 1) {
+        return Err("greedy scheduler supports unit capacity requirements only".into());
+    }
+    if !model.precedences.is_empty() {
+        return greedy_topo(model);
+    }
+    let mut map_pool = Pool::new(model, SlotKind::Map);
+    let mut reduce_pool = Pool::new(model, SlotKind::Reduce);
+    let mut starts = vec![0i64; model.n_tasks()];
+    let mut resource = vec![ResRef(0); model.n_tasks()];
+
+    // Honour pinned (already-executing) tasks first.
+    for i in 0..model.n_tasks() {
+        let spec = &model.tasks[i];
+        if let Some((r, s)) = spec.fixed {
+            let pool = match spec.kind {
+                SlotKind::Map => &mut map_pool,
+                SlotKind::Reduce => &mut reduce_pool,
+            };
+            let slot = pool.slots[r.idx()]
+                .iter_mut()
+                .find(|slot| slot.fits(s, spec.dur))
+                .ok_or_else(|| format!("pinned task {i} overloads resource {r:?}"))?;
+            slot.insert(s, spec.dur);
+            starts[i] = s;
+            resource[i] = r;
+        }
+    }
+
+    // Priority order over jobs (EDF by default); stable tie-break on
+    // deadline, release, then index.
+    let mut order: Vec<usize> = (0..model.n_jobs()).collect();
+    order.sort_by_key(|&j| {
+        (
+            model.jobs[j].priority,
+            model.jobs[j].deadline,
+            model.jobs[j].release,
+            j,
+        )
+    });
+
+    for j in order {
+        let release = model.jobs[j].release;
+
+        // Maps, longest first (LPT keeps the phase makespan low).
+        let mut maps: Vec<TaskRef> = model.maps_of[j]
+            .iter()
+            .copied()
+            .filter(|t| model.tasks[t.idx()].fixed.is_none())
+            .collect();
+        maps.sort_by_key(|t| std::cmp::Reverse(model.tasks[t.idx()].dur));
+        for t in maps {
+            let spec = &model.tasks[t.idx()];
+            let (r, si, s) = map_pool
+                .best_fit(model.candidate_mask(t), release, spec.dur)
+                .ok_or_else(|| format!("no resource can host map task {t:?}"))?;
+            map_pool.slots[r][si].insert(s, spec.dur);
+            starts[t.idx()] = s;
+            resource[t.idx()] = ResRef(r as u32);
+        }
+
+        // Barrier: reduces start after the job's last map end (pinned maps
+        // included).
+        let barrier = model.maps_of[j]
+            .iter()
+            .map(|&t| starts[t.idx()] + model.tasks[t.idx()].dur)
+            .max()
+            .unwrap_or(release)
+            .max(release);
+
+        let mut reduces: Vec<TaskRef> = model.reduces_of[j]
+            .iter()
+            .copied()
+            .filter(|t| model.tasks[t.idx()].fixed.is_none())
+            .collect();
+        reduces.sort_by_key(|t| std::cmp::Reverse(model.tasks[t.idx()].dur));
+        for t in reduces {
+            let spec = &model.tasks[t.idx()];
+            let (r, si, s) = reduce_pool
+                .best_fit(model.candidate_mask(t), barrier, spec.dur)
+                .ok_or_else(|| format!("no resource can host reduce task {t:?}"))?;
+            reduce_pool.slots[r][si].insert(s, spec.dur);
+            starts[t.idx()] = s;
+            resource[t.idx()] = ResRef(r as u32);
+        }
+    }
+
+    Ok(Solution::from_placements(model, starts, resource))
+}
+
+/// Greedy list scheduler for models with arbitrary user precedences
+/// (the paper's future-work "complex workflows" generalization).
+///
+/// Tasks are dispatched in Kahn topological order over the combined
+/// precedence graph (user edges + the implicit map→reduce barrier), with
+/// the owning job's priority (then deadline, then index) breaking ties.
+/// Each task starts at the earliest slot time at or after all of its
+/// predecessors' completions.
+pub fn greedy_topo(model: &Model) -> Result<Solution, String> {
+    if model.tasks.iter().any(|t| t.req != 1) {
+        return Err("greedy scheduler supports unit capacity requirements only".into());
+    }
+    let n = model.n_tasks();
+    let mut map_pool = Pool::new(model, SlotKind::Map);
+    let mut reduce_pool = Pool::new(model, SlotKind::Reduce);
+    let mut starts = vec![0i64; n];
+    let mut resource = vec![ResRef(0); n];
+
+    // Build the dependency graph: user edges + barrier edges (every map of
+    // a job precedes every reduce of the job, aggregated via counts).
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<TaskRef>> = vec![Vec::new(); n];
+    for &(a, b) in &model.precedences {
+        succs[a.idx()].push(b);
+        indegree[b.idx()] += 1;
+    }
+    for j in 0..model.n_jobs() {
+        let maps = &model.maps_of[j];
+        let reduces = &model.reduces_of[j];
+        for &m in maps {
+            for &r in reduces {
+                succs[m.idx()].push(r);
+                indegree[r.idx()] += 1;
+            }
+        }
+    }
+
+    // Earliest-permissible floor per task, raised as predecessors finish.
+    let mut floor: Vec<i64> = (0..n)
+        .map(|i| model.task_release(TaskRef(i as u32)))
+        .collect();
+
+    // Pinned tasks are placed immediately (they are already executing and
+    // by construction have no unfinished predecessors).
+    for i in 0..n {
+        let spec = &model.tasks[i];
+        if let Some((r, s)) = spec.fixed {
+            let pool = match spec.kind {
+                SlotKind::Map => &mut map_pool,
+                SlotKind::Reduce => &mut reduce_pool,
+            };
+            let slot = pool.slots[r.idx()]
+                .iter_mut()
+                .find(|slot| slot.fits(s, spec.dur))
+                .ok_or_else(|| format!("pinned task {i} overloads resource {r:?}"))?;
+            slot.insert(s, spec.dur);
+            starts[i] = s;
+            resource[i] = r;
+        }
+    }
+
+    // Kahn's algorithm with a priority-ordered ready set.
+    let key = |t: TaskRef| {
+        let job = &model.jobs[model.tasks[t.idx()].job.idx()];
+        (job.priority, job.deadline, t.0)
+    };
+    let mut ready: Vec<TaskRef> = (0..n)
+        .map(|i| TaskRef(i as u32))
+        .filter(|t| indegree[t.idx()] == 0)
+        .collect();
+    let mut placed = 0usize;
+    while let Some(pos) = ready
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &t)| key(t))
+        .map(|(i, _)| i)
+    {
+        let t = ready.swap_remove(pos);
+        let i = t.idx();
+        let spec = &model.tasks[i];
+        if spec.fixed.is_none() {
+            let pool = match spec.kind {
+                SlotKind::Map => &mut map_pool,
+                SlotKind::Reduce => &mut reduce_pool,
+            };
+            let (r, si, s) = pool
+                .best_fit(model.candidate_mask(t), floor[i], spec.dur)
+                .ok_or_else(|| format!("no resource can host task {t:?}"))?;
+            pool.slots[r][si].insert(s, spec.dur);
+            starts[i] = s;
+            resource[i] = ResRef(r as u32);
+        }
+        placed += 1;
+        let end = starts[i] + spec.dur;
+        #[allow(clippy::needless_range_loop)] // indexes two arrays via succ
+        for k in 0..succs[i].len() {
+            let succ = succs[i][k];
+            floor[succ.idx()] = floor[succ.idx()].max(end);
+            indegree[succ.idx()] -= 1;
+            if indegree[succ.idx()] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    if placed != n {
+        return Err("precedence graph contains a cycle".into());
+    }
+    Ok(Solution::from_placements(model, starts, resource))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JobRef, ModelBuilder, SlotKind};
+
+    #[test]
+    fn single_job_schedules_tight() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(2, 1);
+        let j = b.add_job(0, 100);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        b.add_task(j, SlotKind::Reduce, 5, 1);
+        let m = b.build().unwrap();
+        let s = greedy_edf(&m).unwrap();
+        s.verify(&m).unwrap();
+        assert_eq!(s.objective, 0);
+        // Both maps in parallel, reduce right behind: makespan 15.
+        assert_eq!(s.makespan(&m), 15);
+    }
+
+    #[test]
+    fn edf_prioritizes_urgent_job() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let relaxed = b.add_job(0, 1000);
+        b.add_task(relaxed, SlotKind::Map, 10, 1);
+        let urgent = b.add_job(0, 12);
+        b.add_task(urgent, SlotKind::Map, 10, 1);
+        let m = b.build().unwrap();
+        let s = greedy_edf(&m).unwrap();
+        s.verify(&m).unwrap();
+        // The urgent job (later id, earlier deadline) goes first and meets
+        // its deadline; the relaxed one follows and still meets its own.
+        assert_eq!(s.objective, 0);
+        assert_eq!(s.job_completion(&m, JobRef(1)), 10);
+        assert_eq!(s.job_completion(&m, JobRef(0)), 20);
+    }
+
+    #[test]
+    fn respects_release_times() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(25, 100);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        let m = b.build().unwrap();
+        let s = greedy_edf(&m).unwrap();
+        s.verify(&m).unwrap();
+        assert_eq!(s.starts[0], 25);
+    }
+
+    #[test]
+    fn schedules_around_pinned_tasks() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 100);
+        let pinned = b.add_task(j, SlotKind::Map, 10, 1);
+        b.add_task(j, SlotKind::Map, 5, 1);
+        b.fix_task(pinned, ResRef(0), 0);
+        let m = b.build().unwrap();
+        let s = greedy_edf(&m).unwrap();
+        s.verify(&m).unwrap();
+        assert_eq!(s.starts[0], 0, "pinned stays");
+        assert_eq!(s.starts[1], 10, "free map waits for the slot");
+    }
+
+    #[test]
+    fn conflicting_pins_are_an_error() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 100);
+        let a = b.add_task(j, SlotKind::Map, 10, 1);
+        let c = b.add_task(j, SlotKind::Map, 10, 1);
+        b.fix_task(a, ResRef(0), 0);
+        b.fix_task(c, ResRef(0), 5);
+        let m = b.build().unwrap();
+        assert!(greedy_edf(&m).is_err());
+    }
+
+    #[test]
+    fn overload_counts_late_jobs_instead_of_failing() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        // Two jobs, both due by 12, both needing the single slot for 10.
+        for _ in 0..2 {
+            let j = b.add_job(0, 12);
+            b.add_task(j, SlotKind::Map, 10, 1);
+        }
+        let m = b.build().unwrap();
+        let s = greedy_edf(&m).unwrap();
+        s.verify(&m).unwrap();
+        assert_eq!(s.objective, 1, "one of the two must be late");
+    }
+
+    #[test]
+    fn req_above_one_is_rejected() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(4, 4);
+        let j = b.add_job(0, 100);
+        b.add_task(j, SlotKind::Map, 10, 2);
+        let m = b.build().unwrap();
+        assert!(greedy_edf(&m).is_err());
+    }
+
+    #[test]
+    fn slot_gap_search_finds_holes() {
+        let mut s = Slot::default();
+        s.insert(10, 10); // [10,20)
+        s.insert(30, 10); // [30,40)
+        assert_eq!(s.earliest_fit(0, 5), 0);
+        assert_eq!(s.earliest_fit(0, 10), 0);
+        assert_eq!(s.earliest_fit(0, 11), 40); // 0..11 collides, 20..31 collides
+        assert_eq!(s.earliest_fit(12, 5), 20);
+        assert!(s.fits(20, 10));
+        assert!(!s.fits(15, 10));
+    }
+}

@@ -1,0 +1,450 @@
+//! Timetable `cumulative` filtering (paper constraints 5 and 6).
+//!
+//! One propagator instance guards one `(resource, slot kind)` pool, exactly
+//! like the paper's per-resource `cumulative` constraints built from `pulse`
+//! functions in OPL. The propagator:
+//!
+//! 1. builds the *mandatory-part profile* of tasks currently assigned to the
+//!    resource (a task assigned to `r` with start window `[lb, ub]` and
+//!    duration `e` certainly occupies `[ub, lb + e)` when that interval is
+//!    nonempty),
+//! 2. fails when the profile exceeds the pool capacity anywhere (overload),
+//! 3. tightens the start bounds of assigned tasks so their whole execution
+//!    fits under the capacity given everyone else's mandatory parts
+//!    (timetable filtering, both directions), and
+//! 4. implements the assignment side of the OPL `alternative`: a resource
+//!    with no feasible placement anywhere in a task's start window is
+//!    removed from the task's candidate set.
+
+use super::{Ctx, Propagator};
+use crate::model::{Model, ResRef, SlotKind, TaskRef};
+use crate::state::Conflict;
+
+/// A maximal constant-height interval of the mandatory profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Seg {
+    start: i64,
+    end: i64,
+    height: i64,
+}
+
+/// Timetable cumulative for one `(resource, kind)` slot pool.
+#[derive(Debug)]
+pub struct Cumulative {
+    res: ResRef,
+    kind: SlotKind,
+    /// Tasks of this kind that may run on this resource (root candidates).
+    tasks: Vec<TaskRef>,
+    /// Scratch: sweep events, reused across calls.
+    events: Vec<(i64, i64)>,
+    /// Scratch: profile segments with height > 0, sorted by start.
+    segs: Vec<Seg>,
+}
+
+impl Cumulative {
+    /// Propagator for the `kind` pool of `res`, or `None` if no task can
+    /// ever use it.
+    pub fn new(model: &Model, res: ResRef, kind: SlotKind) -> Option<Self> {
+        let bit = 1u128 << res.idx();
+        let tasks: Vec<TaskRef> = (0..model.n_tasks())
+            .map(|i| TaskRef(i as u32))
+            .filter(|&t| model.tasks[t.idx()].kind == kind && model.candidate_mask(t) & bit != 0)
+            .collect();
+        if tasks.is_empty() {
+            return None;
+        }
+        Some(Cumulative {
+            res,
+            kind,
+            tasks,
+            events: Vec::new(),
+            segs: Vec::new(),
+        })
+    }
+
+    /// Rebuild the mandatory-part profile. Returns `Err` on overload.
+    fn build_profile(&mut self, ctx: &Ctx<'_>, cap: i64) -> Result<(), Conflict> {
+        self.events.clear();
+        for &t in &self.tasks {
+            if ctx.dom.assigned(t) != Some(self.res) {
+                continue;
+            }
+            let spec = &ctx.model.tasks[t.idx()];
+            let lb = ctx.dom.lb(t);
+            let ub = ctx.dom.ub(t);
+            let m_start = ub;
+            let m_end = lb + spec.dur;
+            if m_start < m_end {
+                self.events.push((m_start, spec.req as i64));
+                self.events.push((m_end, -(spec.req as i64)));
+            }
+        }
+        self.events.sort_unstable();
+        self.segs.clear();
+        let mut height = 0i64;
+        let mut i = 0;
+        while i < self.events.len() {
+            let t = self.events[i].0;
+            let mut delta = 0;
+            while i < self.events.len() && self.events[i].0 == t {
+                delta += self.events[i].1;
+                i += 1;
+            }
+            let prev_height = height;
+            height += delta;
+            if height > cap {
+                return Err(Conflict);
+            }
+            // Close the previous segment and open a new one when height > 0.
+            if let Some(last) = self.segs.last_mut() {
+                if last.end == i64::MAX {
+                    last.end = t;
+                    if last.start == last.end {
+                        self.segs.pop();
+                    }
+                }
+            }
+            let _ = prev_height;
+            if height > 0 {
+                self.segs.push(Seg {
+                    start: t,
+                    end: i64::MAX,
+                    height,
+                });
+            }
+        }
+        debug_assert!(
+            self.segs.last().is_none_or(|s| s.end != i64::MAX),
+            "profile must be closed (events balance)"
+        );
+        Ok(())
+    }
+
+    /// Height that `[s, s+dur)` must coexist with, excluding `own`'s
+    /// contribution, must stay ≤ cap - req. Returns the first blocking
+    /// segment's `end` for a forward scan, if any.
+    fn first_block(&self, s: i64, dur: i64, own: Option<(i64, i64, i64)>, cap: i64, req: i64) -> Option<i64> {
+        // Segments are sorted by start and non-overlapping; find the first
+        // segment with end > s.
+        let from = self.segs.partition_point(|seg| seg.end <= s);
+        for seg in &self.segs[from..] {
+            if seg.start >= s + dur {
+                break;
+            }
+            let own_h = match own {
+                Some((os, oe, oh)) if seg.start >= os && seg.end <= oe => oh,
+                _ => 0,
+            };
+            if seg.height - own_h + req > cap {
+                return Some(seg.end);
+            }
+        }
+        None
+    }
+
+    /// Like [`first_block`](Self::first_block) but returns the last blocking
+    /// segment's `start` for a backward scan.
+    fn last_block(&self, s: i64, dur: i64, own: Option<(i64, i64, i64)>, cap: i64, req: i64) -> Option<i64> {
+        let from = self.segs.partition_point(|seg| seg.end <= s);
+        let mut found = None;
+        for seg in &self.segs[from..] {
+            if seg.start >= s + dur {
+                break;
+            }
+            let own_h = match own {
+                Some((os, oe, oh)) if seg.start >= os && seg.end <= oe => oh,
+                _ => 0,
+            };
+            if seg.height - own_h + req > cap {
+                found = Some(seg.start);
+            }
+        }
+        found
+    }
+
+    /// Earliest `s ∈ [lb, ub]` where `[s, s+dur)` fits, or `None`.
+    fn earliest_fit(
+        &self,
+        lb: i64,
+        ub: i64,
+        dur: i64,
+        own: Option<(i64, i64, i64)>,
+        cap: i64,
+        req: i64,
+    ) -> Option<i64> {
+        let mut s = lb;
+        while s <= ub {
+            match self.first_block(s, dur, own, cap, req) {
+                None => return Some(s),
+                Some(next) => s = next,
+            }
+        }
+        None
+    }
+
+    /// Latest `s ∈ [lb, ub]` where `[s, s+dur)` fits, or `None`.
+    fn latest_fit(
+        &self,
+        lb: i64,
+        ub: i64,
+        dur: i64,
+        own: Option<(i64, i64, i64)>,
+        cap: i64,
+        req: i64,
+    ) -> Option<i64> {
+        let mut s = ub;
+        while s >= lb {
+            match self.last_block(s, dur, own, cap, req) {
+                None => return Some(s),
+                Some(block_start) => s = block_start - dur,
+            }
+        }
+        None
+    }
+}
+
+impl Propagator for Cumulative {
+    fn propagate(&mut self, ctx: &mut Ctx<'_>) -> Result<(), Conflict> {
+        let cap = ctx.model.resources[self.res.idx()].cap(self.kind) as i64;
+        self.build_profile(ctx, cap)?;
+
+        // Iterate over a snapshot of indices; domains change inside the loop
+        // but the profile is only rebuilt on the next engine invocation
+        // (which the dirtying of the changed task guarantees). Filtering
+        // with a slightly stale profile is still sound: mandatory parts only
+        // grow as bounds tighten, so the stale profile under-approximates
+        // and the fixpoint loop converges on the strongest bounds.
+        for idx in 0..self.tasks.len() {
+            let t = self.tasks[idx];
+            if !ctx.dom.has_res(t, self.res) {
+                continue;
+            }
+            let spec = &ctx.model.tasks[t.idx()];
+            let dur = spec.dur;
+            let req = spec.req as i64;
+            let lb = ctx.dom.lb(t);
+            let ub = ctx.dom.ub(t);
+
+            if ctx.dom.assigned(t) == Some(self.res) {
+                if lb == ub {
+                    continue; // fully placed; participates via profile only
+                }
+                let own = if ub < lb + dur {
+                    Some((ub, lb + dur, req))
+                } else {
+                    None
+                };
+                match self.earliest_fit(lb, ub, dur, own, cap, req) {
+                    Some(s) => {
+                        ctx.dom.set_lb(t, s)?;
+                    }
+                    None => return Err(Conflict),
+                }
+                match self.latest_fit(ctx.dom.lb(t), ub, dur, own, cap, req) {
+                    Some(s) => {
+                        ctx.dom.set_ub(t, s)?;
+                    }
+                    None => return Err(Conflict),
+                }
+            } else {
+                // Alternative-side filtering: drop this resource if nothing
+                // fits anywhere in the window.
+                if self.earliest_fit(lb, ub, dur, None, cap, req).is_none() {
+                    ctx.dom.remove_res(t, self.res)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn watched_tasks(&self, _model: &Model) -> Vec<TaskRef> {
+        self.tasks.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JobRef, ModelBuilder, SlotKind};
+    use crate::state::Domains;
+
+    /// One 1-map-slot resource, two 10-long maps: once one is placed at 0,
+    /// the other's lb must move to its end.
+    #[test]
+    fn serializes_on_unit_capacity() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1);
+        let t1 = b.add_task(j, SlotKind::Map, 10, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.fix_start(t0, 0).unwrap();
+        let _ = d.drain_dirty();
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        c.propagate(&mut ctx).unwrap();
+        assert_eq!(d.lb(t1), 10);
+    }
+
+    /// Capacity 2 lets two tasks overlap but pushes the third.
+    #[test]
+    fn respects_capacity_two() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(2, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1);
+        let t1 = b.add_task(j, SlotKind::Map, 10, 1);
+        let t2 = b.add_task(j, SlotKind::Map, 10, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.fix_start(t0, 0).unwrap();
+        d.fix_start(t1, 0).unwrap();
+        let _ = d.drain_dirty();
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        c.propagate(&mut ctx).unwrap();
+        assert_eq!(d.lb(t2), 10);
+    }
+
+    /// Overload of pinned tasks is a conflict.
+    #[test]
+    fn overload_is_conflict() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1);
+        let t1 = b.add_task(j, SlotKind::Map, 10, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.fix_start(t0, 0).unwrap();
+        d.fix_start(t1, 5).unwrap();
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        assert!(c.propagate(&mut ctx).is_err());
+    }
+
+    /// A task squeezed between fixed tasks finds the gap.
+    #[test]
+    fn finds_gap_between_mandatory_parts() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1); // will sit at [0,10)
+        let t1 = b.add_task(j, SlotKind::Map, 10, 1); // will sit at [15,25)
+        let t2 = b.add_task(j, SlotKind::Map, 5, 1); // fits only at [10,15)
+        b.set_horizon(24); // t2 could also go after 25, but ub(t2)=24 < 25
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.fix_start(t0, 0).unwrap();
+        d.fix_start(t1, 15).unwrap();
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        c.propagate(&mut ctx).unwrap();
+        assert_eq!(d.lb(t2), 10);
+        assert_eq!(d.ub(t2), 10);
+    }
+
+    /// ub-side filtering: a task that must end before a fixed block.
+    #[test]
+    fn filters_upper_bound_backwards() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1); // fixed at [20,30)
+        let t1 = b.add_task(j, SlotKind::Map, 5, 1);
+        b.set_horizon(25);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.fix_start(t0, 20).unwrap();
+        // t1's window is [0,25]; starts in (15,25] collide with [20,30).
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        c.propagate(&mut ctx).unwrap();
+        assert_eq!(d.ub(t1), 15);
+    }
+
+    /// Alternative filtering: a fully-blocked resource leaves the mask.
+    #[test]
+    fn removes_blocked_resource_candidate() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1); // r0 will be fully occupied
+        b.add_resource(1, 1); // r1 stays free
+        let j = b.add_job(0, 1000);
+        let blocker = b.add_task(j, SlotKind::Map, 100, 1);
+        let t = b.add_task(j, SlotKind::Map, 10, 1);
+        b.set_horizon(90); // t must start within [0,90] ⊂ blocker's [0,100)
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.assign_res(blocker, ResRef(0)).unwrap();
+        d.fix_start(blocker, 0).unwrap();
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        c.propagate(&mut ctx).unwrap();
+        assert_eq!(d.assigned(t), Some(ResRef(1)));
+    }
+
+    /// Reduce pools are independent from map pools.
+    #[test]
+    fn kinds_use_separate_pools() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 1000);
+        let mt = b.add_task(j, SlotKind::Map, 10, 1);
+        let rt = b.add_task(j, SlotKind::Reduce, 10, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.fix_start(mt, 0).unwrap();
+        let _ = d.drain_dirty();
+        // The reduce pool sees no interference from the map task.
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Reduce).unwrap();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        c.propagate(&mut ctx).unwrap();
+        assert_eq!(d.lb(rt), 0, "map usage must not block reduce slots");
+        let _ = JobRef(0);
+    }
+
+    /// new() returns None when no task can use the pool.
+    #[test]
+    fn empty_pool_is_skipped() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 100);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        let m = b.build().unwrap();
+        assert!(Cumulative::new(&m, ResRef(0), SlotKind::Reduce).is_none());
+        assert!(Cumulative::new(&m, ResRef(0), SlotKind::Map).is_some());
+    }
+}

@@ -1,0 +1,315 @@
+//! Propagators and the propagation fixpoint engine.
+//!
+//! Each constraint family of the paper's Table 1 formulation has a dedicated
+//! propagator:
+//!
+//! * [`barrier::PhaseBarrier`] — constraint (3): reduces start after every
+//!   map of the job completes,
+//! * [`barrier::Precedence`] — user-specified task precedences (the paper's
+//!   future-work generalization),
+//! * [`lateness::JobLateness`] — constraints (2)/(4): deadline reification
+//!   onto the lateness indicator `N_j`,
+//! * [`cumulative::Cumulative`] — constraints (5)/(6): per-resource
+//!   map/reduce slot capacity (timetable filtering), interacting with the
+//!   assignment domains (constraint (1) / the OPL `alternative`),
+//! * [`objective::ObjectiveBound`] — the branch-and-bound cut
+//!   `Σ N_j ≤ bound`.
+//!
+//! The [`Engine`] runs them to fixpoint with a watcher-driven worklist.
+
+pub mod barrier;
+pub mod cumulative;
+pub mod energy;
+pub mod lateness;
+pub mod objective;
+
+use crate::model::{JobRef, Model, TaskRef};
+use crate::state::{Conflict, Domains};
+use std::collections::VecDeque;
+
+/// Shared context handed to propagators.
+pub struct Ctx<'a> {
+    /// The immutable problem.
+    pub model: &'a Model,
+    /// The backtrackable domains.
+    pub dom: &'a mut Domains,
+    /// Current objective cut: at most this many jobs may be late.
+    pub bound: u32,
+}
+
+/// One propagator: narrows domains, reporting a conflict on wipe-out.
+pub trait Propagator {
+    /// Run to local fixpoint for this constraint.
+    fn propagate(&mut self, ctx: &mut Ctx<'_>) -> Result<(), Conflict>;
+
+    /// Tasks whose domain changes should re-trigger this propagator.
+    fn watched_tasks(&self, model: &Model) -> Vec<TaskRef>;
+
+    /// Jobs whose lateness changes should re-trigger this propagator.
+    fn watched_jobs(&self, _model: &Model) -> Vec<JobRef> {
+        Vec::new()
+    }
+}
+
+/// Identifier of a propagator inside an [`Engine`].
+type PropId = usize;
+
+/// Engine construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Enable the energetic overload check (strictly stronger pruning at
+    /// O(n² log n) per pool; see [`energy`]).
+    pub energetic: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { energetic: true }
+    }
+}
+
+/// Aggregate propagation counters (observability; see
+/// [`Engine::prop_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropStats {
+    /// Propagator invocations.
+    pub runs: u64,
+    /// Domain narrowings produced (tasks/jobs dirtied).
+    pub prunings: u64,
+    /// Conflicts raised.
+    pub conflicts: u64,
+}
+
+/// Watcher-driven propagation fixpoint engine.
+pub struct Engine {
+    props: Vec<Box<dyn Propagator>>,
+    task_watchers: Vec<Vec<PropId>>,
+    job_watchers: Vec<Vec<PropId>>,
+    queue: VecDeque<PropId>,
+    in_queue: Vec<bool>,
+    /// Objective cut shared with the search (monotonically tightened).
+    bound: u32,
+    stats: PropStats,
+}
+
+impl Engine {
+    /// Build the standard propagator set for `model` with default options.
+    pub fn new(model: &Model) -> Self {
+        Engine::with_options(model, EngineOptions::default())
+    }
+
+    /// Build the propagator set for `model` with explicit options.
+    pub fn with_options(model: &Model, options: EngineOptions) -> Self {
+        let mut props: Vec<Box<dyn Propagator>> = Vec::new();
+        for j in 0..model.n_jobs() {
+            let j = JobRef(j as u32);
+            if !model.maps_of[j.idx()].is_empty() && !model.reduces_of[j.idx()].is_empty() {
+                props.push(Box::new(barrier::PhaseBarrier::new(j)));
+            }
+            props.push(Box::new(lateness::JobLateness::new(j)));
+        }
+        for &(a, b) in &model.precedences {
+            props.push(Box::new(barrier::Precedence::new(a, b)));
+        }
+        for r in 0..model.n_resources() {
+            let r = crate::model::ResRef(r as u32);
+            for kind in [crate::model::SlotKind::Map, crate::model::SlotKind::Reduce] {
+                if model.resources[r.idx()].cap(kind) > 0 {
+                    if let Some(c) = cumulative::Cumulative::new(model, r, kind) {
+                        props.push(Box::new(c));
+                    }
+                    if options.energetic {
+                        if let Some(e) = energy::EnergyCheck::new(model, r, kind) {
+                            props.push(Box::new(e));
+                        }
+                    }
+                }
+            }
+        }
+        props.push(Box::new(objective::ObjectiveBound::new()));
+
+        let mut task_watchers = vec![Vec::new(); model.n_tasks()];
+        let mut job_watchers = vec![Vec::new(); model.n_jobs()];
+        for (id, p) in props.iter().enumerate() {
+            for t in p.watched_tasks(model) {
+                task_watchers[t.idx()].push(id);
+            }
+            for j in p.watched_jobs(model) {
+                job_watchers[j.idx()].push(id);
+            }
+        }
+        let n = props.len();
+        Engine {
+            props,
+            task_watchers,
+            job_watchers,
+            queue: VecDeque::with_capacity(n),
+            in_queue: vec![false; n],
+            bound: u32::MAX,
+            stats: PropStats::default(),
+        }
+    }
+
+    /// Cumulative propagation counters since construction.
+    pub fn prop_stats(&self) -> PropStats {
+        self.stats
+    }
+
+    /// Tighten the objective cut (number of late jobs allowed). Monotone:
+    /// attempts to loosen are ignored.
+    pub fn set_bound(&mut self, bound: u32) {
+        self.bound = self.bound.min(bound);
+    }
+
+    /// The current objective cut.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    fn enqueue(&mut self, id: PropId) {
+        if !self.in_queue[id] {
+            self.in_queue[id] = true;
+            self.queue.push_back(id);
+        }
+    }
+
+    fn enqueue_watchers(&mut self, dom: &mut Domains) {
+        let (tasks, jobs) = dom.drain_dirty();
+        self.stats.prunings += (tasks.len() + jobs.len()) as u64;
+        for t in tasks {
+            for i in 0..self.task_watchers[t.idx()].len() {
+                let id = self.task_watchers[t.idx()][i];
+                self.enqueue(id);
+            }
+        }
+        for j in jobs {
+            for i in 0..self.job_watchers[j.idx()].len() {
+                let id = self.job_watchers[j.idx()][i];
+                self.enqueue(id);
+            }
+        }
+    }
+
+    /// Run every propagator to global fixpoint.
+    pub fn propagate_all(&mut self, model: &Model, dom: &mut Domains) -> Result<(), Conflict> {
+        for id in 0..self.props.len() {
+            self.enqueue(id);
+        }
+        self.fixpoint(model, dom)
+    }
+
+    /// Run to fixpoint starting from the domains' dirty queues (after a
+    /// search decision).
+    pub fn propagate_dirty(&mut self, model: &Model, dom: &mut Domains) -> Result<(), Conflict> {
+        self.enqueue_watchers(dom);
+        // The objective cut may have been tightened since the last call
+        // (new incumbent); always re-check it.
+        let obj_id = self.props.len() - 1;
+        self.enqueue(obj_id);
+        self.fixpoint(model, dom)
+    }
+
+    fn fixpoint(&mut self, model: &Model, dom: &mut Domains) -> Result<(), Conflict> {
+        while let Some(id) = self.queue.pop_front() {
+            self.in_queue[id] = false;
+            let mut ctx = Ctx {
+                model,
+                dom,
+                bound: self.bound,
+            };
+            // Temporarily move the propagator out to appease the borrow
+            // checker without cloning: swap with a no-op is avoided by
+            // indexing through a raw split.
+            let result = self.props[id].propagate(&mut ctx);
+            self.stats.runs += 1;
+            match result {
+                Ok(()) => self.enqueue_watchers(dom),
+                Err(c) => {
+                    self.stats.conflicts += 1;
+                    self.queue.clear();
+                    self.in_queue.iter_mut().for_each(|b| *b = false);
+                    let _ = dom.drain_dirty();
+                    return Err(c);
+                }
+            }
+        }
+        debug_assert!(dom.dirty_is_empty());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelBuilder, SlotKind};
+    use crate::state::Lateness;
+
+    /// Map + reduce chained through the barrier on a tight deadline:
+    /// bound propagation alone (barrier → lateness) decides the job is late.
+    #[test]
+    fn propagation_detects_forced_lateness() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 14);
+        let _m1 = b.add_task(j, SlotKind::Map, 10, 1);
+        let _r1 = b.add_task(j, SlotKind::Reduce, 5, 1);
+        let model = b.build().unwrap();
+        let mut dom = Domains::new(&model);
+        let mut eng = Engine::new(&model);
+        eng.propagate_all(&model, &mut dom).unwrap();
+        // Barrier: reduce starts ≥ 10, so it ends ≥ 15 > 14 → Late.
+        assert_eq!(dom.late(JobRef(0)), Lateness::Late);
+    }
+
+    /// With bound 0, a forced-late job is a conflict.
+    #[test]
+    fn objective_cut_turns_lateness_into_conflict() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 5);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        let model = b.build().unwrap();
+        let mut dom = Domains::new(&model);
+        let mut eng = Engine::new(&model);
+        eng.set_bound(0);
+        assert!(eng.propagate_all(&model, &mut dom).is_err());
+    }
+
+    /// Propagation statistics accumulate across calls.
+    #[test]
+    fn prop_stats_accumulate() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 14);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        b.add_task(j, SlotKind::Reduce, 5, 1);
+        let model = b.build().unwrap();
+        let mut dom = Domains::new(&model);
+        let mut eng = Engine::new(&model);
+        assert_eq!(eng.prop_stats(), PropStats::default());
+        eng.propagate_all(&model, &mut dom).unwrap();
+        let s = eng.prop_stats();
+        assert!(s.runs > 0, "propagators ran");
+        assert!(s.prunings > 0, "barrier + lateness narrowed domains");
+        assert_eq!(s.conflicts, 0);
+    }
+
+    /// A loose instance propagates to fixpoint with everything on time.
+    #[test]
+    fn loose_instance_propagates_on_time() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(2, 2);
+        let j = b.add_job(0, 1000);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        b.add_task(j, SlotKind::Reduce, 10, 1);
+        let model = b.build().unwrap();
+        let mut dom = Domains::new(&model);
+        let mut eng = Engine::new(&model);
+        eng.set_bound(0);
+        eng.propagate_all(&model, &mut dom).unwrap();
+        // Bound 0 forces OnTime on the (satisfiable) job.
+        assert_eq!(dom.late(JobRef(0)), Lateness::OnTime);
+        // Barrier: reduce cannot start before the map's earliest end.
+        assert!(dom.lb(crate::model::TaskRef(1)) >= 10);
+    }
+}

@@ -1,0 +1,394 @@
+//! Backtrackable solver state: domains and the trail.
+//!
+//! Start times use bounds domains (`[lb, ub]`), resource assignments use a
+//! 128-bit candidate bitmask, and per-job lateness indicators are three-
+//! valued (`Unknown` / `OnTime` / `Late`). Every narrowing is recorded on a
+//! trail so the search can restore state on backtracking in O(changes).
+
+use crate::model::{JobRef, Model, ResRef, TaskRef};
+
+/// Domain wipe-out (or any constraint violation detected by a propagator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict;
+
+/// Three-valued lateness status of a job (the paper's `N_j` before/after it
+/// is decided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lateness {
+    /// Not yet decided.
+    Unknown,
+    /// `N_j = 0`: the job's deadline becomes a hard bound on its tasks.
+    OnTime,
+    /// `N_j = 1`: the job misses its deadline.
+    Late,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TrailEntry {
+    StartLb(u32, i64),
+    StartUb(u32, i64),
+    Mask(u32, u128),
+    Late(u32, Lateness),
+}
+
+/// The backtrackable domain store.
+#[derive(Debug)]
+pub struct Domains {
+    start_lb: Vec<i64>,
+    start_ub: Vec<i64>,
+    mask: Vec<u128>,
+    late: Vec<Lateness>,
+    trail: Vec<TrailEntry>,
+    levels: Vec<usize>,
+    /// Tasks whose domain changed since the engine last drained; drives the
+    /// propagation worklist.
+    dirty_tasks: Vec<TaskRef>,
+    /// Jobs whose lateness changed since the engine last drained.
+    dirty_jobs: Vec<JobRef>,
+}
+
+impl Domains {
+    /// Root domains for `model`: unpinned tasks get `[release, horizon]`
+    /// starts and their capacity-feasible resource set; pinned tasks get
+    /// singleton start and resource.
+    pub fn new(model: &Model) -> Self {
+        let n = model.n_tasks();
+        let mut start_lb = Vec::with_capacity(n);
+        let mut start_ub = Vec::with_capacity(n);
+        let mut mask = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = TaskRef(i as u32);
+            let release = model.task_release(t);
+            start_lb.push(release);
+            let ub = match model.tasks[i].fixed {
+                Some((_, s)) => s,
+                None => model.horizon.max(release),
+            };
+            start_ub.push(ub);
+            mask.push(model.candidate_mask(t));
+        }
+        Domains {
+            start_lb,
+            start_ub,
+            mask,
+            late: vec![Lateness::Unknown; model.n_jobs()],
+            trail: Vec::new(),
+            levels: Vec::new(),
+            dirty_tasks: Vec::new(),
+            dirty_jobs: Vec::new(),
+        }
+    }
+
+    // ---- getters -------------------------------------------------------
+
+    /// Current start lower bound of `t`.
+    #[inline]
+    pub fn lb(&self, t: TaskRef) -> i64 {
+        self.start_lb[t.idx()]
+    }
+
+    /// Current start upper bound of `t`.
+    #[inline]
+    pub fn ub(&self, t: TaskRef) -> i64 {
+        self.start_ub[t.idx()]
+    }
+
+    /// True when the start of `t` is fixed.
+    #[inline]
+    pub fn start_fixed(&self, t: TaskRef) -> bool {
+        self.start_lb[t.idx()] == self.start_ub[t.idx()]
+    }
+
+    /// Candidate resource mask of `t`.
+    #[inline]
+    pub fn mask(&self, t: TaskRef) -> u128 {
+        self.mask[t.idx()]
+    }
+
+    /// The assigned resource, if the candidate set is a singleton.
+    #[inline]
+    pub fn assigned(&self, t: TaskRef) -> Option<ResRef> {
+        let m = self.mask[t.idx()];
+        if m != 0 && m & (m - 1) == 0 {
+            Some(ResRef(m.trailing_zeros()))
+        } else {
+            None
+        }
+    }
+
+    /// True when `r` is still a candidate for `t`.
+    #[inline]
+    pub fn has_res(&self, t: TaskRef, r: ResRef) -> bool {
+        self.mask[t.idx()] & (1u128 << r.idx()) != 0
+    }
+
+    /// Lateness status of `j`.
+    #[inline]
+    pub fn late(&self, j: JobRef) -> Lateness {
+        self.late[j.idx()]
+    }
+
+    /// True when every task has a fixed start and a single resource.
+    pub fn all_fixed(&self) -> bool {
+        (0..self.start_lb.len()).all(|i| {
+            let t = TaskRef(i as u32);
+            self.start_fixed(t) && self.assigned(t).is_some()
+        })
+    }
+
+    /// Number of jobs currently marked late.
+    pub fn late_count(&self) -> u32 {
+        self.late
+            .iter()
+            .filter(|&&l| l == Lateness::Late)
+            .count() as u32
+    }
+
+    // ---- trailed updates -----------------------------------------------
+
+    /// Raise the start lower bound of `t` to `v`. Returns whether the domain
+    /// changed; fails on wipe-out.
+    pub fn set_lb(&mut self, t: TaskRef, v: i64) -> Result<bool, Conflict> {
+        let i = t.idx();
+        if v <= self.start_lb[i] {
+            return Ok(false);
+        }
+        if v > self.start_ub[i] {
+            return Err(Conflict);
+        }
+        self.trail.push(TrailEntry::StartLb(t.0, self.start_lb[i]));
+        self.start_lb[i] = v;
+        self.dirty_tasks.push(t);
+        Ok(true)
+    }
+
+    /// Lower the start upper bound of `t` to `v`.
+    pub fn set_ub(&mut self, t: TaskRef, v: i64) -> Result<bool, Conflict> {
+        let i = t.idx();
+        if v >= self.start_ub[i] {
+            return Ok(false);
+        }
+        if v < self.start_lb[i] {
+            return Err(Conflict);
+        }
+        self.trail.push(TrailEntry::StartUb(t.0, self.start_ub[i]));
+        self.start_ub[i] = v;
+        self.dirty_tasks.push(t);
+        Ok(true)
+    }
+
+    /// Fix the start of `t` to `v`.
+    pub fn fix_start(&mut self, t: TaskRef, v: i64) -> Result<bool, Conflict> {
+        let a = self.set_lb(t, v)?;
+        let b = self.set_ub(t, v)?;
+        Ok(a || b)
+    }
+
+    /// Remove resource `r` from `t`'s candidates.
+    pub fn remove_res(&mut self, t: TaskRef, r: ResRef) -> Result<bool, Conflict> {
+        let i = t.idx();
+        let bit = 1u128 << r.idx();
+        if self.mask[i] & bit == 0 {
+            return Ok(false);
+        }
+        let new = self.mask[i] & !bit;
+        if new == 0 {
+            return Err(Conflict);
+        }
+        self.trail.push(TrailEntry::Mask(t.0, self.mask[i]));
+        self.mask[i] = new;
+        self.dirty_tasks.push(t);
+        Ok(true)
+    }
+
+    /// Assign `t` to exactly `r`.
+    pub fn assign_res(&mut self, t: TaskRef, r: ResRef) -> Result<bool, Conflict> {
+        let i = t.idx();
+        let bit = 1u128 << r.idx();
+        if self.mask[i] & bit == 0 {
+            return Err(Conflict);
+        }
+        if self.mask[i] == bit {
+            return Ok(false);
+        }
+        self.trail.push(TrailEntry::Mask(t.0, self.mask[i]));
+        self.mask[i] = bit;
+        self.dirty_tasks.push(t);
+        Ok(true)
+    }
+
+    /// Decide the lateness of `j`. Contradicting an earlier decision fails.
+    pub fn set_late(&mut self, j: JobRef, v: Lateness) -> Result<bool, Conflict> {
+        assert!(v != Lateness::Unknown, "cannot un-decide lateness");
+        let i = j.idx();
+        match self.late[i] {
+            Lateness::Unknown => {
+                self.trail.push(TrailEntry::Late(j.0, Lateness::Unknown));
+                self.late[i] = v;
+                self.dirty_jobs.push(j);
+                Ok(true)
+            }
+            cur if cur == v => Ok(false),
+            _ => Err(Conflict),
+        }
+    }
+
+    // ---- search bookkeeping ---------------------------------------------
+
+    /// Open a new decision level.
+    pub fn push_level(&mut self) {
+        self.levels.push(self.trail.len());
+    }
+
+    /// Undo everything since the matching [`push_level`](Self::push_level).
+    pub fn pop_level(&mut self) {
+        let mark = self.levels.pop().expect("pop_level without push_level");
+        while self.trail.len() > mark {
+            match self.trail.pop().unwrap() {
+                TrailEntry::StartLb(t, v) => self.start_lb[t as usize] = v,
+                TrailEntry::StartUb(t, v) => self.start_ub[t as usize] = v,
+                TrailEntry::Mask(t, v) => self.mask[t as usize] = v,
+                TrailEntry::Late(j, v) => self.late[j as usize] = v,
+            }
+        }
+        // Dirty queues are only meaningful within a propagation round; a
+        // backtrack invalidates them wholesale.
+        self.dirty_tasks.clear();
+        self.dirty_jobs.clear();
+    }
+
+    /// Current decision depth.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Drain the tasks dirtied since the last drain.
+    pub fn drain_dirty(&mut self) -> (Vec<TaskRef>, Vec<JobRef>) {
+        (
+            std::mem::take(&mut self.dirty_tasks),
+            std::mem::take(&mut self.dirty_jobs),
+        )
+    }
+
+    /// True when nothing is pending in the dirty queues.
+    pub fn dirty_is_empty(&self) -> bool {
+        self.dirty_tasks.is_empty() && self.dirty_jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelBuilder, SlotKind};
+
+    fn model() -> Model {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        b.add_resource(1, 1);
+        let j = b.add_job(3, 50);
+        b.add_task(j, SlotKind::Map, 5, 1);
+        b.add_task(j, SlotKind::Reduce, 5, 1);
+        b.set_horizon(100);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_domains() {
+        let m = model();
+        let d = Domains::new(&m);
+        assert_eq!(d.lb(TaskRef(0)), 3);
+        assert_eq!(d.ub(TaskRef(0)), 100);
+        assert_eq!(d.mask(TaskRef(0)), 0b11);
+        assert_eq!(d.late(JobRef(0)), Lateness::Unknown);
+        assert!(!d.all_fixed());
+    }
+
+    #[test]
+    fn bound_updates_and_conflicts() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        let t = TaskRef(0);
+        assert!(d.set_lb(t, 10).unwrap());
+        assert!(!d.set_lb(t, 5).unwrap(), "weaker bound is a no-op");
+        assert!(d.set_ub(t, 20).unwrap());
+        assert_eq!(d.set_lb(t, 21), Err(Conflict));
+        assert!(d.fix_start(t, 15).unwrap());
+        assert!(d.start_fixed(t));
+    }
+
+    #[test]
+    fn mask_updates() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        let t = TaskRef(0);
+        assert_eq!(d.assigned(t), None);
+        assert!(d.remove_res(t, ResRef(0)).unwrap());
+        assert_eq!(d.assigned(t), Some(ResRef(1)));
+        assert_eq!(d.remove_res(t, ResRef(1)), Err(Conflict));
+        assert_eq!(d.assign_res(t, ResRef(0)), Err(Conflict));
+        assert!(!d.assign_res(t, ResRef(1)).unwrap(), "already singleton");
+    }
+
+    #[test]
+    fn lateness_transitions() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        let j = JobRef(0);
+        assert!(d.set_late(j, Lateness::OnTime).unwrap());
+        assert!(!d.set_late(j, Lateness::OnTime).unwrap());
+        assert_eq!(d.set_late(j, Lateness::Late), Err(Conflict));
+        assert_eq!(d.late_count(), 0);
+    }
+
+    #[test]
+    fn backtracking_restores_everything() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        let t = TaskRef(0);
+        d.push_level();
+        d.set_lb(t, 10).unwrap();
+        d.remove_res(t, ResRef(0)).unwrap();
+        d.set_late(JobRef(0), Lateness::Late).unwrap();
+        assert_eq!(d.late_count(), 1);
+        d.push_level();
+        d.fix_start(t, 12).unwrap();
+        assert_eq!(d.depth(), 2);
+        d.pop_level();
+        assert_eq!(d.lb(t), 10);
+        assert!(!d.start_fixed(t));
+        d.pop_level();
+        assert_eq!(d.lb(t), 3);
+        assert_eq!(d.mask(t), 0b11);
+        assert_eq!(d.late(JobRef(0)), Lateness::Unknown);
+        assert_eq!(d.depth(), 0);
+    }
+
+    #[test]
+    fn dirty_queue_tracks_changes() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        assert!(d.dirty_is_empty());
+        d.set_lb(TaskRef(0), 4).unwrap();
+        d.set_late(JobRef(0), Lateness::Late).unwrap();
+        let (ts, js) = d.drain_dirty();
+        assert_eq!(ts, vec![TaskRef(0)]);
+        assert_eq!(js, vec![JobRef(0)]);
+        assert!(d.dirty_is_empty());
+    }
+
+    #[test]
+    fn pinned_task_domains_are_singletons() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        b.add_resource(1, 1);
+        let j = b.add_job(10, 50);
+        let t = b.add_task(j, SlotKind::Map, 5, 1);
+        b.fix_task(t, crate::model::ResRef(1), 2);
+        let m = b.build().unwrap();
+        let d = Domains::new(&m);
+        assert_eq!(d.lb(t), 2);
+        assert_eq!(d.ub(t), 2);
+        assert_eq!(d.assigned(t), Some(ResRef(1)));
+        assert!(d.all_fixed());
+    }
+}

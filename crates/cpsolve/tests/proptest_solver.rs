@@ -1,0 +1,216 @@
+//! Property-based tests for the CP solver.
+//!
+//! * Every solution the solver returns verifies against the independent
+//!   checker (capacity, barrier, release, pinning, lateness flags).
+//! * On tiny random instances, the solver's objective equals the
+//!   brute-force optimum.
+//! * Incremental pins are never moved.
+
+use cpsolve::brute::brute_force_optimal;
+use cpsolve::model::{Model, ModelBuilder, ResRef, SlotKind, TaskRef};
+use cpsolve::search::{solve, SolveParams, Status};
+use proptest::prelude::*;
+
+/// A small random instance description.
+#[derive(Debug, Clone)]
+struct TinyInstance {
+    resources: Vec<(u32, u32)>,
+    /// Per job: (release, window, maps durs, reduce durs)
+    jobs: Vec<(i64, i64, Vec<i64>, Vec<i64>)>,
+    horizon: i64,
+}
+
+fn tiny_instance() -> impl Strategy<Value = TinyInstance> {
+    let res = prop::collection::vec((1u32..=2, 1u32..=2), 1..=2);
+    let job = (
+        0i64..=3,
+        1i64..=12,
+        prop::collection::vec(1i64..=4, 1..=2),
+        prop::collection::vec(1i64..=3, 0..=1),
+    );
+    let jobs = prop::collection::vec(job, 1..=3);
+    (res, jobs).prop_map(|(resources, jobs)| {
+        // Keep the oracle tractable: horizon bounded by total work + max release.
+        let total: i64 = jobs
+            .iter()
+            .map(|(_, _, m, r)| m.iter().sum::<i64>() + r.iter().sum::<i64>())
+            .sum();
+        let max_rel = jobs.iter().map(|j| j.0).max().unwrap_or(0);
+        TinyInstance {
+            resources,
+            jobs,
+            horizon: max_rel + total,
+        }
+    })
+}
+
+fn build(inst: &TinyInstance) -> Model {
+    let mut b = ModelBuilder::new();
+    for &(mc, rc) in &inst.resources {
+        // Guarantee reduce capacity somewhere if any job has reduces.
+        b.add_resource(mc, rc);
+    }
+    for (rel, window, maps, reduces) in &inst.jobs {
+        let j = b.add_job(*rel, rel + window);
+        for &d in maps {
+            b.add_task(j, SlotKind::Map, d, 1);
+        }
+        for &d in reduces {
+            b.add_task(j, SlotKind::Reduce, d, 1);
+        }
+    }
+    b.set_horizon(inst.horizon);
+    b.build().expect("tiny instance is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solver solutions always verify, whatever the instance.
+    #[test]
+    fn solutions_always_verify(inst in tiny_instance()) {
+        let model = build(&inst);
+        let out = solve(&model, &SolveParams::default());
+        let best = out.best.expect("every instance has a schedule");
+        best.verify(&model).unwrap();
+    }
+
+    /// The solver's exhausted-search objective equals the brute-force
+    /// optimum.
+    #[test]
+    fn solver_matches_brute_force(inst in tiny_instance()) {
+        let model = build(&inst);
+        let out = solve(&model, &SolveParams::default());
+        prop_assume!(out.status == Status::Optimal);
+        if let Some(oracle) = brute_force_optimal(&model, 20_000_000) {
+            let got = out.best.expect("optimal implies solution").objective;
+            prop_assert_eq!(got, oracle,
+                "solver found {} late jobs but optimum is {}", got, oracle);
+        }
+    }
+
+    /// Greedy warm starts never beat the final answer (monotonicity of B&B)
+    /// and the objective bound never exceeds the job count.
+    #[test]
+    fn objective_bounded_by_job_count(inst in tiny_instance()) {
+        let model = build(&inst);
+        let out = solve(&model, &SolveParams::default());
+        let best = out.best.unwrap();
+        prop_assert!(best.objective as usize <= model.n_jobs());
+        let greedy = cpsolve::greedy::greedy_edf(&model).unwrap();
+        prop_assert!(best.objective <= greedy.objective);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pinned tasks stay exactly where they were pinned, whatever else the
+    /// solver rearranges.
+    #[test]
+    fn pins_are_immovable(
+        pin_start in 0i64..=5,
+        durs in prop::collection::vec(1i64..=4, 1..=3),
+    ) {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        b.add_resource(1, 1);
+        let j0 = b.add_job(0, 30);
+        let pinned = b.add_task(j0, SlotKind::Map, 6, 1);
+        b.fix_task(pinned, ResRef(0), pin_start);
+        let j1 = b.add_job(0, 10);
+        for &d in &durs {
+            b.add_task(j1, SlotKind::Map, d, 1);
+        }
+        let model = b.build().unwrap();
+        let out = solve(&model, &SolveParams::default());
+        let best = out.best.expect("feasible with pins");
+        best.verify(&model).unwrap();
+        prop_assert_eq!(best.starts[pinned.idx()], pin_start);
+        prop_assert_eq!(best.resource[pinned.idx()], ResRef(0));
+    }
+}
+
+/// Deterministic regression: a 3-job instance where EDF greedy is
+/// suboptimal but B&B recovers the optimum (found by an earlier proptest
+/// run of this suite's ancestor during development).
+#[test]
+fn regression_bnb_beats_greedy() {
+    let mut b = ModelBuilder::new();
+    b.add_resource(1, 1);
+    b.add_resource(1, 1);
+    // j0: deadline 8, 2 maps of 4 → needs both resources in parallel.
+    let j0 = b.add_job(0, 8);
+    b.add_task(j0, SlotKind::Map, 4, 1);
+    b.add_task(j0, SlotKind::Map, 4, 1);
+    // j1: deadline 7, 1 map of 3.
+    let j1 = b.add_job(0, 7);
+    b.add_task(j1, SlotKind::Map, 3, 1);
+    let model = b.build().unwrap();
+    let out = solve(&model, &SolveParams::default());
+    assert_eq!(out.status, Status::Optimal);
+    let best = out.best.unwrap();
+    best.verify(&model).unwrap();
+    // Optimal: j1 on r0 [0,3), j0 on r1 [0,4) and r0 [3,7) → j0 ends 7 ≤ 8.
+    assert_eq!(best.objective, 0);
+    // Confirm against the oracle.
+    assert_eq!(brute_force_optimal(&model, 20_000_000), Some(0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On tiny chain-DAG instances (user precedences) the solver's
+    /// exhausted-search objective equals the brute-force optimum.
+    #[test]
+    fn solver_matches_brute_on_chains(
+        durs in prop::collection::vec(1i64..=3, 2..=3),
+        window in 3i64..=12,
+        extra in prop::collection::vec(1i64..=3, 0..=1),
+    ) {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        b.add_resource(1, 1);
+        let j = b.add_job(0, window);
+        let mut prev = None;
+        let total: i64 = durs.iter().sum();
+        for &d in &durs {
+            let t = b.add_task(j, SlotKind::Map, d, 1);
+            if let Some(p) = prev {
+                b.add_precedence(p, t);
+            }
+            prev = Some(t);
+        }
+        for &d in &extra {
+            let j2 = b.add_job(0, window);
+            b.add_task(j2, SlotKind::Map, d, 1);
+        }
+        b.set_horizon(total + extra.iter().sum::<i64>() + 2);
+        let model = b.build().unwrap();
+        let out = solve(&model, &SolveParams::default());
+        prop_assume!(out.status == Status::Optimal);
+        if let Some(oracle) = brute_force_optimal(&model, 20_000_000) {
+            let got = out.best.expect("optimal implies solution").objective;
+            prop_assert_eq!(got, oracle,
+                "chain solver {} vs oracle {}", got, oracle);
+        }
+    }
+}
+
+/// The solver is deterministic: same model, same params → same outcome.
+#[test]
+fn solver_is_deterministic() {
+    let mut b = ModelBuilder::new();
+    b.add_resource(2, 1);
+    for i in 0..3 {
+        let j = b.add_job(i, 20 + i);
+        b.add_task(j, SlotKind::Map, 5, 1);
+        b.add_task(j, SlotKind::Reduce, 3, 1);
+    }
+    let model = b.build().unwrap();
+    let a = solve(&model, &SolveParams::default());
+    let bb = solve(&model, &SolveParams::default());
+    assert_eq!(a.best.as_ref().map(|s| &s.starts), bb.best.as_ref().map(|s| &s.starts));
+    assert_eq!(a.stats.nodes, bb.stats.nodes);
+    let _ = TaskRef(0);
+}

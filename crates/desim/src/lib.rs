@@ -1,0 +1,33 @@
+//! # desim — discrete event simulation kernel
+//!
+//! A small, allocation-conscious discrete event simulation (DES) substrate
+//! used to evaluate resource-management policies for an *open system*
+//! subjected to a stream of job arrivals, following the simulation
+//! methodology of Lim et al. (ICPP 2014), §VI.
+//!
+//! The crate provides:
+//!
+//! * [`SimTime`] — a millisecond-resolution simulated clock value,
+//! * [`EventQueue`] / [`Engine`] — a stable-ordered future event list and the
+//!   simulation loop that drains it,
+//! * [`stats`] — Welford accumulators, Student-t confidence intervals and
+//!   replication aggregation used to reproduce the paper's "±1% of the mean
+//!   at 95% confidence" stopping rule,
+//! * [`rng`] — reproducible, independently-seeded random number streams so
+//!   that factor-at-a-time experiments use common random numbers across
+//!   policies.
+//!
+//! The kernel is deliberately policy-free: resource managers (MRCP-RM and
+//! the baselines) are implemented in their own crates as [`Process`]
+//! handlers over their own event enums.
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Process};
+pub use event::EventQueue;
+pub use rng::RngStreams;
+pub use time::SimTime;

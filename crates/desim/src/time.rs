@@ -1,0 +1,214 @@
+//! Simulated time.
+//!
+//! The paper expresses workload parameters in seconds but the Facebook
+//! workload's LogNormal task execution times are fitted in *milliseconds*
+//! (LN(9.9511, 1.6764) ms for maps). To represent both without rounding the
+//! kernel counts integer milliseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in integer milliseconds.
+///
+/// `SimTime` is a transparent newtype over `i64`: cheap to copy, totally
+/// ordered, and safe against the unit confusion that plagues simulators that
+/// pass around bare floats. Negative values are permitted so that durations
+/// and laxity computations (`deadline - start - execution`) stay closed under
+/// subtraction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// The zero instant / zero duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "never" / "+infinity".
+    pub const MAX: SimTime = SimTime(i64::MAX);
+    /// The smallest representable time; used as "-infinity".
+    pub const MIN: SimTime = SimTime(i64::MIN);
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// millisecond.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s * 1000.0).round() as i64)
+    }
+
+    /// The raw millisecond count.
+    #[inline]
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// The value in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating addition — `MAX` stays `MAX`, useful for "never" deadlines.
+    #[inline]
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this value is non-negative (a valid instant on the sim clock).
+    #[inline]
+    pub fn is_valid_instant(self) -> bool {
+        self.0 >= 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn neg(self) -> SimTime {
+        SimTime(-self.0)
+    }
+}
+
+impl Mul<i64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: i64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: i64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1000 == 0 {
+            write!(f, "{}s", self.0 / 1000)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(5).as_millis(), 5000);
+        assert_eq!(SimTime::from_millis(1234).as_secs_f64(), 1.234);
+        assert_eq!(SimTime::from_secs_f64(0.0015).as_millis(), 2); // rounds
+        assert_eq!(SimTime::from_secs_f64(-1.5).as_millis(), -1500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(3);
+        assert_eq!((a + b).as_millis(), 13_000);
+        assert_eq!((a - b).as_millis(), 7_000);
+        assert_eq!((a * 2).as_millis(), 20_000);
+        assert_eq!((a / 4).as_millis(), 2_500);
+        assert_eq!((-b).as_millis(), -3_000);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000_000));
+    }
+
+    #[test]
+    fn saturating_add_never_overflows() {
+        assert_eq!(SimTime::MAX.saturating_add(SimTime::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_secs(1).saturating_add(SimTime::from_secs(2)),
+            SimTime::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(5).to_string(), "5s");
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn valid_instant() {
+        assert!(SimTime::ZERO.is_valid_instant());
+        assert!(!SimTime::from_millis(-1).is_valid_instant());
+    }
+}

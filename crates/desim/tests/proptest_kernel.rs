@@ -1,0 +1,76 @@
+//! Property tests for the simulation kernel: total temporal order with
+//! FIFO tie-breaking, and statistics correctness against naive references.
+
+use desim::stats::{Replications, Tally, Welford};
+use desim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events pop in nondecreasing time; equal times pop in insertion order.
+    #[test]
+    fn queue_is_a_stable_priority_queue(times in prop::collection::vec(0i64..50, 1..80)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_millis(t), seq);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// Welford mean/variance equal the two-pass reference within float
+    /// tolerance, in any stream order.
+    #[test]
+    fn welford_equals_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() <= 1e-5 * (1.0 + var));
+    }
+
+    /// Tally quantiles bracket the data and are monotone in q.
+    #[test]
+    fn tally_quantiles_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.push(x);
+        }
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let v = t.quantile(q).unwrap();
+            prop_assert!(v >= min && v <= max);
+            prop_assert!(v >= prev, "quantiles must be monotone in q");
+            prev = v;
+        }
+    }
+
+    /// Replication CIs cover constant data exactly and are symmetric.
+    #[test]
+    fn replication_ci_on_shifted_constants(base in -100.0f64..100.0, n in 2u64..30) {
+        let mut r = Replications::new(0.95);
+        for _ in 0..n {
+            r.push(base);
+        }
+        let e = r.estimate();
+        prop_assert_eq!(e.n, n);
+        prop_assert!((e.mean - base).abs() < 1e-9);
+        prop_assert!(e.half_width.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+use desim::RngStreams;
+use mrcp::{simulate, SimConfig};
+use workload::{SyntheticConfig, SyntheticGenerator};
+use std::time::Instant;
+
+fn probe(name: &str, cfg: SyntheticConfig, n: usize) {
+    let rng = RngStreams::for_replication(20140901, 0).stream("probe");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n);
+    let total_tasks: usize = jobs.iter().map(|j| j.task_count()).sum();
+    let t0 = Instant::now();
+    let m = simulate(&SimConfig::default(), &cfg.cluster(), jobs);
+    println!("{name}: {n} jobs ({total_tasks} tasks): wall {:.1}s, P={:.3}%, T={:.0}s, O={:.2}ms, maxmodel={}",
+        t0.elapsed().as_secs_f64(), m.p_late*100.0, m.mean_turnaround_s, m.o_per_job_s*1e3, m.max_tasks_in_model);
+}
+
+fn main() {
+    probe("default", SyntheticConfig::default(), 300);
+    probe("m=25 (fig9 worst)", SyntheticConfig { resources: 25, ..Default::default() }, 300);
+    probe("lambda=0.02 (fig8 worst)", SyntheticConfig { lambda: 0.02, ..Default::default() }, 300);
+    probe("e_max=100 d_M=2 (tightest)", SyntheticConfig { e_max: 100, deadline_multiplier: 2.0, ..Default::default() }, 300);
+}

@@ -1,0 +1,147 @@
+//! Result tables: console rendering, CSV artifacts, and the paper-expected
+//! trend attached to every figure.
+
+use crate::runner::MetricAgg;
+
+/// One point of a figure: a factor value (and series, when the figure
+/// compares schedulers) with its aggregated metrics.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Factor label, e.g. `λ=0.0002` or `e_max=50`.
+    pub label: String,
+    /// Series label, e.g. `MRCP-RM` or `MinEDF-WC`.
+    pub series: String,
+    /// Aggregated metrics over replications.
+    pub agg: MetricAgg,
+}
+
+/// A regenerated figure.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Identifier (`fig2` … `fig9`).
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this artifact (the trend the regenerated
+    /// numbers are compared against in EXPERIMENTS.md).
+    pub expectation: String,
+    /// The sweep.
+    pub points: Vec<PointResult>,
+}
+
+fn fmt_ci(mean: f64, hw: f64, digits: usize) -> String {
+    if hw.is_finite() {
+        format!("{mean:.digits$} ±{hw:.digits$}")
+    } else {
+        format!("{mean:.digits$} ±∞")
+    }
+}
+
+/// Render a console/markdown table for one figure.
+pub fn render_table(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} — {}\n", fig.name, fig.title));
+    out.push_str(&format!("Paper: {}\n\n", fig.expectation));
+    out.push_str(
+        "| point | series | reps | P (late frac) | N (late jobs) | T (s) | O (s/job) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for p in &fig.points {
+        let pl = p.agg.p_late();
+        let n = p.agg.n_late();
+        let t = p.agg.turnaround();
+        let o = p.agg.overhead();
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            p.label,
+            p.series,
+            p.agg.count(),
+            fmt_ci(pl.mean, pl.half_width, 4),
+            fmt_ci(n.mean, n.half_width, 2),
+            fmt_ci(t.mean, t.half_width, 1),
+            fmt_ci(o.mean, o.half_width, 5),
+        ));
+    }
+    out
+}
+
+/// Render CSV rows (with header) for one figure.
+pub fn render_csv(fig: &FigureResult) -> String {
+    let mut out = String::from(
+        "figure,point,series,reps,p_late,p_late_hw,n_late,n_late_hw,turnaround_s,turnaround_hw,overhead_s,overhead_hw\n",
+    );
+    for p in &fig.points {
+        let pl = p.agg.p_late();
+        let n = p.agg.n_late();
+        let t = p.agg.turnaround();
+        let o = p.agg.overhead();
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{:.6},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6}\n",
+            fig.name,
+            p.label,
+            p.series,
+            p.agg.count(),
+            pl.mean,
+            pl.half_width,
+            n.mean,
+            n.half_width,
+            t.mean,
+            t.half_width,
+            o.mean,
+            o.half_width,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Sample;
+
+    fn fig() -> FigureResult {
+        let mut agg = MetricAgg::new();
+        agg.push(Sample {
+            p_late: 0.05,
+            n_late: 5.0,
+            turnaround_s: 120.0,
+            overhead_s: 0.004,
+        });
+        agg.push(Sample {
+            p_late: 0.07,
+            n_late: 7.0,
+            turnaround_s: 130.0,
+            overhead_s: 0.006,
+        });
+        FigureResult {
+            name: "fig9".into(),
+            title: "Effect of the number of resources".into(),
+            expectation: "T and P increase as m decreases".into(),
+            points: vec![PointResult {
+                label: "m=50".into(),
+                series: "MRCP-RM".into(),
+                agg,
+            }],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_metrics() {
+        let t = render_table(&fig());
+        assert!(t.contains("fig9"));
+        assert!(t.contains("m=50"));
+        assert!(t.contains("MRCP-RM"));
+        assert!(t.contains("| 2 |"), "rep count rendered: {t}");
+        assert!(t.contains("0.0600"), "mean P rendered: {t}");
+        assert!(t.contains("125.0"), "mean T rendered: {t}");
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let c = render_csv(&fig());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("figure,point,series"));
+        assert!(lines[1].starts_with("fig9,m=50,MRCP-RM,2,0.060000"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # lpsolve — a dense two-phase simplex LP solver
+//!
+//! The paper's introduction motivates its CP formulation by a preliminary
+//! comparison against a **linear programming** formulation (reference \[12\]:
+//! "the superiority of the CP-based approach, including … lower processing
+//! time overhead, and its ability to handle larger workloads"). To
+//! reproduce that comparison without a proprietary LP package, this crate
+//! provides a from-scratch primal simplex solver:
+//!
+//! * [`Problem`] — a builder for `maximize c·x` subject to sparse linear
+//!   constraints (`≤`, `=`, `≥`) over nonnegative variables,
+//! * two-phase solve (phase 1 drives artificial variables out to find a
+//!   basic feasible solution; phase 2 optimizes the real objective),
+//! * Bland's rule pivoting (guaranteed termination, no cycling),
+//! * explicit [`Outcome`]s: optimal with certificate-checked primal
+//!   feasibility, infeasible, or unbounded.
+//!
+//! It is a teaching-grade dense implementation — exactly the point: the
+//! time-indexed LP scheduling formulation grows quadratically with batch
+//! size and slot resolution, and watching simplex slow down on it while
+//! the CP solver cruises reproduces the paper's motivating observation.
+//! See `baselines::lp_sched` for the scheduling formulation built on top.
+
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+
+pub use milp::{solve_milp, MilpOutcome, MilpProblem};
+pub use problem::{Cmp, Problem, VarId};
+pub use simplex::{solve, Outcome, Solution};

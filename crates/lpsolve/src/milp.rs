@@ -1,0 +1,228 @@
+//! Mixed-integer branch-and-bound over LP relaxations.
+//!
+//! The paper's preliminary-work LP comparison (\[12\]) needs *binary*
+//! variables to express the late-job count (`N_j ∈ {0,1}`) — a plain LP
+//! cannot. This module adds the minimal MILP machinery: depth-first
+//! branch-and-bound where each node solves the LP relaxation with the
+//! branching decisions added as bound rows, pruning on the relaxation
+//! bound. Every node re-solves from scratch (no dual warm starts) — the
+//! honest cost profile of the approach the CP formulation replaced.
+
+use crate::problem::{Cmp, Problem, VarId};
+use crate::simplex::{solve, Outcome as LpOutcome, Solution};
+
+/// Integrality tolerance.
+const INT_TOL: f64 = 1e-6;
+
+/// A problem with binary (0/1) variables.
+#[derive(Debug, Clone, Default)]
+pub struct MilpProblem {
+    /// The LP part (maximize).
+    pub lp: Problem,
+    /// Variables restricted to {0, 1}. (The builder adds the `≤ 1` rows.)
+    pub binaries: Vec<VarId>,
+}
+
+impl MilpProblem {
+    /// Wrap an LP and declare `binaries` as 0/1 variables.
+    pub fn new(mut lp: Problem, binaries: Vec<VarId>) -> Self {
+        for &b in &binaries {
+            lp.bound(b, 1.0);
+        }
+        MilpProblem { lp, binaries }
+    }
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpOutcome {
+    /// Proven optimal integer solution.
+    Optimal(Solution),
+    /// Node budget hit with an incumbent in hand.
+    Feasible(Solution),
+    /// No integer-feasible point.
+    Infeasible,
+    /// Node budget hit with nothing found.
+    Unknown,
+}
+
+/// Solve by DFS branch-and-bound, visiting at most `node_limit` nodes.
+pub fn solve_milp(p: &MilpProblem, node_limit: u64) -> MilpOutcome {
+    let mut best: Option<Solution> = None;
+    let mut nodes = 0u64;
+    let mut exhausted = true;
+
+    // Each stack entry is a list of (var, fixed value) decisions.
+    let mut stack: Vec<Vec<(VarId, f64)>> = vec![Vec::new()];
+    while let Some(fixes) = stack.pop() {
+        if nodes >= node_limit {
+            exhausted = false;
+            break;
+        }
+        nodes += 1;
+
+        let mut lp = p.lp.clone();
+        for &(v, val) in &fixes {
+            // Fix via an equality row (keeps the solver interface simple).
+            lp.add_constraint(vec![(v, 1.0)], Cmp::Eq, val);
+        }
+        let relax = match solve(&lp) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // A bounded-binary MILP with an unbounded relaxation cannot
+                // be sensibly bounded — treat as no-information and stop.
+                exhausted = false;
+                break;
+            }
+            LpOutcome::IterationLimit => {
+                exhausted = false;
+                continue;
+            }
+        };
+        // Prune on the relaxation bound.
+        if let Some(b) = &best {
+            if relax.objective <= b.objective + INT_TOL {
+                continue;
+            }
+        }
+        // Find a fractional binary.
+        let frac = p
+            .binaries
+            .iter()
+            .find(|v| {
+                let x = relax.x[v.0];
+                (x - x.round()).abs() > INT_TOL
+            })
+            .copied();
+        match frac {
+            None => {
+                // Integer feasible: round the binaries exactly.
+                let mut s = relax;
+                for v in &p.binaries {
+                    s.x[v.0] = s.x[v.0].round();
+                }
+                s.objective = p.lp.objective_at(&s.x);
+                if best.as_ref().is_none_or(|b| s.objective > b.objective) {
+                    best = Some(s);
+                }
+            }
+            Some(v) => {
+                // Branch: explore the rounded-up side first (often good for
+                // maximization), push the other side.
+                let mut up = fixes.clone();
+                up.push((v, 1.0));
+                let mut down = fixes;
+                down.push((v, 0.0));
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+    }
+
+    match (best, exhausted) {
+        (Some(s), true) => MilpOutcome::Optimal(s),
+        (Some(s), false) => MilpOutcome::Feasible(s),
+        (None, true) => MilpOutcome::Infeasible,
+        (None, false) => MilpOutcome::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0/1 knapsack via MILP, checked against exhaustive enumeration.
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> (MilpOutcome, f64) {
+        let mut lp = Problem::new();
+        let vars: Vec<_> = values.iter().map(|&v| lp.add_var(v)).collect();
+        let terms: Vec<_> = vars.iter().copied().zip(weights.iter().copied()).collect();
+        lp.add_constraint(terms, Cmp::Le, cap);
+        let p = MilpProblem::new(lp, vars);
+        let out = solve_milp(&p, 100_000);
+        // Brute force.
+        let n = values.len();
+        let mut brute = 0.0f64;
+        for mask in 0..(1u32 << n) {
+            let w: f64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| weights[i])
+                .sum();
+            if w <= cap + 1e-9 {
+                let v: f64 = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| values[i])
+                    .sum();
+                brute = brute.max(v);
+            }
+        }
+        (out, brute)
+    }
+
+    #[test]
+    fn knapsack_matches_brute_force() {
+        let (out, brute) = knapsack(
+            &[10.0, 13.0, 7.0, 8.0, 2.0],
+            &[3.0, 4.0, 2.0, 3.0, 1.0],
+            7.0,
+        );
+        let MilpOutcome::Optimal(s) = out else {
+            panic!("expected optimal, got {out:?}")
+        };
+        assert!((s.objective - brute).abs() < 1e-6, "{} vs {brute}", s.objective);
+        // Every chosen variable is integral.
+        for &x in &s.x {
+            assert!((x - x.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fractional_lp_relaxation_gets_tightened() {
+        // value/weight identical → LP picks fractions; MILP must not.
+        let (out, brute) = knapsack(&[5.0, 5.0, 5.0], &[2.0, 2.0, 2.0], 3.0);
+        let MilpOutcome::Optimal(s) = out else { panic!() };
+        assert!((s.objective - brute).abs() < 1e-6);
+        assert!((s.objective - 5.0).abs() < 1e-6, "only one item fits");
+    }
+
+    #[test]
+    fn infeasible_milp_detected() {
+        let mut lp = Problem::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 0.4);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 0.6);
+        let p = MilpProblem::new(lp, vec![x]);
+        // x must be binary but is forced into (0.4, 0.6) → infeasible.
+        assert_eq!(solve_milp(&p, 10_000), MilpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let mut lp = Problem::new();
+        let vars: Vec<_> = (0..8).map(|_| lp.add_var(1.0)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(terms, Cmp::Le, 4.5);
+        let p = MilpProblem::new(lp, vars);
+        match solve_milp(&p, 1) {
+            MilpOutcome::Feasible(_) | MilpOutcome::Unknown => {}
+            other => panic!("tiny budget should not prove anything, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_continuous_and_binary() {
+        // max 3b + y  s.t. y ≤ 2.5, y ≤ 10·b, b binary.
+        let mut lp = Problem::new();
+        let b = lp.add_var(3.0);
+        let y = lp.add_var(1.0);
+        lp.bound(y, 2.5);
+        lp.add_constraint(vec![(y, 1.0), (b, -10.0)], Cmp::Le, 0.0);
+        let p = MilpProblem::new(lp, vec![b]);
+        let MilpOutcome::Optimal(s) = solve_milp(&p, 10_000) else {
+            panic!()
+        };
+        assert!((s.x[b.0] - 1.0).abs() < 1e-9);
+        assert!((s.x[y.0] - 2.5).abs() < 1e-6);
+        assert!((s.objective - 5.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,138 @@
+//! LP problem construction.
+//!
+//! Variables are nonnegative reals; the objective is maximized. Minimize
+//! by negating coefficients; bounded variables by adding a `≤` row.
+
+/// Index of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// One sparse constraint row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// `(variable, coefficient)` terms; duplicates are summed.
+    pub terms: Vec<(VarId, f64)>,
+    /// Sense.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: `maximize c·x` s.t. rows, `x ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) objective: Vec<f64>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl Problem {
+    /// An empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with the given objective coefficient (to maximize).
+    pub fn add_var(&mut self, objective: f64) -> VarId {
+        assert!(objective.is_finite(), "objective coefficient must be finite");
+        let id = VarId(self.objective.len());
+        self.objective.push(objective);
+        id
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Add the constraint `Σ terms cmp rhs`.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        for &(v, c) in &terms {
+            assert!(v.0 < self.n_vars(), "constraint references unknown {v:?}");
+            assert!(c.is_finite(), "coefficient must be finite");
+        }
+        self.rows.push(Row { terms, cmp, rhs });
+    }
+
+    /// Convenience: `var ≤ bound`.
+    pub fn bound(&mut self, var: VarId, upper: f64) {
+        self.add_constraint(vec![(var, 1.0)], Cmp::Le, upper);
+    }
+
+    /// Evaluate the objective at `x`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum()
+    }
+
+    /// Check primal feasibility of `x` within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars() || x.iter().any(|&v| v < -tol || !v.is_finite()) {
+            return false;
+        }
+        self.rows.iter().all(|row| {
+            let lhs: f64 = row.terms.iter().map(|&(v, c)| c * x[v.0]).sum();
+            match row.cmp {
+                Cmp::Le => lhs <= row.rhs + tol,
+                Cmp::Ge => lhs >= row.rhs - tol,
+                Cmp::Eq => (lhs - row.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut p = Problem::new();
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        assert_eq!(p.n_vars(), 2);
+        assert_eq!(p.n_rows(), 3);
+        assert_eq!(p.objective_at(&[2.0, 6.0]), 36.0);
+        assert!(p.is_feasible(&[2.0, 6.0], 1e-9));
+        assert!(!p.is_feasible(&[5.0, 0.0], 1e-9), "x ≤ 4 violated");
+        assert!(!p.is_feasible(&[-1.0, 0.0], 1e-9), "x ≥ 0 violated");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn constraint_on_unknown_var_panics() {
+        let mut p = Problem::new();
+        p.add_constraint(vec![(VarId(0), 1.0)], Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn bound_is_a_le_row() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        p.bound(x, 7.5);
+        assert!(p.is_feasible(&[7.5], 1e-9));
+        assert!(!p.is_feasible(&[7.6], 1e-9));
+    }
+}

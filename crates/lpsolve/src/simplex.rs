@@ -1,0 +1,431 @@
+//! Two-phase primal simplex over a dense tableau.
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible solution (or prove infeasibility); phase 2 maximizes the real
+//! objective. Pivoting follows Bland's rule (smallest eligible index),
+//! which rules out cycling and guarantees termination; an iteration cap
+//! guards against pathological numerics anyway.
+
+use crate::problem::{Cmp, Problem};
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-7;
+
+/// A solved LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal assignment (length = problem variables).
+    pub x: Vec<f64>,
+    /// Objective value `c·x`.
+    pub objective: f64,
+    /// Simplex pivots performed across both phases.
+    pub pivots: u64,
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Optimum found.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// Iteration cap hit (numerical trouble); nothing trustworthy returned.
+    IterationLimit,
+}
+
+struct Tableau {
+    /// `m × (cols + 1)` constraint rows, last column is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective row, same width (RHS cell = current objective value).
+    z: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Total structural + slack/surplus + artificial columns.
+    cols: usize,
+    /// Columns `>= art_from` are artificial.
+    art_from: usize,
+    pivots: u64,
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> f64 {
+        self.rows[r][self.cols]
+    }
+
+    /// One pivot: variable `e` enters, the row chosen by the ratio test
+    /// leaves. Returns false when the column proves unboundedness.
+    fn pivot_column(&mut self, e: usize) -> bool {
+        // Ratio test with Bland tie-breaking on the leaving basic index.
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..self.rows.len() {
+            let a = self.rows[r][e];
+            if a > TOL {
+                let ratio = self.rhs(r) / a;
+                let better = match leave {
+                    None => true,
+                    Some((lr, lratio)) => {
+                        ratio < lratio - TOL
+                            || (ratio < lratio + TOL && self.basis[r] < self.basis[lr])
+                    }
+                };
+                if better {
+                    leave = Some((r, ratio));
+                }
+            }
+        }
+        let Some((r, _)) = leave else {
+            return false; // unbounded direction
+        };
+        self.do_pivot(r, e);
+        true
+    }
+
+    fn do_pivot(&mut self, r: usize, e: usize) {
+        self.pivots += 1;
+        let p = self.rows[r][e];
+        debug_assert!(p.abs() > TOL);
+        for v in self.rows[r].iter_mut() {
+            *v /= p;
+        }
+        let pivot_row = self.rows[r].clone();
+        for (ri, row) in self.rows.iter_mut().enumerate() {
+            if ri != r && row[e].abs() > 0.0 {
+                let f = row[e];
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v -= f * pivot_row[c];
+                }
+            }
+        }
+        let f = self.z[e];
+        if f.abs() > 0.0 {
+            for (c, v) in self.z.iter_mut().enumerate() {
+                *v -= f * pivot_row[c];
+            }
+        }
+        self.basis[r] = e;
+    }
+
+    /// Run simplex to optimality on the current z-row. `allow` filters the
+    /// columns permitted to enter. Returns `None` on unboundedness.
+    fn optimize(&mut self, allow: &dyn Fn(usize) -> bool, max_iters: u64) -> Option<bool> {
+        for _ in 0..max_iters {
+            // Bland: smallest-index column with negative reduced cost.
+            let entering = (0..self.cols).find(|&c| allow(c) && self.z[c] < -TOL);
+            let Some(e) = entering else {
+                return Some(true); // optimal
+            };
+            if !self.pivot_column(e) {
+                return None; // unbounded
+            }
+        }
+        Some(false) // iteration cap
+    }
+}
+
+/// Solve `p` to optimality.
+pub fn solve(p: &Problem) -> Outcome {
+    let n = p.n_vars();
+    let m = p.n_rows();
+
+    // Column layout: structural | slack/surplus | artificial.
+    let mut extra = 0usize; // slack + surplus count
+    let mut art = 0usize;
+    for row in &p.rows {
+        // After RHS normalization (flip when b < 0) the *effective* sense
+        // decides the columns needed.
+        let flipped = row.rhs < 0.0;
+        let cmp = effective_cmp(row.cmp, flipped);
+        match cmp {
+            Cmp::Le => extra += 1,
+            Cmp::Ge => {
+                extra += 1;
+                art += 1;
+            }
+            Cmp::Eq => art += 1,
+        }
+    }
+    let cols = n + extra + art;
+    let art_from = n + extra;
+
+    let mut rows = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut next_extra = n;
+    let mut next_art = art_from;
+
+    for (r, row) in p.rows.iter().enumerate() {
+        let flipped = row.rhs < 0.0;
+        let sign = if flipped { -1.0 } else { 1.0 };
+        for &(v, c) in &row.terms {
+            rows[r][v.0] += sign * c;
+        }
+        rows[r][cols] = sign * row.rhs;
+        match effective_cmp(row.cmp, flipped) {
+            Cmp::Le => {
+                rows[r][next_extra] = 1.0;
+                basis[r] = next_extra;
+                next_extra += 1;
+            }
+            Cmp::Ge => {
+                rows[r][next_extra] = -1.0; // surplus
+                next_extra += 1;
+                rows[r][next_art] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                rows[r][next_art] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let max_iters = 200_000u64.max(64 * (m as u64 + cols as u64));
+    let mut t = Tableau {
+        rows,
+        z: vec![0.0; cols + 1],
+        basis,
+        cols,
+        art_from,
+        pivots: 0,
+    };
+
+    // ---- Phase 1: minimize Σ artificials (maximize −Σ) -----------------
+    if art > 0 {
+        // z_j = Σ over rows with artificial basis of −row_j (so that basic
+        // artificial columns read zero).
+        for c in art_from..cols {
+            t.z[c] = 1.0;
+        }
+        for r in 0..m {
+            if t.basis[r] >= art_from {
+                let row = t.rows[r].clone();
+                for (c, v) in t.z.iter_mut().enumerate() {
+                    *v -= row[c];
+                }
+            }
+        }
+        match t.optimize(&|_| true, max_iters) {
+            None => unreachable!("phase 1 objective is bounded below by 0"),
+            Some(false) => return Outcome::IterationLimit,
+            Some(true) => {}
+        }
+        // Artificial sum = −z RHS (we maximized −Σ art). The threshold
+        // scales with the problem's RHS magnitude so well-scaled and
+        // badly-scaled inputs get comparable relative accuracy.
+        let b_scale = p
+            .rows
+            .iter()
+            .map(|r| r.rhs.abs())
+            .fold(1.0f64, f64::max);
+        if -t.z[cols] > 1e-7 * b_scale.max(1.0) + 1e-7 {
+            return Outcome::Infeasible;
+        }
+        // Drive basic artificials (at value 0) out where possible.
+        for r in 0..m {
+            if t.basis[r] >= art_from {
+                if let Some(e) = (0..art_from).find(|&c| t.rows[r][c].abs() > TOL) {
+                    t.do_pivot(r, e);
+                }
+                // else: redundant row; the artificial stays basic at 0 and
+                // its column is barred from entering in phase 2.
+            }
+        }
+    }
+
+    // ---- Phase 2: maximize the real objective --------------------------
+    t.z = vec![0.0; cols + 1];
+    for (v, &c) in p.objective.iter().enumerate() {
+        t.z[v] = -c;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        let f = t.z[b];
+        if f.abs() > 0.0 {
+            let row = t.rows[r].clone();
+            for (c, v) in t.z.iter_mut().enumerate() {
+                *v -= f * row[c];
+            }
+        }
+    }
+    let art_from_copy = t.art_from;
+    match t.optimize(&move |c| c < art_from_copy, max_iters) {
+        None => return Outcome::Unbounded,
+        Some(false) => return Outcome::IterationLimit,
+        Some(true) => {}
+    }
+
+    // Extract.
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            x[t.basis[r]] = t.rhs(r).max(0.0);
+        }
+    }
+    let objective = p.objective_at(&x);
+    debug_assert!(
+        p.is_feasible(&x, 1e-5),
+        "simplex returned an infeasible point"
+    );
+    Outcome::Optimal(Solution {
+        x,
+        objective,
+        pivots: t.pivots,
+    })
+}
+
+/// The effective sense after multiplying a negative-RHS row by −1.
+fn effective_cmp(cmp: Cmp, flipped: bool) -> Cmp {
+    if !flipped {
+        return cmp;
+    }
+    match cmp {
+        Cmp::Le => Cmp::Ge,
+        Cmp::Ge => Cmp::Le,
+        Cmp::Eq => Cmp::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem};
+
+    fn optimal(p: &Problem) -> Solution {
+        match solve(p) {
+            Outcome::Optimal(s) => s,
+            other => panic!("expected Optimal, got {other:?}"),
+        }
+    }
+
+    /// Dantzig's textbook example: max 3x+5y, x≤4, 2y≤12, 3x+2y≤18.
+    #[test]
+    fn textbook_optimum() {
+        let mut p = Problem::new();
+        let x = p.add_var(3.0);
+        let y = p.add_var(5.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = optimal(&p);
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    /// Equalities via artificials: max x s.t. x+y = 10, x ≤ 4.
+    #[test]
+    fn equality_constraints() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(0.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        p.bound(x, 4.0);
+        let s = optimal(&p);
+        assert!((s.x[0] - 4.0).abs() < 1e-6);
+        assert!((s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    /// ≥ constraints: min x+y s.t. x+2y ≥ 6, 2x+y ≥ 6 (classic diet-style).
+    #[test]
+    fn ge_constraints_minimization() {
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0); // minimize x+y
+        let y = p.add_var(-1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 6.0);
+        p.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Ge, 6.0);
+        let s = optimal(&p);
+        // optimum at x=y=2, cost 4
+        assert!((s.objective + 4.0).abs() < 1e-6);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(solve(&p), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(0.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve(&p), Outcome::Unbounded);
+    }
+
+    /// Negative RHS rows are normalized correctly: x ≤ −1 is infeasible
+    /// for x ≥ 0; x ≥ −1 is vacuous.
+    #[test]
+    fn negative_rhs_normalization() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, -1.0);
+        assert_eq!(solve(&p), Outcome::Infeasible);
+
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, -1.0);
+        let s = optimal(&p);
+        assert!((s.x[0] - 0.0).abs() < 1e-9, "min x with vacuous bound → 0");
+    }
+
+    /// Beale's classic cycling example — Bland's rule must terminate.
+    #[test]
+    fn beale_cycling_instance_terminates() {
+        // max 0.75x1 − 150x2 + 0.02x3 − 6x4
+        // s.t. 0.25x1 − 60x2 − 0.04x3 + 9x4 ≤ 0
+        //      0.5x1  − 90x2 − 0.02x3 + 3x4 ≤ 0
+        //      x3 ≤ 1
+        let mut p = Problem::new();
+        let x1 = p.add_var(0.75);
+        let x2 = p.add_var(-150.0);
+        let x3 = p.add_var(0.02);
+        let x4 = p.add_var(-6.0);
+        p.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.bound(x3, 1.0);
+        let s = optimal(&p);
+        assert!((s.objective - 0.05).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    /// Degenerate problem with redundant equality rows.
+    #[test]
+    fn redundant_rows_are_harmless() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+        p.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 8.0); // same plane
+        let s = optimal(&p);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    /// Zero-variable / zero-constraint edge cases.
+    #[test]
+    fn trivial_problems() {
+        let p = Problem::new();
+        let s = optimal(&p);
+        assert_eq!(s.objective, 0.0);
+
+        let mut p = Problem::new();
+        p.add_var(-5.0); // min 5x, x ≥ 0 free otherwise
+        let s = optimal(&p);
+        assert_eq!(s.x[0], 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the simplex solver built on constructed-feasibility:
+//! generate a random point, build constraints it satisfies, and check the
+//! solver's answer is (a) feasible and (b) at least as good — the defining
+//! property of an optimum, verifiable without knowing the optimum.
+
+use lpsolve::{solve, Cmp, Outcome, Problem};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    objective: Vec<f64>,
+    witness: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // coefficients, slack margin (≥ 0)
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..=5, 1usize..=6).prop_flat_map(|(n, m)| {
+        let objective = prop::collection::vec(-5.0f64..5.0, n);
+        let witness = prop::collection::vec(0.0f64..10.0, n);
+        let row = (prop::collection::vec(-3.0f64..3.0, n), 0.0f64..5.0);
+        let rows = prop::collection::vec(row, m);
+        (objective, witness, rows).prop_map(|(objective, witness, rows)| Instance {
+            objective,
+            witness,
+            rows,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Constructed-feasible ≤-systems: solver finds a feasible point no
+    /// worse than the witness (or honestly reports unboundedness).
+    #[test]
+    fn optimal_dominates_witness(inst in instance()) {
+        let mut p = Problem::new();
+        let vars: Vec<_> = inst.objective.iter().map(|&c| p.add_var(c)).collect();
+        // Keep the region bounded so Unbounded can't occur: box vars.
+        for &v in &vars {
+            p.bound(v, 100.0);
+        }
+        for (coeffs, margin) in &inst.rows {
+            let lhs_at_witness: f64 = coeffs
+                .iter()
+                .zip(&inst.witness)
+                .map(|(c, x)| c * x)
+                .sum();
+            let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+            p.add_constraint(terms, Cmp::Le, lhs_at_witness + margin);
+        }
+        prop_assert!(p.is_feasible(&inst.witness, 1e-9), "witness feasible by construction");
+        match solve(&p) {
+            Outcome::Optimal(s) => {
+                prop_assert!(p.is_feasible(&s.x, 1e-5), "solver point must be feasible");
+                let w = p.objective_at(&inst.witness);
+                prop_assert!(s.objective >= w - 1e-5,
+                    "optimum {} below witness {}", s.objective, w);
+            }
+            other => prop_assert!(false, "boxed feasible LP must be Optimal, got {other:?}"),
+        }
+    }
+
+    /// Equality systems built from a witness stay feasible and solvable.
+    #[test]
+    fn equality_systems_solve(
+        witness in prop::collection::vec(0.0f64..10.0, 2..=4),
+        coeffs in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 2..=4), 1..=2),
+    ) {
+        let n = witness.len();
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n).map(|i| p.add_var(if i == 0 { 1.0 } else { 0.0 })).collect();
+        for &v in &vars {
+            p.bound(v, 50.0);
+        }
+        for row in &coeffs {
+            let row = &row[..n.min(row.len())];
+            if row.is_empty() { continue; }
+            let rhs: f64 = row.iter().zip(&witness).map(|(c, x)| c * x).sum();
+            let terms: Vec<_> = vars.iter().copied().zip(row.iter().copied()).collect();
+            p.add_constraint(terms, Cmp::Eq, rhs);
+        }
+        match solve(&p) {
+            Outcome::Optimal(s) => {
+                prop_assert!(p.is_feasible(&s.x, 1e-4));
+                prop_assert!(s.objective >= p.objective_at(&witness) - 1e-4);
+            }
+            other => prop_assert!(false, "witness-built Eq system must solve, got {other:?}"),
+        }
+    }
+
+    /// Scaling invariance: multiplying the objective by a positive scalar
+    /// scales the optimum and preserves an optimal point's feasibility.
+    #[test]
+    fn objective_scaling(k in 0.1f64..10.0) {
+        let build = |scale: f64| {
+            let mut p = Problem::new();
+            let x = p.add_var(3.0 * scale);
+            let y = p.add_var(5.0 * scale);
+            p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+            p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+            p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+            p
+        };
+        let Outcome::Optimal(a) = solve(&build(1.0)) else { panic!() };
+        let Outcome::Optimal(b) = solve(&build(k)) else { panic!() };
+        prop_assert!((b.objective - k * a.objective).abs() < 1e-5);
+    }
+}

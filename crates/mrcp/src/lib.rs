@@ -1,0 +1,42 @@
+//! # mrcp — the MapReduce Constraint Programming based Resource Manager
+//!
+//! The primary contribution of Lim, Majumdar & Ashwood-Smith (ICPP 2014):
+//! a resource manager that performs matchmaking and scheduling of an **open
+//! stream** of MapReduce jobs with SLAs (earliest start time, per-task
+//! execution times, end-to-end deadline) by repeatedly building and solving
+//! the Table 1 CP formulation.
+//!
+//! Crate layout, mapped to the paper:
+//!
+//! * [`manager`] — the MRCP-RM resource manager itself (Fig. 1 + the
+//!   Table 2 algorithm): submit jobs, track started/completed tasks, and
+//!   reschedule incrementally — pinning started-but-unfinished tasks and
+//!   remapping everything else.
+//! * [`modelmap`] — translation of the live system state into a
+//!   [`cpsolve`] model (the role of the OPL model generation in §V.C).
+//! * [`split`] — the §V.D performance optimization: solve scheduling on a
+//!   single combined resource, then run the gap-minimizing matchmaking
+//!   that distributes the schedule over the real resources.
+//! * [`defer`] — the §V.E performance optimization: jobs whose earliest
+//!   start time lies far in the future are parked and only enter the CP
+//!   model shortly before they become runnable.
+//! * [`ordering`] — the three job ordering strategies of §VI.B (job id,
+//!   EDF, least laxity).
+//! * [`closed`] — the closed-system batch mode of the authors' preliminary
+//!   work: one solve over a fixed job set.
+//! * [`sim_driver`] — MRCP-RM embedded in the [`desim`] engine for the
+//!   open-system evaluation of §VI, producing the paper's metrics
+//!   (`O`, `N`, `T`, `P`).
+
+pub mod closed;
+pub mod defer;
+pub mod gantt;
+pub mod manager;
+pub mod modelmap;
+pub mod ordering;
+pub mod sim_driver;
+pub mod split;
+
+pub use manager::{MrcpConfig, MrcpRm, ScheduleEntry, SolveBudget};
+pub use ordering::JobOrdering;
+pub use sim_driver::{simulate, RunMetrics, SimConfig};

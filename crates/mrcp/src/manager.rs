@@ -1,0 +1,762 @@
+//! The MRCP-RM resource manager (paper Fig. 1 and the Table 2 algorithm).
+//!
+//! Users submit MapReduce jobs; the manager maps and schedules all
+//! outstanding work by building and solving a CP model on every
+//! (re)scheduling round:
+//!
+//! * jobs whose earliest start time has passed get `release = now`
+//!   (Table 2 lines 1–4),
+//! * tasks that have started but not completed are **pinned** to their
+//!   resource and start time (lines 5–12) — the solver may not move them,
+//! * completed tasks leave the model, finished jobs leave the system
+//!   (lines 13–16),
+//! * everything else — including previously scheduled but unstarted
+//!   tasks — is remapped and rescheduled from scratch, "to provide the
+//!   most flexibility … for example, a new job with an earlier deadline
+//!   may need to be mapped and scheduled in the place of a previously
+//!   scheduled job" (lines 19–24).
+//!
+//! Instead of scanning per-resource task lists as the paper's Java
+//! implementation does, the manager receives explicit `task_started` /
+//! `task_completed` notifications from its host (the simulator or a real
+//! execution layer) — equivalent bookkeeping with the same outcome.
+//!
+//! The §V.D split optimization and §V.E deferral are both on by default,
+//! as in the paper's evaluated configuration, and can be disabled for
+//! ablations.
+
+use crate::defer::DeferPolicy;
+use crate::modelmap::{build_model, JobInput, TaskInput};
+use crate::ordering::JobOrdering;
+use crate::split::split_solve;
+use cpsolve::search::{solve, SolveParams, Status};
+use desim::SimTime;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use workload::{Job, JobId, Resource, ResourceId, TaskId, TaskKind};
+
+/// Adaptive effort scaling — the paper's §VII future-work item
+/// "mechanisms that can reduce matchmaking and scheduling times when λ is
+/// high". When the model grows beyond `reference_tasks`, the per-round
+/// node/fail limits shrink proportionally (never below `floor_nodes`), so
+/// the *total* scheduling effort per unit time stays roughly constant as
+/// load rises instead of multiplying with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveBudget {
+    /// Model size (task count) at which the base budget applies unscaled.
+    pub reference_tasks: usize,
+    /// Lower bound on the scaled node/fail limits.
+    pub floor_nodes: u64,
+}
+
+/// Per-invocation solver effort limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum branching decisions per invocation.
+    pub node_limit: u64,
+    /// Maximum conflicts per invocation.
+    pub fail_limit: u64,
+    /// Wall-clock ceiling per invocation, milliseconds (None = unlimited).
+    pub time_limit_ms: Option<u64>,
+    /// Optional adaptive scaling with model size.
+    pub adaptive: Option<AdaptiveBudget>,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget {
+            node_limit: 20_000,
+            fail_limit: 20_000,
+            time_limit_ms: Some(200),
+            adaptive: None,
+        }
+    }
+}
+
+impl SolveBudget {
+    /// Effective solver parameters for a model with `n_tasks` tasks.
+    pub fn params_for(&self, n_tasks: usize) -> SolveParams {
+        let (nodes, fails) = match self.adaptive {
+            Some(a) if n_tasks > a.reference_tasks => {
+                let scale = a.reference_tasks as f64 / n_tasks as f64;
+                let nodes =
+                    ((self.node_limit as f64 * scale) as u64).max(a.floor_nodes);
+                let fails =
+                    ((self.fail_limit as f64 * scale) as u64).max(a.floor_nodes);
+                (nodes, fails)
+            }
+            _ => (self.node_limit, self.fail_limit),
+        };
+        SolveParams {
+            node_limit: nodes,
+            fail_limit: fails,
+            time_limit: self.time_limit_ms.map(Duration::from_millis),
+            ..Default::default()
+        }
+    }
+}
+
+/// MRCP-RM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrcpConfig {
+    /// Job ordering strategy (paper §VI.B; EDF is the reported default).
+    pub ordering: JobOrdering,
+    /// Per-invocation solver budget.
+    pub budget: SolveBudget,
+    /// §V.D: schedule on one combined resource, then matchmake (default on).
+    pub use_split: bool,
+    /// §V.E: defer jobs whose `s_j` lies in the future (default on).
+    pub defer: DeferPolicy,
+    /// Audit every installed schedule with the independent verifier
+    /// (always on in debug builds).
+    pub verify_schedules: bool,
+}
+
+impl Default for MrcpConfig {
+    fn default() -> Self {
+        MrcpConfig {
+            ordering: JobOrdering::Edf,
+            budget: SolveBudget::default(),
+            use_split: true,
+            defer: DeferPolicy::default(),
+            verify_schedules: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// One planned (not yet started) task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// The task.
+    pub task: TaskId,
+    /// Its job.
+    pub job: JobId,
+    /// Assigned resource.
+    pub resource: ResourceId,
+    /// Assigned start time.
+    pub start: SimTime,
+    /// Completion time (`start + e_t`).
+    pub end: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskStatus {
+    Waiting,
+    Started { resource: ResourceId, start: SimTime },
+    Completed,
+}
+
+#[derive(Debug, Clone)]
+struct TaskState {
+    id: TaskId,
+    kind: TaskKind,
+    exec_time: SimTime,
+    req: u32,
+    status: TaskStatus,
+}
+
+#[derive(Debug)]
+struct JobState {
+    job: Job,
+    tasks: Vec<TaskState>,
+    remaining: usize,
+}
+
+/// Aggregate manager statistics (drives the paper's `O` metric).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ManagerStats {
+    /// Scheduling rounds executed.
+    pub invocations: u64,
+    /// Total wall-clock time spent building + solving models.
+    pub total_solve: Duration,
+    /// Total solver branching decisions.
+    pub total_nodes: u64,
+    /// Rounds in which the solver proved optimality.
+    pub optimal_rounds: u64,
+    /// Rounds stopped by budget with an incumbent.
+    pub feasible_rounds: u64,
+    /// Largest single-round task count.
+    pub max_tasks_in_model: usize,
+}
+
+/// Completion record returned when a job's last task finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCompletion {
+    /// The job.
+    pub job: JobId,
+    /// When its last task finished.
+    pub completion: SimTime,
+    /// Its SLA deadline.
+    pub deadline: SimTime,
+    /// Its earliest start time `s_j` (the paper measures turnaround from
+    /// here).
+    pub earliest_start: SimTime,
+    /// Whether the deadline was missed.
+    pub late: bool,
+}
+
+/// Outcome of [`MrcpRm::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submitted {
+    /// The job entered the scheduling set; call
+    /// [`reschedule`](MrcpRm::reschedule).
+    Active,
+    /// §V.E deferral: the job is parked until the given activation time.
+    Deferred(SimTime),
+}
+
+/// The MRCP-RM resource manager.
+///
+/// ```
+/// use desim::SimTime;
+/// use mrcp::{MrcpConfig, MrcpRm};
+/// use workload::model::homogeneous_cluster;
+/// use workload::{Job, JobId, Task, TaskId, TaskKind};
+///
+/// let job = Job {
+///     id: JobId(0),
+///     arrival: SimTime::ZERO,
+///     earliest_start: SimTime::ZERO,
+///     deadline: SimTime::from_secs(60),
+///     map_tasks: vec![Task {
+///         id: TaskId(0), job: JobId(0), kind: TaskKind::Map,
+///         exec_time: SimTime::from_secs(10), req: 1,
+///     }],
+///     reduce_tasks: vec![],
+///     precedences: vec![],
+/// };
+///
+/// let mut rm = MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(2, 1, 1));
+/// rm.submit(job, SimTime::ZERO);
+/// let plan = rm.reschedule(SimTime::ZERO);   // Table 2 algorithm
+/// assert_eq!(plan.len(), 1);
+/// assert_eq!(plan[0].start, SimTime::ZERO);
+///
+/// // Drive execution like the simulator would:
+/// rm.task_started(plan[0].task, plan[0].start);
+/// let done = rm.task_completed(plan[0].task, plan[0].end).unwrap();
+/// assert!(!done.late);
+/// ```
+#[derive(Debug)]
+pub struct MrcpRm {
+    cfg: MrcpConfig,
+    resources: Vec<Resource>,
+    jobs: HashMap<JobId, JobState>,
+    /// Jobs parked by the deferral policy: `(activation, job)`.
+    deferred: Vec<(SimTime, JobId)>,
+    /// Task → owning job, for event routing.
+    task_owner: HashMap<TaskId, JobId>,
+    /// Current plan for unstarted tasks.
+    schedule: HashMap<TaskId, ScheduleEntry>,
+    stats: ManagerStats,
+}
+
+impl MrcpRm {
+    /// A manager over `resources`.
+    pub fn new(cfg: MrcpConfig, resources: Vec<Resource>) -> Self {
+        assert!(!resources.is_empty(), "manager needs at least one resource");
+        MrcpRm {
+            cfg,
+            resources,
+            jobs: HashMap::new(),
+            deferred: Vec::new(),
+            task_owner: HashMap::new(),
+            schedule: HashMap::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MrcpConfig {
+        &self.cfg
+    }
+
+    /// The cluster.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Number of jobs currently in the system (active + deferred).
+    pub fn jobs_in_system(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Submit an arriving job. Returns whether it joined the scheduling set
+    /// or was deferred (§V.E); in the former case the caller should invoke
+    /// [`reschedule`](Self::reschedule).
+    pub fn submit(&mut self, job: Job, now: SimTime) -> Submitted {
+        debug_assert!(job.validate().is_ok(), "invalid job submitted");
+        let id = job.id;
+        assert!(
+            !self.jobs.contains_key(&id),
+            "job {id} submitted twice"
+        );
+        let tasks: Vec<TaskState> = job
+            .tasks()
+            .map(|t| TaskState {
+                id: t.id,
+                kind: t.kind,
+                exec_time: t.exec_time,
+                req: t.req,
+                status: TaskStatus::Waiting,
+            })
+            .collect();
+        for t in &tasks {
+            let prev = self.task_owner.insert(t.id, id);
+            assert!(prev.is_none(), "task {:?} already known", t.id);
+        }
+        let remaining = tasks.len();
+        let deferral = self.cfg.defer.activation(now, job.earliest_start);
+        self.jobs.insert(
+            id,
+            JobState {
+                job,
+                tasks,
+                remaining,
+            },
+        );
+        match deferral {
+            Some(act) => {
+                self.deferred.push((act, id));
+                Submitted::Deferred(act)
+            }
+            None => Submitted::Active,
+        }
+    }
+
+    /// Admit deferred jobs whose activation time has arrived. Returns how
+    /// many became active (if > 0 the caller should reschedule).
+    pub fn activate_due(&mut self, now: SimTime) -> usize {
+        let before = self.deferred.len();
+        self.deferred.retain(|&(act, _)| act > now);
+        before - self.deferred.len()
+    }
+
+    /// Earliest pending activation, if any.
+    pub fn next_activation(&self) -> Option<SimTime> {
+        self.deferred.iter().map(|&(act, _)| act).min()
+    }
+
+    /// The host reports that a task began executing at `now` per the
+    /// current schedule.
+    pub fn task_started(&mut self, task: TaskId, now: SimTime) {
+        let entry = self
+            .schedule
+            .remove(&task)
+            .unwrap_or_else(|| panic!("task {task} started without a schedule entry"));
+        debug_assert_eq!(entry.start, now, "start time drifted from plan");
+        let job = self.task_owner[&task];
+        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let t = state
+            .tasks
+            .iter_mut()
+            .find(|t| t.id == task)
+            .expect("task in owner");
+        debug_assert_eq!(t.status, TaskStatus::Waiting);
+        t.status = TaskStatus::Started {
+            resource: entry.resource,
+            start: now,
+        };
+    }
+
+    /// The host reports task completion. Returns the job's completion
+    /// record when this was its last task (the job then leaves the system,
+    /// Table 2 lines 13–16).
+    pub fn task_completed(&mut self, task: TaskId, now: SimTime) -> Option<JobCompletion> {
+        let job = *self
+            .task_owner
+            .get(&task)
+            .unwrap_or_else(|| panic!("unknown task {task} completed"));
+        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let t = state
+            .tasks
+            .iter_mut()
+            .find(|t| t.id == task)
+            .expect("task in owner");
+        match t.status {
+            TaskStatus::Started { start, .. } => {
+                debug_assert_eq!(start + t.exec_time, now, "completion time drifted");
+            }
+            s => panic!("task {task} completed from state {s:?}"),
+        }
+        t.status = TaskStatus::Completed;
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            let state = self.jobs.remove(&job).expect("present");
+            for t in &state.tasks {
+                self.task_owner.remove(&t.id);
+            }
+            Some(JobCompletion {
+                job,
+                completion: now,
+                deadline: state.job.deadline,
+                earliest_start: state.job.earliest_start,
+                late: now > state.job.deadline,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Run one scheduling round (Table 2). Remaps and reschedules every
+    /// active, unstarted task; pins running tasks. Returns the new plan for
+    /// unstarted tasks (the host should arm start events from it).
+    pub fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry> {
+        let t0 = Instant::now();
+        let deferred_ids: std::collections::HashSet<JobId> =
+            self.deferred.iter().map(|&(_, j)| j).collect();
+
+        // Assemble model inputs: active jobs with outstanding tasks.
+        let mut inputs: Vec<JobInput<'_>> = Vec::new();
+        let mut ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        ids.sort_unstable(); // deterministic model construction
+        for id in ids {
+            if deferred_ids.contains(&id) {
+                continue;
+            }
+            let state = &self.jobs[&id];
+            if state.remaining == 0 {
+                continue;
+            }
+            let tasks: Vec<TaskInput> = state
+                .tasks
+                .iter()
+                .filter_map(|t| match t.status {
+                    TaskStatus::Completed => None,
+                    TaskStatus::Waiting => Some(TaskInput {
+                        id: t.id,
+                        kind: t.kind,
+                        exec_time: t.exec_time,
+                        req: t.req,
+                        pinned: None,
+                    }),
+                    TaskStatus::Started { resource, start } => Some(TaskInput {
+                        id: t.id,
+                        kind: t.kind,
+                        exec_time: t.exec_time,
+                        req: t.req,
+                        pinned: Some((resource, start)),
+                    }),
+                })
+                .collect();
+            if tasks.is_empty() {
+                continue;
+            }
+            // Table 2 lines 1–4: releases never lie in the past.
+            let release = state.job.earliest_start.max(now);
+            inputs.push(JobInput {
+                priority: self.cfg.ordering.priority(&state.job),
+                job: &state.job,
+                release,
+                tasks,
+            });
+        }
+
+        if inputs.is_empty() {
+            self.schedule.clear();
+            return Vec::new();
+        }
+
+        let n_tasks: usize = inputs.iter().map(|j| j.tasks.len()).sum();
+        let params = self.cfg.budget.params_for(n_tasks);
+
+        // Solve: §V.D split path or the monolithic model.
+        let (placements, outcome) = if self.cfg.use_split {
+            let s = split_solve(&self.resources, &inputs, &params)
+                .expect("split solve produced no schedule");
+            (s.placements, s.outcome)
+        } else {
+            let mm = build_model(&self.resources, &inputs).expect("model builds");
+            let out = solve(&mm.model, &params);
+            let best = out
+                .best
+                .as_ref()
+                .expect("full solve produced no schedule");
+            let placements = mm
+                .task_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &tid)| {
+                    (
+                        tid,
+                        mm.res_ids[best.resource[i].idx()],
+                        SimTime::from_millis(best.starts[i]),
+                    )
+                })
+                .collect();
+            (placements, out)
+        };
+
+        if self.cfg.verify_schedules {
+            crate::split::audit(&self.resources, &inputs, &placements)
+                .expect("installed schedule failed verification");
+        }
+
+        // Install: entries for unstarted tasks only.
+        drop(inputs);
+        self.schedule.clear();
+        for (tid, rid, start) in placements {
+            let job = self.task_owner[&tid];
+            let state = &self.jobs[&job];
+            let t = state.tasks.iter().find(|t| t.id == tid).expect("task");
+            if t.status == TaskStatus::Waiting {
+                debug_assert!(start >= now, "new start {start} in the past (now {now})");
+                self.schedule.insert(
+                    tid,
+                    ScheduleEntry {
+                        task: tid,
+                        job,
+                        resource: rid,
+                        start,
+                        end: start + t.exec_time,
+                    },
+                );
+            }
+        }
+
+        self.stats.invocations += 1;
+        self.stats.total_solve += t0.elapsed();
+        self.stats.total_nodes += outcome.stats.nodes;
+        self.stats.max_tasks_in_model = self.stats.max_tasks_in_model.max(n_tasks);
+        match outcome.status {
+            Status::Optimal => self.stats.optimal_rounds += 1,
+            Status::Feasible => self.stats.feasible_rounds += 1,
+            s => panic!("scheduling round ended {s:?} — warm start should prevent this"),
+        }
+
+        let mut entries: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
+        entries.sort_by_key(|e| (e.start, e.task));
+        entries
+    }
+
+    /// The current plan for unstarted tasks, sorted by start time.
+    pub fn current_schedule(&self) -> Vec<ScheduleEntry> {
+        let mut entries: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
+        entries.sort_by_key(|e| (e.start, e.task));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::model::homogeneous_cluster;
+    use workload::Task;
+
+    fn mk_job(id: u32, arrival: i64, s: i64, d: i64, maps: &[i64], reduces: &[i64]) -> Job {
+        let mut next = id * 1000;
+        let mut task = |kind, secs: i64| {
+            let t = Task {
+                id: TaskId(next),
+                job: JobId(id),
+                kind,
+                exec_time: SimTime::from_secs(secs),
+                req: 1,
+            };
+            next += 1;
+            t
+        };
+        Job {
+            id: JobId(id),
+            arrival: SimTime::from_secs(arrival),
+            earliest_start: SimTime::from_secs(s),
+            deadline: SimTime::from_secs(d),
+            map_tasks: maps.iter().map(|&e| task(TaskKind::Map, e)).collect(),
+            reduce_tasks: reduces.iter().map(|&e| task(TaskKind::Reduce, e)).collect(),
+            precedences: vec![],
+        }
+    }
+
+    fn manager() -> MrcpRm {
+        MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(2, 1, 1))
+    }
+
+    #[test]
+    fn single_job_lifecycle() {
+        let mut rm = manager();
+        let job = mk_job(0, 0, 0, 100, &[10], &[5]);
+        assert_eq!(rm.submit(job, SimTime::ZERO), Submitted::Active);
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 2);
+        let map = plan.iter().find(|e| e.task == TaskId(0)).unwrap();
+        let red = plan.iter().find(|e| e.task == TaskId(1)).unwrap();
+        assert_eq!(map.start, SimTime::ZERO);
+        assert!(red.start >= map.end, "barrier respected");
+
+        rm.task_started(map.task, map.start);
+        assert_eq!(rm.task_completed(map.task, map.end), None);
+        rm.task_started(red.task, red.start);
+        let done = rm.task_completed(red.task, red.end).unwrap();
+        assert!(!done.late);
+        assert_eq!(done.job, JobId(0));
+        assert_eq!(rm.jobs_in_system(), 0);
+        assert_eq!(rm.stats().invocations, 1);
+    }
+
+    #[test]
+    fn deferral_parks_future_jobs() {
+        let mut rm = manager();
+        let job = mk_job(0, 0, 500, 1000, &[10], &[]);
+        match rm.submit(job, SimTime::ZERO) {
+            Submitted::Deferred(act) => assert_eq!(act, SimTime::from_secs(500)),
+            s => panic!("expected deferral, got {s:?}"),
+        }
+        // A reschedule round excludes the deferred job entirely.
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert!(plan.is_empty());
+        assert_eq!(rm.next_activation(), Some(SimTime::from_secs(500)));
+        assert_eq!(rm.activate_due(SimTime::from_secs(499)), 0);
+        assert_eq!(rm.activate_due(SimTime::from_secs(500)), 1);
+        let plan = rm.reschedule(SimTime::from_secs(500));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].start, SimTime::from_secs(500));
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn defer_disabled_schedules_immediately() {
+        let mut cfg = MrcpConfig::default();
+        cfg.defer = DeferPolicy::disabled();
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        let job = mk_job(0, 0, 500, 1000, &[10], &[]);
+        assert_eq!(rm.submit(job, SimTime::ZERO), Submitted::Active);
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 1);
+        // Still respects s_j even though scheduled early.
+        assert_eq!(plan[0].start, SimTime::from_secs(500));
+    }
+
+    #[test]
+    fn rescheduling_pins_started_tasks() {
+        let mut rm = manager();
+        let j0 = mk_job(0, 0, 0, 100, &[20], &[]);
+        rm.submit(j0, SimTime::ZERO);
+        let plan = rm.reschedule(SimTime::ZERO);
+        let e0 = plan[0];
+        rm.task_started(e0.task, e0.start);
+
+        // A second, urgent job arrives mid-flight.
+        let j1 = mk_job(1, 5, 5, 30, &[10], &[]);
+        rm.submit(j1, SimTime::from_secs(5));
+        let plan = rm.reschedule(SimTime::from_secs(5));
+        // Only the new job's task is in the plan; the running task is pinned.
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].job, JobId(1));
+        // It does not share r0's busy map slot before t=20 — either it's on
+        // the other resource at 5 or behind the pin.
+        if plan[0].resource == e0.resource {
+            assert!(plan[0].start >= e0.end);
+        } else {
+            assert_eq!(plan[0].start, SimTime::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn new_urgent_job_preempts_planned_slot() {
+        // One 1/1 resource. Job A planned but not started; urgent job B
+        // arrives and must take the slot first (the paper's motivating
+        // example for remapping unstarted tasks).
+        let mut rm = MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(1, 1, 1));
+        let a = mk_job(0, 0, 0, 200, &[10], &[]);
+        rm.submit(a, SimTime::ZERO);
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan[0].start, SimTime::ZERO);
+
+        let b = mk_job(1, 0, 0, 12, &[10], &[]);
+        rm.submit(b, SimTime::ZERO);
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 2);
+        let ea = plan.iter().find(|e| e.job == JobId(0)).unwrap();
+        let eb = plan.iter().find(|e| e.job == JobId(1)).unwrap();
+        assert_eq!(eb.start, SimTime::ZERO, "urgent job moved to the front");
+        assert!(ea.start >= eb.end);
+    }
+
+    #[test]
+    fn full_model_path_matches_split_feasibility() {
+        let cfg = MrcpConfig {
+            use_split: false,
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 2, 2));
+        for i in 0..3 {
+            rm.submit(mk_job(i, 0, 0, 10_000, &[10, 20], &[5]), SimTime::ZERO);
+        }
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 9);
+        assert_eq!(rm.stats().invocations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "submitted twice")]
+    fn duplicate_submission_panics() {
+        let mut rm = manager();
+        rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO);
+        rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_reschedule_is_harmless() {
+        let mut rm = manager();
+        assert!(rm.reschedule(SimTime::ZERO).is_empty());
+        assert_eq!(rm.stats().invocations, 0);
+    }
+
+    #[test]
+    fn adaptive_budget_scales_with_model_size() {
+        let base = SolveBudget {
+            node_limit: 10_000,
+            fail_limit: 10_000,
+            time_limit_ms: None,
+            adaptive: Some(AdaptiveBudget {
+                reference_tasks: 100,
+                floor_nodes: 500,
+            }),
+        };
+        // At or below the reference size: unscaled.
+        assert_eq!(base.params_for(50).node_limit, 10_000);
+        assert_eq!(base.params_for(100).node_limit, 10_000);
+        // Twice the reference: half the nodes.
+        assert_eq!(base.params_for(200).node_limit, 5_000);
+        // Enormous model: clamped to the floor.
+        assert_eq!(base.params_for(10_000_000).node_limit, 500);
+        // Without adaptive: constant.
+        let fixed = SolveBudget::default();
+        assert_eq!(
+            fixed.params_for(10).node_limit,
+            fixed.params_for(100_000).node_limit
+        );
+    }
+
+    #[test]
+    fn adaptive_budget_runs_end_to_end() {
+        let mut cfg = MrcpConfig::default();
+        cfg.budget.adaptive = Some(AdaptiveBudget {
+            reference_tasks: 4,
+            floor_nodes: 64,
+        });
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        rm.submit(
+            mk_job(0, 0, 0, 1000, &[10, 10, 10, 10, 10], &[5]),
+            SimTime::ZERO,
+        );
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 6);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut rm = manager();
+        rm.submit(mk_job(0, 0, 0, 1000, &[10, 10, 10], &[5]), SimTime::ZERO);
+        rm.reschedule(SimTime::ZERO);
+        let s = rm.stats();
+        assert_eq!(s.invocations, 1);
+        assert_eq!(s.max_tasks_in_model, 4);
+        assert_eq!(s.optimal_rounds + s.feasible_rounds, 1);
+    }
+}

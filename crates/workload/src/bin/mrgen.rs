@@ -1,0 +1,103 @@
+//! `mrgen` — generate workload traces as JSON.
+//!
+//! ```text
+//! mrgen table3   [--jobs N] [--seed S] [--e-max E] [--lambda L] [--resources M]
+//!                [--d-mult D] [--p-future P] [--s-max SM] [--out FILE]
+//! mrgen facebook [--jobs N] [--seed S] [--lambda L] [--task-scale TS]
+//!                [--resources M] [--out FILE]
+//! ```
+//!
+//! Emits a self-contained `workload::trace::Trace` (jobs + cluster +
+//! provenance) to stdout or `--out`, replayable by the library and the
+//! examples. Useful for archiving the exact input of an experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::trace::Trace;
+use workload::{FacebookConfig, FacebookGenerator, SyntheticConfig, SyntheticGenerator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(mode) = args.next() else {
+        die("expected a mode: table3 | facebook");
+    };
+    let mut jobs = 100usize;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut synth = SyntheticConfig::default();
+    let mut fb = FacebookConfig::default();
+
+    while let Some(flag) = args.next() {
+        let mut val = || {
+            args.next()
+                .unwrap_or_else(|| die(&format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--jobs" => jobs = parse(&val()),
+            "--seed" => seed = parse(&val()),
+            "--out" => out = Some(val()),
+            "--e-max" => synth.e_max = parse(&val()),
+            "--lambda" => {
+                let l: f64 = parse(&val());
+                synth.lambda = l;
+                fb.lambda = l;
+            }
+            "--resources" => {
+                let m: u32 = parse(&val());
+                synth.resources = m;
+                fb.resources = m;
+            }
+            "--d-mult" => {
+                let d: f64 = parse(&val());
+                synth.deadline_multiplier = d;
+                fb.deadline_multiplier = d;
+            }
+            "--p-future" => synth.p_future_start = parse(&val()),
+            "--s-max" => synth.s_max = parse(&val()),
+            "--task-scale" => fb.task_scale = parse(&val()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let trace = match mode.as_str() {
+        "table3" => {
+            let rng = StdRng::seed_from_u64(seed);
+            let mut gen = SyntheticGenerator::new(synth.clone(), rng);
+            Trace::new(
+                format!("table3 {synth:?} seed={seed} jobs={jobs}"),
+                synth.cluster(),
+                gen.take_jobs(jobs),
+            )
+        }
+        "facebook" => {
+            let rng = StdRng::seed_from_u64(seed);
+            let mut gen = FacebookGenerator::new(fb.clone(), rng);
+            Trace::new(
+                format!("facebook {fb:?} seed={seed} jobs={jobs}"),
+                fb.cluster(),
+                gen.take_jobs(jobs),
+            )
+        }
+        other => die(&format!("unknown mode {other}; expected table3 | facebook")),
+    };
+    trace.validate().expect("generated trace is valid");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, trace.to_json()).expect("write trace file");
+            eprintln!("wrote {} jobs to {path}", trace.jobs.len());
+        }
+        None => println!("{}", trace.to_json()),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("cannot parse '{s}'")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: mrgen <table3|facebook> [--jobs N] [--seed S] [--lambda L] [--resources M] [--e-max E] [--d-mult D] [--p-future P] [--s-max SM] [--task-scale TS] [--out FILE]");
+    std::process::exit(2);
+}

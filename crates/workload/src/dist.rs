@@ -1,0 +1,285 @@
+//! The samplers used by the paper's workload tables.
+//!
+//! Table 3 uses discrete uniform (DU), continuous uniform (U), Bernoulli and
+//! exponential (Poisson arrival process) distributions; the Facebook
+//! workload (§VI.B.1) uses LogNormal task execution times. All samplers are
+//! implemented here over the `rand` core so their parameterization matches
+//! the paper's notation exactly (inclusive DU bounds, LN(μ, σ²) with μ, σ²
+//! given in *log space* as in the paper).
+
+use rand::Rng;
+
+/// Discrete uniform `DU[lo, hi]` — both bounds inclusive, as in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscreteUniform {
+    lo: i64,
+    hi: i64,
+}
+
+impl DiscreteUniform {
+    /// `DU[lo, hi]` with `lo <= hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "DU[{lo},{hi}] has lo > hi");
+        DiscreteUniform { lo, hi }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    /// Expected value `(lo + hi) / 2`.
+    pub fn mean(&self) -> f64 {
+        (self.lo + self.hi) as f64 / 2.0
+    }
+}
+
+/// Continuous uniform `U[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// `U[lo, hi]` with `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad U[{lo},{hi}]");
+        Uniform { lo, hi }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Bernoulli(p): `true` with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Bernoulli with success probability `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli p={p} out of [0,1]");
+        Bernoulli { p }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // gen::<f64>() is uniform on [0,1); p=0 can never fire, p=1 always.
+        rng.gen::<f64>() < self.p
+    }
+}
+
+/// Exponential(rate λ) — inter-arrival times of the Poisson job stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Exponential with rate `λ > 0` (mean `1/λ`).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "Exponential rate={rate} must be > 0");
+        Exponential { rate }
+    }
+
+    /// Draw via inverse transform: `-ln(1 - u) / λ`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen(); // [0, 1)
+        -(1.0 - u).ln() / self.rate
+    }
+
+    /// Mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// LogNormal `LN(μ, σ²)` parameterized in log space, matching the paper's
+/// fitted Facebook task times: maps `LN(9.9511, 1.6764)` ms, reduces
+/// `LN(12.375, 1.6262)` ms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// `LN(mu, sigma²)`: `mu` is the mean and `sigma_sq` the *variance* of
+    /// the underlying normal, the same convention the paper uses.
+    pub fn new(mu: f64, sigma_sq: f64) -> Self {
+        assert!(sigma_sq >= 0.0, "LN variance {sigma_sq} negative");
+        LogNormal {
+            mu,
+            sigma: sigma_sq.sqrt(),
+        }
+    }
+
+    /// Draw via Box–Muller on the underlying normal.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The distribution mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// The distribution median `exp(μ)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+/// One standard-normal draw (Box–Muller, using only one of the pair; the
+/// simplicity is worth more than the discarded second variate here).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBADC0FFEE)
+    }
+
+    #[test]
+    fn du_within_bounds_and_hits_ends() {
+        let d = DiscreteUniform::new(1, 10);
+        let mut r = rng();
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((1..=10).contains(&x));
+            seen_lo |= x == 1;
+            seen_hi |= x == 10;
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds must both occur");
+    }
+
+    #[test]
+    fn du_degenerate_single_point() {
+        let d = DiscreteUniform::new(5, 5);
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r), 5);
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > hi")]
+    fn du_rejects_inverted_bounds() {
+        DiscreteUniform::new(3, 2);
+    }
+
+    #[test]
+    fn du_mean_close_to_theory() {
+        let d = DiscreteUniform::new(1, 100);
+        let mut r = rng();
+        let n = 100_000;
+        let sum: i64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - d.mean()).abs() < 0.5, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let u = Uniform::new(1.0, 2.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = u.sample(&mut r);
+            assert!((1.0..2.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 1.5).abs() < 0.01);
+        // degenerate
+        assert_eq!(Uniform::new(3.0, 3.0).sample(&mut r), 3.0);
+    }
+
+    #[test]
+    fn bernoulli_extremes_and_rate() {
+        let mut r = rng();
+        let b0 = Bernoulli::new(0.0);
+        let b1 = Bernoulli::new(1.0);
+        for _ in 0..1000 {
+            assert!(!b0.sample(&mut r));
+            assert!(b1.sample(&mut r));
+        }
+        let b = Bernoulli::new(0.3);
+        let hits = (0..100_000).filter(|_| b.sample(&mut r)).count();
+        let p_hat = hits as f64 / 100_000.0;
+        assert!((p_hat - 0.3).abs() < 0.01, "p_hat={p_hat}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let e = Exponential::new(0.01); // mean 100
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean={mean}");
+        // all draws nonnegative
+        assert!((0..1000).all(|_| e.sample(&mut r) >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        // The Facebook map-task distribution from the paper.
+        let ln = LogNormal::new(9.9511, 1.6764);
+        let mut r = rng();
+        let n = 200_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| ln.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        // median = e^mu ≈ 21,000 ms ≈ 21s
+        assert!(
+            (median / ln.median() - 1.0).abs() < 0.05,
+            "median {median} vs {}",
+            ln.median()
+        );
+        let mean: f64 = xs.iter().sum::<f64>() / n as f64;
+        // heavy tail: sample mean converges slowly, allow 10%
+        assert!(
+            (mean / ln.mean() - 1.0).abs() < 0.10,
+            "mean {mean} vs {}",
+            ln.mean()
+        );
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+}

@@ -1,0 +1,370 @@
+//! The Table 3 synthetic workload (factor-at-a-time experiments).
+//!
+//! Every parameter, distribution, and default (boldface) value below comes
+//! from Table 3 of the paper:
+//!
+//! | parameter | distribution | values (default bold) |
+//! |---|---|---|
+//! | `k_j^mp` maps/job | `DU[1, 100]` | fixed |
+//! | `k_j^rd` reduces/job | `DU[1, 100]` | fixed |
+//! | `me` map exec time (s) | `DU[1, e_max]` | e_max ∈ {10, **50**, 100} |
+//! | `re` reduce exec time (s) | `3·Σme/k_rd + DU[1,10]` | derived |
+//! | `s_j` earliest start | `v_j` w.p. 1-p, else `v_j + DU[1, s_max]` | p ∈ {0.1, **0.5**, 0.9}, s_max ∈ {10000, **50000**, 250000} |
+//! | `d_j` deadline | `s_j + TE · U[1, d_M]` | d_M ∈ {2, **5**, 10} |
+//! | `λ` arrival rate (jobs/s) | Poisson process | {0.001, **0.01**, 0.015, 0.02} |
+//! | `m` resources | — | {25, **50**, 100}, `c^mp = c^rd = 2` |
+
+use crate::dist::{Bernoulli, DiscreteUniform, Exponential, Uniform};
+use crate::model::{homogeneous_cluster, Job, JobId, Resource, Task, TaskId, TaskKind};
+use desim::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Table 3 workload. `Default` gives the paper's boldface
+/// defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Inclusive bounds on the number of map tasks per job (`DU[1,100]`).
+    pub maps_per_job: (i64, i64),
+    /// Inclusive bounds on the number of reduce tasks per job (`DU[1,100]`).
+    pub reduces_per_job: (i64, i64),
+    /// Upper bound `e_max` of the map execution time `DU[1, e_max]`, seconds.
+    pub e_max: i64,
+    /// Probability `p` that a job's earliest start time lies in the future.
+    pub p_future_start: f64,
+    /// Upper bound `s_max` of the start offset `DU[1, s_max]`, seconds.
+    pub s_max: i64,
+    /// Upper bound `d_M` of the deadline multiplier `U[1, d_M]`.
+    pub deadline_multiplier: f64,
+    /// Job arrival rate `λ`, jobs per second (Poisson process).
+    pub lambda: f64,
+    /// Number of resources `m`.
+    pub resources: u32,
+    /// Map slots per resource `c^mp`.
+    pub map_capacity: u32,
+    /// Reduce slots per resource `c^rd`.
+    pub reduce_capacity: u32,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            maps_per_job: (1, 100),
+            reduces_per_job: (1, 100),
+            e_max: 50,
+            p_future_start: 0.5,
+            s_max: 50_000,
+            deadline_multiplier: 5.0,
+            lambda: 0.01,
+            resources: 50,
+            map_capacity: 2,
+            reduce_capacity: 2,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Panics with a descriptive message if a parameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.maps_per_job.0 >= 1 && self.maps_per_job.0 <= self.maps_per_job.1);
+        assert!(self.reduces_per_job.0 >= 0 && self.reduces_per_job.0 <= self.reduces_per_job.1);
+        assert!(self.e_max >= 1, "e_max must be >= 1s");
+        assert!((0.0..=1.0).contains(&self.p_future_start));
+        assert!(self.s_max >= 1);
+        assert!(self.deadline_multiplier >= 1.0);
+        assert!(self.lambda > 0.0);
+        assert!(self.resources >= 1);
+        assert!(self.map_capacity >= 1 && self.reduce_capacity >= 1);
+    }
+
+    /// The cluster this workload runs on (`m` homogeneous resources).
+    pub fn cluster(&self) -> Vec<Resource> {
+        homogeneous_cluster(self.resources, self.map_capacity, self.reduce_capacity)
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> u32 {
+        self.resources * self.map_capacity
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn total_reduce_slots(&self) -> u32 {
+        self.resources * self.reduce_capacity
+    }
+}
+
+/// Streaming generator of Table 3 jobs: each call to
+/// [`next_job`](SyntheticGenerator::next_job) produces the next arrival of
+/// the Poisson stream.
+///
+/// ```
+/// use workload::{SyntheticConfig, SyntheticGenerator};
+/// use rand::SeedableRng;
+///
+/// let cfg = SyntheticConfig::default(); // the paper's boldface defaults
+/// let rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let mut gen = SyntheticGenerator::new(cfg, rng);
+/// let jobs = gen.take_jobs(10);
+/// assert_eq!(jobs.len(), 10);
+/// assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// jobs.iter().for_each(|j| j.validate().unwrap());
+/// ```
+#[derive(Debug)]
+pub struct SyntheticGenerator<R: Rng> {
+    cfg: SyntheticConfig,
+    rng: R,
+    next_job_id: u32,
+    next_task_id: u32,
+    clock: f64, // arrival clock, seconds
+}
+
+impl<R: Rng> SyntheticGenerator<R> {
+    /// New generator; validates the config.
+    pub fn new(cfg: SyntheticConfig, rng: R) -> Self {
+        cfg.validate();
+        SyntheticGenerator {
+            cfg,
+            rng,
+            next_job_id: 0,
+            next_task_id: 0,
+            clock: 0.0,
+        }
+    }
+
+    /// The config in use.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.cfg
+    }
+
+    /// Generate the next arriving job.
+    pub fn next_job(&mut self) -> Job {
+        let cfg = self.cfg.clone();
+        let inter = Exponential::new(cfg.lambda).sample(&mut self.rng);
+        self.clock += inter;
+        let arrival = SimTime::from_secs_f64(self.clock);
+
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+
+        // Task counts: k_mp ~ DU, k_rd ~ DU.
+        let k_mp =
+            DiscreteUniform::new(cfg.maps_per_job.0, cfg.maps_per_job.1).sample(&mut self.rng);
+        let k_rd = DiscreteUniform::new(cfg.reduces_per_job.0, cfg.reduces_per_job.1)
+            .sample(&mut self.rng);
+
+        // Map execution times me ~ DU[1, e_max] seconds.
+        let me_dist = DiscreteUniform::new(1, cfg.e_max);
+        let mut map_tasks = Vec::with_capacity(k_mp as usize);
+        let mut total_me: i64 = 0;
+        for _ in 0..k_mp {
+            let me = me_dist.sample(&mut self.rng);
+            total_me += me;
+            map_tasks.push(Task {
+                id: self.alloc_task(),
+                job: id,
+                kind: TaskKind::Map,
+                exec_time: SimTime::from_secs(me),
+                req: 1,
+            });
+        }
+
+        // Reduce execution times re = 3·Σme/k_rd + DU[1,10] seconds.
+        let re_noise = DiscreteUniform::new(1, 10);
+        let mut reduce_tasks = Vec::with_capacity(k_rd as usize);
+        for _ in 0..k_rd {
+            let base = if k_rd > 0 { 3 * total_me / k_rd } else { 0 };
+            let re = (base + re_noise.sample(&mut self.rng)).max(1);
+            reduce_tasks.push(Task {
+                id: self.alloc_task(),
+                job: id,
+                kind: TaskKind::Reduce,
+                exec_time: SimTime::from_secs(re),
+                req: 1,
+            });
+        }
+
+        // Earliest start time: s_j = v_j, or v_j + DU[1, s_max] w.p. p.
+        let future = Bernoulli::new(cfg.p_future_start).sample(&mut self.rng);
+        let earliest_start = if future {
+            arrival + SimTime::from_secs(DiscreteUniform::new(1, cfg.s_max).sample(&mut self.rng))
+        } else {
+            arrival
+        };
+
+        // Deadline: d_j = s_j + TE · U[1, d_M]; TE is the job's minimum
+        // execution time assuming it has the whole (otherwise empty) system.
+        let mut job = Job {
+            id,
+            arrival,
+            earliest_start,
+            deadline: SimTime::MAX, // fixed below
+            map_tasks,
+            reduce_tasks,
+            precedences: vec![],
+        };
+        let te = job.min_execution_time(cfg.total_map_slots(), cfg.total_reduce_slots());
+        let mult = Uniform::new(1.0, cfg.deadline_multiplier).sample(&mut self.rng);
+        job.deadline =
+            earliest_start + SimTime::from_millis((te.as_millis() as f64 * mult).round() as i64);
+
+        debug_assert!(job.validate().is_ok(), "generated invalid job: {job:?}");
+        job
+    }
+
+    /// Generate a fixed-size workload of `n` jobs.
+    pub fn take_jobs(&mut self, n: usize) -> Vec<Job> {
+        (0..n).map(|_| self.next_job()).collect()
+    }
+
+    fn alloc_task(&mut self) -> TaskId {
+        let id = TaskId(self.next_task_id);
+        self.next_task_id += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(cfg: SyntheticConfig) -> SyntheticGenerator<StdRng> {
+        SyntheticGenerator::new(cfg, StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn defaults_match_table3_bold_values() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.e_max, 50);
+        assert_eq!(c.p_future_start, 0.5);
+        assert_eq!(c.s_max, 50_000);
+        assert_eq!(c.deadline_multiplier, 5.0);
+        assert_eq!(c.lambda, 0.01);
+        assert_eq!(c.resources, 50);
+        assert_eq!(c.map_capacity, 2);
+        assert_eq!(c.reduce_capacity, 2);
+        assert_eq!(c.total_map_slots(), 100);
+    }
+
+    #[test]
+    fn jobs_are_valid_and_within_bounds() {
+        let mut g = gen(SyntheticConfig::default());
+        for _ in 0..200 {
+            let j = g.next_job();
+            j.validate().expect("valid job");
+            assert!((1..=100).contains(&(j.map_tasks.len() as i64)));
+            assert!((1..=100).contains(&(j.reduce_tasks.len() as i64)));
+            for t in &j.map_tasks {
+                let secs = t.exec_time.as_millis() / 1000;
+                assert!((1..=50).contains(&secs), "map exec {secs}s out of DU[1,50]");
+            }
+            assert!(j.earliest_start >= j.arrival);
+            assert!(j.deadline >= j.earliest_start);
+        }
+    }
+
+    #[test]
+    fn reduce_times_follow_formula() {
+        let mut g = gen(SyntheticConfig::default());
+        for _ in 0..50 {
+            let j = g.next_job();
+            let total_me: i64 = j.map_tasks.iter().map(|t| t.exec_time.as_millis() / 1000).sum();
+            let k_rd = j.reduce_tasks.len() as i64;
+            let base = 3 * total_me / k_rd;
+            for t in &j.reduce_tasks {
+                let re = t.exec_time.as_millis() / 1000;
+                assert!(
+                    re > base && re <= base + 10,
+                    "re={re} not in [{},{}]",
+                    base + 1,
+                    base + 10
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_times_strictly_increase_and_match_rate() {
+        let mut g = gen(SyntheticConfig::default());
+        let jobs = g.take_jobs(2000);
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        // mean inter-arrival should be ~1/λ = 100s
+        let span = (jobs.last().unwrap().arrival - jobs[0].arrival).as_secs_f64();
+        let mean_ia = span / (jobs.len() - 1) as f64;
+        assert!((mean_ia - 100.0).abs() < 10.0, "mean inter-arrival {mean_ia}");
+    }
+
+    #[test]
+    fn p_zero_means_start_equals_arrival() {
+        let mut g = gen(SyntheticConfig {
+            p_future_start: 0.0,
+            ..Default::default()
+        });
+        for _ in 0..100 {
+            let j = g.next_job();
+            assert_eq!(j.earliest_start, j.arrival);
+        }
+    }
+
+    #[test]
+    fn p_one_means_start_always_future() {
+        let mut g = gen(SyntheticConfig {
+            p_future_start: 1.0,
+            ..Default::default()
+        });
+        for _ in 0..100 {
+            let j = g.next_job();
+            assert!(j.earliest_start > j.arrival);
+            let off = (j.earliest_start - j.arrival).as_millis() / 1000;
+            assert!((1..=50_000).contains(&off));
+        }
+    }
+
+    #[test]
+    fn deadline_within_te_multiplier_range() {
+        let cfg = SyntheticConfig::default();
+        let mut g = gen(cfg.clone());
+        for _ in 0..100 {
+            let j = g.next_job();
+            let te = j
+                .min_execution_time(cfg.total_map_slots(), cfg.total_reduce_slots())
+                .as_millis() as f64;
+            let win = (j.deadline - j.earliest_start).as_millis() as f64;
+            assert!(
+                win >= te * 0.999 && win <= te * cfg.deadline_multiplier * 1.001,
+                "window {win} vs TE {te}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_ids_are_globally_unique() {
+        let mut g = gen(SyntheticConfig::default());
+        let jobs = g.take_jobs(50);
+        let mut seen = std::collections::HashSet::new();
+        for j in &jobs {
+            for t in j.tasks() {
+                assert!(seen.insert(t.id), "duplicate task id {:?}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = gen(SyntheticConfig::default()).take_jobs(20);
+        let b = gen(SyntheticConfig::default()).take_jobs(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        gen(SyntheticConfig {
+            lambda: 0.0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,132 @@
+//! Workload trace (de)serialization.
+//!
+//! An experiment's exact input — the generated jobs and the cluster — can be
+//! archived as JSON and replayed later, so a figure in EXPERIMENTS.md is
+//! always reproducible from its artifact even if generator code evolves.
+
+use crate::model::{Job, Resource};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// A self-contained workload: the jobs of one run plus the cluster they were
+/// generated against, with free-form provenance notes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable description (generator, parameters, seed).
+    pub description: String,
+    /// The cluster the workload targets.
+    pub resources: Vec<Resource>,
+    /// The jobs in arrival order.
+    pub jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Bundle jobs and resources into a trace.
+    pub fn new(description: impl Into<String>, resources: Vec<Resource>, jobs: Vec<Job>) -> Self {
+        Trace {
+            description: description.into(),
+            resources,
+            jobs,
+        }
+    }
+
+    /// Validate every job and that arrivals are nondecreasing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.resources.is_empty() {
+            return Err("trace has no resources".into());
+        }
+        for j in &self.jobs {
+            j.validate()?;
+        }
+        for w in self.jobs.windows(2) {
+            if w[1].arrival < w[0].arrival {
+                return Err(format!(
+                    "arrivals out of order: {} at {} before {} at {}",
+                    w[1].id, w[1].arrival, w[0].id, w[0].arrival
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parse from JSON and validate.
+    pub fn from_json(s: &str) -> Result<Trace, String> {
+        let t: Trace = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Write JSON to any sink.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(self.to_json().as_bytes())
+    }
+
+    /// Read and validate from any source.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Trace, String> {
+        let mut s = String::new();
+        r.read_to_string(&mut s).map_err(|e| e.to_string())?;
+        Trace::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::homogeneous_cluster;
+    use crate::synthetic::{SyntheticConfig, SyntheticGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_trace() -> Trace {
+        let cfg = SyntheticConfig::default();
+        let mut g = SyntheticGenerator::new(cfg.clone(), StdRng::seed_from_u64(1));
+        Trace::new("table3 defaults, seed 1", cfg.cluster(), g.take_jobs(10))
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample_trace();
+        let s = t.to_json();
+        let back = Trace::from_json(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn validation_rejects_bad_traces() {
+        let mut t = sample_trace();
+        t.jobs.swap(0, 9); // arrivals out of order
+        assert!(t.validate().is_err());
+
+        let t2 = Trace::new("no resources", vec![], vec![]);
+        assert!(t2.validate().is_err());
+
+        let mut t3 = sample_trace();
+        t3.jobs[0].deadline = desim::SimTime::from_millis(-1);
+        assert!(t3.validate().is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Trace::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn trace_new_preserves_cluster() {
+        let t = Trace::new("x", homogeneous_cluster(3, 2, 2), vec![]);
+        assert_eq!(t.resources.len(), 3);
+    }
+}

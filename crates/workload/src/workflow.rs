@@ -1,0 +1,241 @@
+//! Workflow (DAG) job construction — the paper's §VII future-work
+//! generalization: "handling more complex workflows with user-specified
+//! precedence relationships".
+//!
+//! A workflow job is an ordinary [`Job`] whose `precedences` field carries
+//! task-level edges in addition to the implicit map→reduce barrier.
+//! [`WorkflowBuilder`] builds them by hand (used by the `workflow_pipeline`
+//! example); [`random_workflow`] generates layered random DAGs for tests
+//! and stress runs.
+
+use crate::model::{Job, JobId, Task, TaskId, TaskKind};
+use desim::SimTime;
+use rand::Rng;
+
+/// Incrementally builds one workflow job.
+#[derive(Debug)]
+pub struct WorkflowBuilder {
+    id: JobId,
+    arrival: SimTime,
+    earliest_start: SimTime,
+    deadline: SimTime,
+    next_task: u32,
+    maps: Vec<Task>,
+    reduces: Vec<Task>,
+    edges: Vec<(TaskId, TaskId)>,
+}
+
+impl WorkflowBuilder {
+    /// Start a workflow job. Task ids are allocated from `task_id_base`
+    /// (callers give each job a disjoint range, as the generators do).
+    pub fn new(
+        id: JobId,
+        task_id_base: u32,
+        arrival: SimTime,
+        earliest_start: SimTime,
+        deadline: SimTime,
+    ) -> Self {
+        WorkflowBuilder {
+            id,
+            arrival,
+            earliest_start,
+            deadline,
+            next_task: task_id_base,
+            maps: Vec::new(),
+            reduces: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a task of the given kind and duration; returns its id for use in
+    /// [`after`](Self::after).
+    pub fn task(&mut self, kind: TaskKind, exec_time: SimTime) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        let t = Task {
+            id,
+            job: self.id,
+            kind,
+            exec_time,
+            req: 1,
+        };
+        match kind {
+            TaskKind::Map => self.maps.push(t),
+            TaskKind::Reduce => self.reduces.push(t),
+        }
+        id
+    }
+
+    /// Require `after` to start only once `before` has completed.
+    pub fn after(&mut self, before: TaskId, after: TaskId) -> &mut Self {
+        self.edges.push((before, after));
+        self
+    }
+
+    /// Finish, validating the workflow.
+    pub fn build(self) -> Result<Job, String> {
+        let job = Job {
+            id: self.id,
+            arrival: self.arrival,
+            earliest_start: self.earliest_start,
+            deadline: self.deadline,
+            map_tasks: self.maps,
+            reduce_tasks: self.reduces,
+            precedences: self.edges,
+        };
+        job.validate()?;
+        Ok(job)
+    }
+}
+
+/// Generate a random layered map-task DAG: `layers` layers of up to
+/// `width` tasks each, every task depending on 1..=2 random tasks of the
+/// previous layer. Durations are `DU[1, e_max]` seconds. Reduce-free so
+/// the DAG alone (not the barrier) defines the shape.
+#[allow(clippy::too_many_arguments)] // mirrors the generator's parameter table
+pub fn random_workflow<R: Rng>(
+    rng: &mut R,
+    id: JobId,
+    task_id_base: u32,
+    arrival: SimTime,
+    deadline_slack: f64,
+    layers: usize,
+    width: usize,
+    e_max: i64,
+) -> Job {
+    assert!(layers >= 1 && width >= 1 && e_max >= 1);
+    let mut b = WorkflowBuilder::new(id, task_id_base, arrival, arrival, SimTime::MAX);
+    let mut prev: Vec<TaskId> = Vec::new();
+    let mut critical_path_s = 0i64;
+    for layer in 0..layers {
+        let count = rng.gen_range(1..=width);
+        let mut cur = Vec::with_capacity(count);
+        let mut layer_max = 0i64;
+        for _ in 0..count {
+            let dur = rng.gen_range(1..=e_max);
+            layer_max = layer_max.max(dur);
+            let t = b.task(TaskKind::Map, SimTime::from_secs(dur));
+            if layer > 0 {
+                let deps = rng.gen_range(1..=2.min(prev.len()));
+                for _ in 0..deps {
+                    let d = prev[rng.gen_range(0..prev.len())];
+                    b.after(d, t);
+                }
+            }
+            cur.push(t);
+        }
+        critical_path_s += layer_max;
+        prev = cur;
+    }
+    // Deadline: slack × an upper bound on the critical path.
+    let mut job = b.build().expect("random workflow is well-formed");
+    job.deadline = arrival
+        + SimTime::from_millis(
+            (SimTime::from_secs(critical_path_s).as_millis() as f64 * deadline_slack).round()
+                as i64,
+        );
+    debug_assert!(job.validate().is_ok());
+    job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_produces_valid_workflow() {
+        let mut b = WorkflowBuilder::new(
+            JobId(0),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
+        let ingest = b.task(TaskKind::Map, SimTime::from_secs(5));
+        let clean = b.task(TaskKind::Map, SimTime::from_secs(5));
+        let join = b.task(TaskKind::Map, SimTime::from_secs(3));
+        b.after(ingest, join).after(clean, join);
+        let summarize = b.task(TaskKind::Reduce, SimTime::from_secs(4));
+        let job = b.build().unwrap();
+        assert_eq!(job.task_count(), 4);
+        assert_eq!(job.precedences.len(), 2);
+        let _ = (join, summarize);
+    }
+
+    #[test]
+    fn builder_rejects_cycles() {
+        let mut b = WorkflowBuilder::new(
+            JobId(0),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
+        let a = b.task(TaskKind::Map, SimTime::from_secs(1));
+        let c = b.task(TaskKind::Map, SimTime::from_secs(1));
+        b.after(a, c).after(c, a);
+        assert!(b.build().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn builder_rejects_reduce_to_map_edges() {
+        let mut b = WorkflowBuilder::new(
+            JobId(0),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
+        let m = b.task(TaskKind::Map, SimTime::from_secs(1));
+        let r = b.task(TaskKind::Reduce, SimTime::from_secs(1));
+        b.after(r, m);
+        assert!(b.build().unwrap_err().contains("barrier"));
+    }
+
+    #[test]
+    fn random_workflows_are_valid_and_layered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..20 {
+            let job = random_workflow(
+                &mut rng,
+                JobId(i),
+                i * 1000,
+                SimTime::from_secs(i as i64),
+                2.0,
+                4,
+                3,
+                10,
+            );
+            job.validate().unwrap();
+            assert!(!job.precedences.is_empty() || job.task_count() <= 1 || job.map_tasks.len() <= 4);
+            assert!(job.deadline > job.arrival);
+        }
+    }
+
+    #[test]
+    fn random_workflow_is_deterministic() {
+        let a = random_workflow(
+            &mut StdRng::seed_from_u64(9),
+            JobId(0),
+            0,
+            SimTime::ZERO,
+            1.5,
+            3,
+            3,
+            5,
+        );
+        let b = random_workflow(
+            &mut StdRng::seed_from_u64(9),
+            JobId(0),
+            0,
+            SimTime::ZERO,
+            1.5,
+            3,
+            3,
+            5,
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! SLA deadline tuning: how tight can customers' deadlines be before the
+//! cluster starts missing them?
+//!
+//! Sweeps the deadline multiplier `d_M` (the paper's Fig. 7 factor) over an
+//! open stream of Table 3-style jobs and reports the proportion of late
+//! jobs and the scheduler overhead at each tightness level, plus the same
+//! under the three job-ordering strategies of §VI.B.
+//!
+//! ```text
+//! cargo run --release --example deadline_tuning [n_jobs]
+//! ```
+
+use desim::RngStreams;
+use mrcp::{simulate, JobOrdering, SimConfig};
+use workload::{SyntheticConfig, SyntheticGenerator};
+
+fn run(cfg: &SyntheticConfig, n_jobs: usize, ordering: JobOrdering, seed: u64) -> (f64, f64, f64) {
+    let rng = RngStreams::new(seed).stream("workload");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n_jobs);
+    let mut sim = SimConfig::default();
+    sim.manager.ordering = ordering;
+    let m = simulate(&sim, &cfg.cluster(), jobs);
+    (m.p_late, m.mean_turnaround_s, m.o_per_job_s)
+}
+
+fn main() {
+    let n_jobs: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n_jobs must be an integer"))
+        .unwrap_or(120);
+
+    // 6 nodes with the Table 3 job shape shrunk 5× → reduce slots at ~70%
+    // utilization, where deadline tightness really bites.
+    let base = SyntheticConfig {
+        maps_per_job: (1, 20),
+        reduces_per_job: (1, 10),
+        e_max: 50,
+        resources: 6,
+        ..Default::default()
+    };
+
+    println!("== deadline tightness sweep (EDF ordering, {n_jobs} jobs/point) ==");
+    println!("{:>6} {:>9} {:>10} {:>12}", "d_M", "P", "T (s)", "O (ms/job)");
+    for d_m in [1.5, 2.0, 3.0, 5.0, 10.0] {
+        let cfg = SyntheticConfig {
+            deadline_multiplier: d_m,
+            ..base.clone()
+        };
+        let (p, t, o) = run(&cfg, n_jobs, JobOrdering::Edf, 5);
+        println!("{d_m:>6} {:>8.2}% {:>10.1} {:>12.3}", p * 100.0, t, o * 1e3);
+    }
+    println!("\npaper's Fig. 7: P falls 3.46% → 0.56% → 0.21% as d_M goes 2 → 5 → 10,");
+    println!("and the scheduler works hardest (highest O) when laxity is scarce.\n");
+
+    println!("== job ordering strategies at d_M = 2 (paper §VI.B) ==");
+    println!("{:>14} {:>9} {:>10} {:>12}", "ordering", "P", "T (s)", "O (ms/job)");
+    let tight = SyntheticConfig {
+        deadline_multiplier: 2.0,
+        ..base
+    };
+    for ordering in JobOrdering::all() {
+        let (p, t, o) = run(&tight, n_jobs, ordering, 5);
+        println!(
+            "{:>14} {:>8.2}% {:>10.1} {:>12.3}",
+            ordering.name(),
+            p * 100.0,
+            t,
+            o * 1e3
+        );
+    }
+    println!("\npaper: EDF produced the smallest P, but no strategy differed significantly.");
+}

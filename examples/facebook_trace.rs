@@ -1,0 +1,87 @@
+//! Facebook-workload shoot-out: MRCP-RM vs MinEDF-WC vs EDF vs FCFS.
+//!
+//! Regenerates a single point of the paper's Figs. 2–3 comparison at
+//! reduced scale: the synthetic October-2009 Facebook workload (Table 4
+//! job mix, LogNormal task times) on a 64-node cluster with one map and
+//! one reduce slot per node.
+//!
+//! ```text
+//! cargo run --release --example facebook_trace [n_jobs] [task_scale]
+//! ```
+
+use baselines::{run_slot_sim, Edf, Fcfs, MinEdfWc};
+use desim::RngStreams;
+use mrcp::{simulate, SimConfig};
+use workload::{FacebookConfig, FacebookGenerator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_jobs: usize = args
+        .next()
+        .map(|s| s.parse().expect("n_jobs must be an integer"))
+        .unwrap_or(150);
+    let task_scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("task_scale must be a float"))
+        .unwrap_or(0.05);
+
+    // Paper setting: λ = 2e-4 jobs/s. When task counts are scaled down the
+    // cluster shrinks by the same ratio, preserving per-slot utilization
+    // and the bursty saturation episodes that differentiate the schedulers.
+    let cfg = FacebookConfig {
+        lambda: 2e-4,
+        task_scale,
+        resources: ((64.0 * task_scale).round() as u32).max(2),
+        ..Default::default()
+    };
+    let cluster = cfg.cluster();
+
+    println!(
+        "Facebook workload: {n_jobs} jobs, task scale {task_scale}, λ={:.2e} jobs/s, {}×(1,1) cluster",
+        cfg.lambda, cfg.resources
+    );
+    println!("(Table 4 job mix; map times LN(9.9511,1.6764)ms, reduce times LN(12.375,1.6262)ms)\n");
+
+    let gen_jobs = || {
+        let rng = RngStreams::new(2009).stream("facebook");
+        FacebookGenerator::new(cfg.clone(), rng).take_jobs(n_jobs)
+    };
+
+    println!(
+        "{:<11} {:>8} {:>8} {:>12} {:>14}",
+        "scheduler", "late", "P", "T (s)", "O (ms/job)"
+    );
+
+    // MRCP-RM (CP-based, the paper's contribution).
+    let m = simulate(&SimConfig::default(), &cluster, gen_jobs());
+    println!(
+        "{:<11} {:>8} {:>7.2}% {:>12.1} {:>14.3}",
+        "MRCP-RM",
+        m.late,
+        m.p_late * 100.0,
+        m.mean_turnaround_s,
+        m.o_per_job_s * 1e3
+    );
+
+    // Baselines on the identical job stream (common random numbers).
+    let shootout = |name: &str, m: baselines::BaselineMetrics| {
+        println!(
+            "{:<11} {:>8} {:>7.2}% {:>12.1} {:>14}",
+            name,
+            m.late,
+            m.p_late * 100.0,
+            m.mean_turnaround_s,
+            "~0"
+        );
+    };
+    let slots = (cfg.total_map_slots(), cfg.total_reduce_slots());
+    shootout(
+        "MinEDF-WC",
+        run_slot_sim(slots.0, slots.1, gen_jobs(), &mut MinEdfWc::default(), 0),
+    );
+    shootout("EDF", run_slot_sim(slots.0, slots.1, gen_jobs(), &mut Edf, 0));
+    shootout("FCFS", run_slot_sim(slots.0, slots.1, gen_jobs(), &mut Fcfs, 0));
+
+    println!("\npaper's Fig. 2: MRCP-RM cuts the proportion of late jobs by 70–93% vs MinEDF-WC");
+    println!("paper's Fig. 3: MRCP-RM's turnaround is up to 7% lower");
+}

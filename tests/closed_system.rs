@@ -1,0 +1,131 @@
+//! Cross-crate integration: the closed-system solvers (CP, fluid LP, MILP)
+//! agree on what they should agree on, and disagree exactly where theory
+//! says they must.
+
+use cpsolve::search::SolveParams;
+use desim::{RngStreams, SimTime};
+use baselines::lp_sched::{lp_schedule_closed, milp_schedule_closed};
+use mrcp::closed::solve_closed;
+use mrcp::JobOrdering;
+use workload::{Job, SyntheticConfig, SyntheticGenerator};
+
+fn batch(n: usize, seed: u64, d_m: f64) -> (SyntheticConfig, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 6),
+        reduces_per_job: (1, 3),
+        e_max: 15,
+        resources: 3,
+        deadline_multiplier: d_m,
+        p_future_start: 0.0,
+        lambda: 5.0, // near-simultaneous arrivals: a true batch
+        ..Default::default()
+    };
+    let rng = RngStreams::new(seed).stream("closed-it");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n);
+    (cfg, jobs)
+}
+
+/// The fluid LP is neither an upper nor a lower bound on the CP's late
+/// count — it relaxes capacity/barrier structure (optimistic) while its
+/// slot grid rounds completions up (pessimistic); which effect wins is
+/// instance-specific. What must hold: both produce internally consistent
+/// answers over the same jobs, and refining the LP's grid never *adds*
+/// grid-induced lateness.
+#[test]
+fn fluid_lp_is_internally_consistent() {
+    for seed in [1u64, 2] {
+        let (cfg, jobs) = batch(8, seed, 1.5);
+        let cp = solve_closed(
+            &cfg.cluster(),
+            &jobs,
+            JobOrdering::Edf,
+            &SolveParams {
+                node_limit: 20_000,
+                fail_limit: 20_000,
+                ..Default::default()
+            },
+            true,
+        )
+        .unwrap();
+        assert_eq!(cp.late_jobs.len() as u32, cp.objective);
+
+        let coarse = lp_schedule_closed(
+            cfg.total_map_slots(),
+            cfg.total_reduce_slots(),
+            &jobs,
+            16,
+        )
+        .unwrap();
+        let fine = lp_schedule_closed(
+            cfg.total_map_slots(),
+            cfg.total_reduce_slots(),
+            &jobs,
+            40,
+        )
+        .unwrap();
+        for lp in [&coarse, &fine] {
+            assert_eq!(lp.completions.len(), jobs.len());
+            for j in &jobs {
+                let c = lp.completions[&j.id];
+                assert!(c >= j.earliest_start, "completion before release");
+                assert_eq!(lp.late_jobs.contains(&j.id), c > j.deadline);
+            }
+        }
+        // A finer grid has (weakly) fewer grid-rounding casualties.
+        assert!(
+            fine.late_jobs.len() <= coarse.late_jobs.len(),
+            "seed {seed}: refining the grid must not add lateness ({} → {})",
+            coarse.late_jobs.len(),
+            fine.late_jobs.len()
+        );
+    }
+}
+
+/// On loose deadlines every solver finds zero late jobs.
+#[test]
+fn all_solvers_agree_on_loose_batches() {
+    // Deadlines loose enough that even the LP/MILP slot grid (horizon/20 ≈
+    // 9 s granularity here) cannot round anyone past a deadline.
+    let (cfg, jobs) = batch(6, 7, 40.0);
+    let cp = solve_closed(
+        &cfg.cluster(),
+        &jobs,
+        JobOrdering::Edf,
+        &SolveParams::default(),
+        true,
+    )
+    .unwrap();
+    assert_eq!(cp.objective, 0, "CP meets loose deadlines");
+    let lp = lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 30)
+        .unwrap();
+    assert!(lp.late_jobs.is_empty(), "fluid LP meets loose deadlines");
+    let milp =
+        milp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 20, 10_000)
+            .unwrap();
+    assert_eq!(milp.late, 0, "MILP meets loose deadlines");
+    assert!(milp.proven_optimal);
+}
+
+/// A job that cannot meet its deadline even alone is late for everyone.
+#[test]
+fn hopeless_job_is_late_for_every_solver() {
+    let (cfg, mut jobs) = batch(4, 11, 6.0);
+    // Make job 0 hopeless: deadline before its earliest possible end.
+    jobs[0].deadline = jobs[0].earliest_start + SimTime::from_secs(1);
+    let cp = solve_closed(
+        &cfg.cluster(),
+        &jobs,
+        JobOrdering::Edf,
+        &SolveParams::default(),
+        true,
+    )
+    .unwrap();
+    assert!(cp.late_jobs.contains(&jobs[0].id));
+    let lp = lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 30)
+        .unwrap();
+    assert!(lp.late_jobs.contains(&jobs[0].id));
+    let milp =
+        milp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 20, 10_000)
+            .unwrap();
+    assert!(milp.late >= 1);
+}
