@@ -65,10 +65,7 @@ mod tests {
             running_reduces: 0,
             maps_left: 1,
         };
-        let b = JobSnapshot {
-            id: JobId(1),
-            ..a
-        };
+        let b = JobSnapshot { id: JobId(1), ..a };
         assert_eq!(
             Fcfs.choose(Pool::Map, &[a, b], SimTime::ZERO),
             Some(JobId(1))

@@ -25,7 +25,7 @@ pub mod minedf_wc;
 pub mod slot_sim;
 
 pub use edf::Edf;
-pub use lp_sched::{lp_schedule_closed, LpSchedule};
 pub use fcfs::Fcfs;
+pub use lp_sched::{lp_schedule_closed, LpSchedule};
 pub use minedf_wc::{MinEdf, MinEdfWc};
 pub use slot_sim::{run_slot_sim, BaselineMetrics, DispatchPolicy, JobSnapshot};

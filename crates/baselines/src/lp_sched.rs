@@ -89,7 +89,12 @@ pub fn lp_schedule_closed(
         .as_secs_f64();
     let map_work: f64 = jobs
         .iter()
-        .map(|j| j.map_tasks.iter().map(|t| t.exec_time.as_secs_f64()).sum::<f64>())
+        .map(|j| {
+            j.map_tasks
+                .iter()
+                .map(|t| t.exec_time.as_secs_f64())
+                .sum::<f64>()
+        })
         .sum();
     let red_work: f64 = jobs
         .iter()
@@ -183,11 +188,7 @@ pub fn lp_schedule_closed(
             .map(|t| t.exec_time.as_secs_f64())
             .sum();
         if m_j > 0.0 {
-            let terms: Vec<_> = m_vars[ji]
-                .iter()
-                .flatten()
-                .map(|&v| (v, 1.0))
-                .collect();
+            let terms: Vec<_> = m_vars[ji].iter().flatten().map(|&v| (v, 1.0)).collect();
             if terms.is_empty() {
                 return Err(format!("{}: no usable slot for map work", j.id));
             }
@@ -198,11 +199,7 @@ pub fn lp_schedule_closed(
             }
         }
         if r_j > 0.0 {
-            let terms: Vec<_> = r_vars[ji]
-                .iter()
-                .flatten()
-                .map(|&v| (v, 1.0))
-                .collect();
+            let terms: Vec<_> = r_vars[ji].iter().flatten().map(|&v| (v, 1.0)).collect();
             if terms.is_empty() {
                 return Err(format!("{}: no usable slot for reduce work", j.id));
             }
@@ -332,7 +329,10 @@ mod tests {
         let s = lp_schedule_closed(2, 1, &jobs, 10).unwrap();
         let c = s.completions[&JobId(0)].as_secs_f64();
         assert!(c >= 20.0 - 1e-6, "cannot beat the fluid bound, got {c}");
-        assert!(c <= 20.0 + 6.0, "should finish within a slot of the bound, got {c}");
+        assert!(
+            c <= 20.0 + 6.0,
+            "should finish within a slot of the bound, got {c}"
+        );
         assert!(s.late_jobs.is_empty());
         assert!(s.n_vars > 0 && s.n_rows > 0);
     }
@@ -452,7 +452,12 @@ pub fn milp_schedule_closed(
         .as_secs_f64();
     let map_work: f64 = jobs
         .iter()
-        .map(|j| j.map_tasks.iter().map(|t| t.exec_time.as_secs_f64()).sum::<f64>())
+        .map(|j| {
+            j.map_tasks
+                .iter()
+                .map(|t| t.exec_time.as_secs_f64())
+                .sum::<f64>()
+        })
         .sum();
     let red_work: f64 = jobs
         .iter()
@@ -614,10 +619,7 @@ pub fn milp_schedule_closed(
         MilpOutcome::Feasible(s) => (s, false),
         other => return Err(format!("MILP solve failed: {other:?}")),
     };
-    let late = late_vars
-        .iter()
-        .filter(|v| solution.x[v.0] > 0.5)
-        .count() as u32;
+    let late = late_vars.iter().filter(|v| solution.x[v.0] > 0.5).count() as u32;
 
     Ok(MilpSchedule {
         late,

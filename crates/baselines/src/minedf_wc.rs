@@ -47,14 +47,21 @@ pub fn min_share(
     total_reduces: u32,
 ) -> MinShare {
     if n_maps == 0 && n_reduces == 0 {
-        return MinShare { maps: 0, reduces: 0 };
+        return MinShare {
+            maps: 0,
+            reduces: 0,
+        };
     }
     let map_work = n_maps as f64 * mean_map_s;
     let reduce_work = n_reduces as f64 * mean_reduce_s;
     let mut best: Option<(u32, MinShare)> = None;
     let max_m = total_maps.min(n_maps.max(1) as u32);
     for s_m in 1..=max_m {
-        let t_m = if n_maps > 0 { map_work / s_m as f64 } else { 0.0 };
+        let t_m = if n_maps > 0 {
+            map_work / s_m as f64
+        } else {
+            0.0
+        };
         let rem = budget_s - t_m;
         let s_r = if n_reduces == 0 {
             if rem < 0.0 {
@@ -114,7 +121,15 @@ fn record_share(shares: &mut HashMap<JobId, MinShare>, job: &Job, now: SimTime, 
     let budget = (job.deadline - job.earliest_start.max(now)).as_secs_f64();
     shares.insert(
         job.id,
-        min_share(n_m, mean(&job.map_tasks), n_r, mean(&job.reduce_tasks), budget, tm, tr),
+        min_share(
+            n_m,
+            mean(&job.map_tasks),
+            n_r,
+            mean(&job.reduce_tasks),
+            budget,
+            tm,
+            tr,
+        ),
     );
 }
 

@@ -220,8 +220,7 @@ impl<P: DispatchPolicy> desim::Process<Ev> for Sim<'_, P> {
                 self.policy
                     .on_arrival(&job, now, self.total_maps, self.total_reduces);
                 let eligible_at = job.earliest_start.max(now);
-                let maps: VecDeque<SimTime> =
-                    job.map_tasks.iter().map(|t| t.exec_time).collect();
+                let maps: VecDeque<SimTime> = job.map_tasks.iter().map(|t| t.exec_time).collect();
                 let reduces: VecDeque<SimTime> =
                     job.reduce_tasks.iter().map(|t| t.exec_time).collect();
                 let maps_left = maps.len();
@@ -302,7 +301,14 @@ pub fn run_slot_sim<P: DispatchPolicy>(
     policy: &mut P,
     warmup_jobs: usize,
 ) -> BaselineMetrics {
-    run_slot_sim_detailed(total_map_slots, total_reduce_slots, jobs, policy, warmup_jobs).0
+    run_slot_sim_detailed(
+        total_map_slots,
+        total_reduce_slots,
+        jobs,
+        policy,
+        warmup_jobs,
+    )
+    .0
 }
 
 /// Like [`run_slot_sim`] but also returns per-job outcomes in completion

@@ -97,9 +97,13 @@ fn check_policy<P: DispatchPolicy>(w: &W, mut policy: P) -> Result<(), TestCaseE
     let late = outcomes.iter().filter(|o| o.late).count();
     prop_assert_eq!(m.late, late);
     for o in &outcomes {
-        prop_assert!(o.completion >= lower[&o.job],
+        prop_assert!(
+            o.completion >= lower[&o.job],
             "{:?} finished at {} before its critical path bound {}",
-            o.job, o.completion, lower[&o.job]);
+            o.job,
+            o.completion,
+            lower[&o.job]
+        );
         prop_assert_eq!(o.late, o.completion > o.deadline);
     }
     // Completion order nondecreasing.

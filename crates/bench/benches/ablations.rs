@@ -8,8 +8,8 @@
 //! * **budget** — the anytime curve: solve quality/cost vs node budget.
 
 use bench::{batch_scenario, bench_scenario};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpsolve::search::{solve, SolveParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrcp::closed::solve_closed;
 use mrcp::defer::DeferPolicy;
 use mrcp::modelmap::{build_model, JobInput, TaskInput};
@@ -44,8 +44,10 @@ fn bench_split_vs_full(c: &mut Criterion) {
 fn bench_defer(c: &mut Criterion) {
     let (cluster, jobs, _) = bench_scenario(N_JOBS, 12);
     let mut g = c.benchmark_group("ablation_defer");
-    for (label, policy) in [("on(V.E)", DeferPolicy::default()), ("off", DeferPolicy::disabled())]
-    {
+    for (label, policy) in [
+        ("on(V.E)", DeferPolicy::default()),
+        ("off", DeferPolicy::disabled()),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut cfg = SimConfig::default();
@@ -87,9 +89,7 @@ fn bench_warm_start(c: &mut Criterion) {
             warm_start: warm,
             ..Default::default()
         };
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(solve(&mm.model, &params)))
-        });
+        g.bench_function(label, |b| b.iter(|| black_box(solve(&mm.model, &params))));
     }
     g.finish();
 }
@@ -122,8 +122,7 @@ fn bench_budget_curve(c: &mut Criterion) {
         };
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
-                solve_closed(black_box(&cluster), &jobs, JobOrdering::Edf, &params, true)
-                    .unwrap()
+                solve_closed(black_box(&cluster), &jobs, JobOrdering::Edf, &params, true).unwrap()
             })
         });
     }

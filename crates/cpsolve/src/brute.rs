@@ -59,14 +59,7 @@ pub fn brute_force_optimal(model: &Model, max_states: u64) -> Option<u32> {
     }
 
     let horizon = model.horizon;
-    let max_end = horizon
-        + model
-            .tasks
-            .iter()
-            .map(|t| t.dur)
-            .max()
-            .unwrap_or(0)
-        + 1;
+    let max_end = horizon + model.tasks.iter().map(|t| t.dur).max().unwrap_or(0) + 1;
 
     // usage[r][kind][t] = committed requirement at time t.
     let mut usage: Vec<[Vec<i64>; 2]> = (0..model.n_resources())
@@ -96,7 +89,7 @@ pub fn brute_force_optimal(model: &Model, max_states: u64) -> Option<u32> {
         model: &Model,
         order: &[TaskRef],
         pos: usize,
-        usage: &mut [ [Vec<i64>; 2] ],
+        usage: &mut [[Vec<i64>; 2]],
         starts: &mut [i64],
         resources: &mut [ResRef],
         best: &mut Option<u32>,
@@ -184,7 +177,16 @@ pub fn brute_force_optimal(model: &Model, max_states: u64) -> Option<u32> {
             }
             starts[t.idx()] = s;
             resources[t.idx()] = r;
-            rec(model, order, pos + 1, usage, starts, resources, best, budget);
+            rec(
+                model,
+                order,
+                pos + 1,
+                usage,
+                starts,
+                resources,
+                best,
+                budget,
+            );
             let lane = &mut usage[r.idx()][ki];
             for slot in lane[lo..hi].iter_mut() {
                 *slot -= req;

@@ -252,7 +252,11 @@ impl ModelBuilder {
                 .jobs
                 .iter()
                 .map(|j| j.release)
-                .chain(self.tasks.iter().filter_map(|t| t.fixed.map(|f| f.1 + t.dur)))
+                .chain(
+                    self.tasks
+                        .iter()
+                        .filter_map(|t| t.fixed.map(|f| f.1 + t.dur)),
+                )
                 .max()
                 .unwrap_or(0);
             let total: i64 = self

@@ -123,7 +123,14 @@ impl Cumulative {
     /// Height that `[s, s+dur)` must coexist with, excluding `own`'s
     /// contribution, must stay ≤ cap - req. Returns the first blocking
     /// segment's `end` for a forward scan, if any.
-    fn first_block(&self, s: i64, dur: i64, own: Option<(i64, i64, i64)>, cap: i64, req: i64) -> Option<i64> {
+    fn first_block(
+        &self,
+        s: i64,
+        dur: i64,
+        own: Option<(i64, i64, i64)>,
+        cap: i64,
+        req: i64,
+    ) -> Option<i64> {
         // Segments are sorted by start and non-overlapping; find the first
         // segment with end > s.
         let from = self.segs.partition_point(|seg| seg.end <= s);
@@ -144,7 +151,14 @@ impl Cumulative {
 
     /// Like [`first_block`](Self::first_block) but returns the last blocking
     /// segment's `start` for a backward scan.
-    fn last_block(&self, s: i64, dur: i64, own: Option<(i64, i64, i64)>, cap: i64, req: i64) -> Option<i64> {
+    fn last_block(
+        &self,
+        s: i64,
+        dur: i64,
+        own: Option<(i64, i64, i64)>,
+        cap: i64,
+        req: i64,
+    ) -> Option<i64> {
         let from = self.segs.partition_point(|seg| seg.end <= s);
         let mut found = None;
         for seg in &self.segs[from..] {

@@ -69,11 +69,7 @@ mod tests {
 
     fn run(model: &Model, dom: &mut Domains, bound: u32) -> Result<(), Conflict> {
         let mut p = ObjectiveBound::new();
-        let mut c = Ctx {
-            model,
-            dom,
-            bound,
-        };
+        let mut c = Ctx { model, dom, bound };
         p.propagate(&mut c)
     }
 

@@ -156,9 +156,7 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
     if params.warm_start {
         if let Ok(g) = greedy_edf(model) {
             debug_assert!(g.verify(model).is_ok(), "greedy produced invalid schedule");
-            if g.verify(model).is_ok()
-                && best.as_ref().is_none_or(|b| g.objective < b.objective)
-            {
+            if g.verify(model).is_ok() && best.as_ref().is_none_or(|b| g.objective < b.objective) {
                 best = Some(g);
             }
         }
@@ -220,6 +218,12 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
     let mut budget_hit = false;
     let mut restart_no: u64 = 0;
     let mut fails_at_restart: u64 = 0;
+    // Next node count at which to pay for a clock read. A threshold (not
+    // `nodes % k == 0`) so the check cannot be skipped forever: backtracking
+    // advances `nodes` by more than one, which could step over every
+    // multiple of k and loop past the deadline indefinitely. The first
+    // iteration always checks, so even a zero time limit stops promptly.
+    let mut next_time_check: u64 = 0;
 
     'search: loop {
         // Budget checks (time checked at a coarse cadence).
@@ -228,9 +232,12 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
             break;
         }
         if let Some(tl) = params.time_limit {
-            if stats.nodes % 128 == 0 && t0.elapsed() > tl {
-                budget_hit = true;
-                break;
+            if stats.nodes >= next_time_check {
+                next_time_check = stats.nodes + 128;
+                if t0.elapsed() > tl {
+                    budget_hit = true;
+                    break;
+                }
             }
         }
         // Luby restart: abandon the dive, keep the (monotone) objective
@@ -323,12 +330,7 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
 }
 
 /// Apply one decision and propagate.
-fn apply(
-    dec: &Decision,
-    model: &Model,
-    dom: &mut Domains,
-    engine: &mut Engine,
-) -> Result<(), ()> {
+fn apply(dec: &Decision, model: &Model, dom: &mut Domains, engine: &mut Engine) -> Result<(), ()> {
     let applied = match *dec {
         Decision::Assign(t, r) => dom.assign_res(t, r).map(|_| ()),
         Decision::StartEq(t, v) => dom.fix_start(t, v).map(|_| ()),
@@ -429,9 +431,7 @@ fn alternatives(
                 rs[..=pos].rotate_right(1);
             }
         }
-        rs.into_iter()
-            .map(|r| Decision::Assign(task, r))
-            .collect()
+        rs.into_iter().map(|r| Decision::Assign(task, r)).collect()
     } else {
         let lb = dom.lb(task);
         vec![
@@ -459,8 +459,7 @@ fn extract(model: &Model, dom: &Domains) -> Solution {
     debug_assert!(
         (0..model.n_jobs()).all(|j| {
             let decided = dom.late(crate::model::JobRef(j as u32));
-            decided != Lateness::Unknown
-                && (decided == Lateness::Late) == sol.late[j]
+            decided != Lateness::Unknown && (decided == Lateness::Late) == sol.late[j]
         }),
         "propagated lateness disagrees with schedule"
     );
@@ -599,6 +598,37 @@ mod tests {
         );
         assert_eq!(out.status, Status::Unknown);
         assert!(out.best.is_none());
+    }
+
+    /// A zero time limit must stop the search at the first cadence check
+    /// even though nodes advance by irregular strides (a `% 128 == 0` gate
+    /// could be stepped over forever).
+    #[test]
+    fn zero_time_limit_stops_promptly() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(2, 2);
+        for _ in 0..6 {
+            let j = b.add_job(0, 50);
+            b.add_task(j, SlotKind::Map, 10, 1);
+            b.add_task(j, SlotKind::Reduce, 5, 1);
+        }
+        let m = b.build().unwrap();
+        let out = solve(
+            &m,
+            &SolveParams {
+                node_limit: u64::MAX,
+                time_limit: Some(Duration::ZERO),
+                warm_start: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.status, Status::Unknown);
+        assert!(out.best.is_none());
+        assert!(
+            out.stats.nodes <= 128,
+            "search ran {} nodes past an already-expired deadline",
+            out.stats.nodes
+        );
     }
 
     /// An explicit initial incumbent is used and improved upon.

@@ -222,11 +222,7 @@ mod tests {
     }
 
     fn good_solution(model: &Model) -> Solution {
-        Solution::from_placements(
-            model,
-            vec![0, 0, 10],
-            vec![ResRef(0), ResRef(1), ResRef(0)],
-        )
+        Solution::from_placements(model, vec![0, 0, 10], vec![ResRef(0), ResRef(1), ResRef(0)])
     }
 
     #[test]
@@ -244,18 +240,12 @@ mod tests {
     fn from_placements_derives_lateness() {
         let m = model();
         // Serialize everything on r0: maps at 0 and 10, reduce at 20 → ends 25.
-        let s = Solution::from_placements(
-            &m,
-            vec![0, 10, 20],
-            vec![ResRef(0), ResRef(0), ResRef(0)],
-        );
+        let s =
+            Solution::from_placements(&m, vec![0, 10, 20], vec![ResRef(0), ResRef(0), ResRef(0)]);
         s.verify(&m).unwrap();
         assert!(!s.late[0], "ends at 25 ≤ 30");
-        let s2 = Solution::from_placements(
-            &m,
-            vec![0, 10, 26],
-            vec![ResRef(0), ResRef(0), ResRef(0)],
-        );
+        let s2 =
+            Solution::from_placements(&m, vec![0, 10, 26], vec![ResRef(0), ResRef(0), ResRef(0)]);
         assert!(s2.late[0], "ends at 31 > 30");
         assert_eq!(s2.objective, 1);
         s2.verify(&m).unwrap();
@@ -265,11 +255,8 @@ mod tests {
     fn capacity_violation_detected() {
         let m = model();
         // Both maps on r0 at the same time on a 1-slot pool.
-        let s = Solution::from_placements(
-            &m,
-            vec![0, 0, 10],
-            vec![ResRef(0), ResRef(0), ResRef(0)],
-        );
+        let s =
+            Solution::from_placements(&m, vec![0, 0, 10], vec![ResRef(0), ResRef(0), ResRef(0)]);
         let err = s.verify(&m).unwrap_err();
         assert!(err.contains("over capacity"), "{err}");
     }

@@ -138,10 +138,7 @@ impl Domains {
 
     /// Number of jobs currently marked late.
     pub fn late_count(&self) -> u32 {
-        self.late
-            .iter()
-            .filter(|&&l| l == Lateness::Late)
-            .count() as u32
+        self.late.iter().filter(|&&l| l == Lateness::Late).count() as u32
     }
 
     // ---- trailed updates -----------------------------------------------

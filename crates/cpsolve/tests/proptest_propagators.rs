@@ -30,8 +30,7 @@ fn inst() -> impl Strategy<Value = Inst> {
         prop::collection::vec(1i64..=6, 1..=4),
         prop::collection::vec(1i64..=4, 0..=2),
     );
-    (res, prop::collection::vec(job, 1..=4))
-        .prop_map(|(resources, jobs)| Inst { resources, jobs })
+    (res, prop::collection::vec(job, 1..=4)).prop_map(|(resources, jobs)| Inst { resources, jobs })
 }
 
 fn build(i: &Inst) -> Model {

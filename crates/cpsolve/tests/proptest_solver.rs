@@ -210,7 +210,10 @@ fn solver_is_deterministic() {
     let model = b.build().unwrap();
     let a = solve(&model, &SolveParams::default());
     let bb = solve(&model, &SolveParams::default());
-    assert_eq!(a.best.as_ref().map(|s| &s.starts), bb.best.as_ref().map(|s| &s.starts));
+    assert_eq!(
+        a.best.as_ref().map(|s| &s.starts),
+        bb.best.as_ref().map(|s| &s.starts)
+    );
     assert_eq!(a.stats.nodes, bb.stats.nodes);
     let _ = TaskRef(0);
 }

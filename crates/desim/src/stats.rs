@@ -82,8 +82,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         Welford { n, mean, m2 }
     }
 }
@@ -235,8 +234,7 @@ impl Replications {
     /// True once the relative half-width is at or below `target` (e.g. 0.01
     /// for the paper's ±1%), with at least `min_reps` replications.
     pub fn converged(&self, target: f64, min_reps: u64) -> bool {
-        self.acc.count() >= min_reps.max(2)
-            && self.estimate().relative_half_width() <= target
+        self.acc.count() >= min_reps.max(2) && self.estimate().relative_half_width() <= target
     }
 }
 
@@ -287,8 +285,7 @@ impl Tally {
                 .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
     }
 
@@ -354,8 +351,7 @@ mod tests {
             w.push(x);
         }
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
         assert_eq!(w.count(), 8);

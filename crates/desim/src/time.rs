@@ -193,7 +193,10 @@ mod tests {
 
     #[test]
     fn saturating_add_never_overflows() {
-        assert_eq!(SimTime::MAX.saturating_add(SimTime::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::from_secs(1).saturating_add(SimTime::from_secs(2)),
             SimTime::from_secs(3)

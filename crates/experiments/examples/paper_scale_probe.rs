@@ -1,7 +1,7 @@
 use desim::RngStreams;
 use mrcp::{simulate, SimConfig};
-use workload::{SyntheticConfig, SyntheticGenerator};
 use std::time::Instant;
+use workload::{SyntheticConfig, SyntheticGenerator};
 
 fn probe(name: &str, cfg: SyntheticConfig, n: usize) {
     let rng = RngStreams::for_replication(20140901, 0).stream("probe");
@@ -15,7 +15,29 @@ fn probe(name: &str, cfg: SyntheticConfig, n: usize) {
 
 fn main() {
     probe("default", SyntheticConfig::default(), 300);
-    probe("m=25 (fig9 worst)", SyntheticConfig { resources: 25, ..Default::default() }, 300);
-    probe("lambda=0.02 (fig8 worst)", SyntheticConfig { lambda: 0.02, ..Default::default() }, 300);
-    probe("e_max=100 d_M=2 (tightest)", SyntheticConfig { e_max: 100, deadline_multiplier: 2.0, ..Default::default() }, 300);
+    probe(
+        "m=25 (fig9 worst)",
+        SyntheticConfig {
+            resources: 25,
+            ..Default::default()
+        },
+        300,
+    );
+    probe(
+        "lambda=0.02 (fig8 worst)",
+        SyntheticConfig {
+            lambda: 0.02,
+            ..Default::default()
+        },
+        300,
+    );
+    probe(
+        "e_max=100 d_M=2 (tightest)",
+        SyntheticConfig {
+            e_max: 100,
+            deadline_multiplier: 2.0,
+            ..Default::default()
+        },
+        300,
+    );
 }

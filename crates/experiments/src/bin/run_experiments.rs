@@ -4,7 +4,8 @@
 //! run_experiments [FIGURES...] [--smoke | --default | --paper-scale]
 //!                 [--seed N] [--out DIR]
 //!
-//! FIGURES   fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 baselines | all
+//! FIGURES   fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 baselines prelim
+//!           faults ablations | all
 //!           (default: all)
 //! --smoke        tiny configuration (seconds; used by CI)
 //! --default      reduced but trend-preserving configuration (default)
@@ -92,8 +93,9 @@ fn main() {
     println!("artifacts written to {}", out.display());
 }
 
-const HELP: &str = "run_experiments [FIGURES...] [--smoke|--default|--paper-scale] [--seed N] [--out DIR] [--list]
-FIGURES: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 baselines ablations prelim | all";
+const HELP: &str =
+    "run_experiments [FIGURES...] [--smoke|--default|--paper-scale] [--seed N] [--out DIR] [--list]
+FIGURES: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 baselines prelim faults ablations | all";
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");

@@ -14,7 +14,9 @@ use crate::runner::{replicate, MetricAgg, Sample, Scale};
 use baselines::{run_slot_sim, DispatchPolicy, Edf, Fcfs, MinEdf, MinEdfWc};
 use desim::RngStreams;
 use mrcp::{simulate, MrcpConfig, SimConfig, SolveBudget};
-use workload::{FacebookConfig, FacebookGenerator, Job, SyntheticConfig, SyntheticGenerator};
+use workload::{
+    FacebookConfig, FacebookGenerator, FaultConfig, Job, SyntheticConfig, SyntheticGenerator,
+};
 
 /// A regenerable paper artifact.
 pub struct Figure {
@@ -92,6 +94,12 @@ pub fn all_figures() -> Vec<Figure> {
             run: run_prelim_panel,
         },
         Figure {
+            name: "faults",
+            title: "Extra: failure sweep — SLA performance under fault injection",
+            expectation: "not in the paper — P degrades gracefully as the task failure probability rises; retries keep the run draining",
+            run: run_fault_sweep,
+        },
+        Figure {
             name: "ablations",
             title: "Extra: MRCP-RM design ablations (split §V.D, deferral §V.E, orderings, adaptive budget)",
             expectation: "split cuts O at equal P; deferral cuts O when p > 0; orderings tie (paper §VI.B); adaptive budget caps O growth",
@@ -117,6 +125,7 @@ fn mrcp_sim_config(scale: &Scale, jobs: usize) -> SimConfig {
                 fail_limit: scale.solver_nodes,
                 time_limit_ms: Some(scale.solver_time_ms),
                 adaptive: None,
+                warm_start: true,
             },
             ..Default::default()
         },
@@ -446,6 +455,50 @@ fn run_fig9(scale: &Scale, seed: u64) -> FigureResult {
     )
 }
 
+/// Extra panel: the Table 3 default workload re-run under increasing task
+/// failure probability (stragglers and the retry budget held fixed). Not a
+/// paper artifact — the paper assumes exact execution times and reliable
+/// resources; this panel measures how far SLA performance degrades when
+/// that assumption breaks and the failure-aware rescheduling path carries
+/// the load.
+fn run_fault_sweep(scale: &Scale, seed: u64) -> FigureResult {
+    let mut points = Vec::new();
+    for &p_fail in &[0.0, 0.05, 0.1, 0.2] {
+        let synth = capped(SyntheticConfig::default(), scale);
+        let cluster = synth.cluster();
+        let agg: MetricAgg = replicate(scale, |rep| {
+            let jobs = synth_jobs(&synth, scale, seed, rep);
+            let mut sim = mrcp_sim_config(scale, jobs.len());
+            sim.faults = FaultConfig {
+                task_failure_prob: p_fail,
+                straggler_prob: 0.05,
+                straggler_factor: (1.5, 2.5),
+                retry_budget: 3,
+                ..Default::default()
+            };
+            sim.fault_seed = seed ^ rep;
+            let m = simulate(&sim, &cluster, jobs);
+            Sample {
+                p_late: m.p_late,
+                n_late: m.late as f64,
+                turnaround_s: m.mean_turnaround_s,
+                overhead_s: m.o_per_job_s,
+            }
+        });
+        points.push(PointResult {
+            label: format!("p_fail={p_fail}"),
+            series: "MRCP-RM".into(),
+            agg,
+        });
+    }
+    FigureResult {
+        name: "faults".into(),
+        title: "Failure sweep: SLA performance under fault injection".into(),
+        expectation: "P and T rise with the failure rate; every run drains".into(),
+        points,
+    }
+}
+
 /// Extra panel: all baselines at the Fig. 2 midpoint arrival rate.
 fn run_baseline_panel(scale: &Scale, seed: u64) -> FigureResult {
     let (_, lambda) = facebook_lambdas(scale).remove(2);
@@ -528,9 +581,10 @@ fn run_prelim_panel(scale: &Scale, seed: u64) -> FigureResult {
                         .map(|j| {
                             out.placements
                                 .iter()
-                                .filter(|(t, _, _)| jobs.iter().any(|jj| {
-                                    jj.id == j.id && jj.tasks().any(|tt| tt.id == *t)
-                                }))
+                                .filter(|(t, _, _)| {
+                                    jobs.iter()
+                                        .any(|jj| jj.id == j.id && jj.tasks().any(|tt| tt.id == *t))
+                                })
                                 .map(|&(_, _, start)| start.as_secs_f64())
                                 .fold(0.0, f64::max)
                         })
@@ -656,7 +710,9 @@ fn run_ablation_panel(scale: &Scale, seed: u64) -> FigureResult {
     run_variant("no-defer (§V.E off)", &|s| {
         s.manager.defer = DeferPolicy::disabled()
     });
-    run_variant("ordering=job-id", &|s| s.manager.ordering = JobOrdering::JobId);
+    run_variant("ordering=job-id", &|s| {
+        s.manager.ordering = JobOrdering::JobId
+    });
     run_variant("ordering=least-laxity", &|s| {
         s.manager.ordering = JobOrdering::LeastLaxity
     });
@@ -670,8 +726,8 @@ fn run_ablation_panel(scale: &Scale, seed: u64) -> FigureResult {
     FigureResult {
         name: "ablations".into(),
         title: "MRCP-RM design ablations at the Table 3 default point".into(),
-        expectation:
-            "split & deferral reduce O without hurting P; orderings statistically tie".into(),
+        expectation: "split & deferral reduce O without hurting P; orderings statistically tie"
+            .into(),
         points,
     }
 }
@@ -684,9 +740,12 @@ mod tests {
     #[test]
     fn registry_contains_every_paper_figure() {
         let names: Vec<&str> = all_figures().iter().map(|f| f.name).collect();
-        for expected in ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"] {
+        for expected in [
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
+        assert!(names.contains(&"faults"), "failure sweep registered");
         assert!(figure_by_name("fig7").is_some());
         assert!(figure_by_name("nope").is_none());
     }
@@ -712,7 +771,10 @@ mod tests {
         let small = Scale::for_preset(Preset::Default);
         let cfg = facebook_config(2e-4, &small);
         assert_eq!(cfg.resources, 3, "64 × 0.05 rounds to 3 nodes");
-        assert!((facebook_lambdas(&small)[0].1 - 1e-4).abs() < 1e-12, "λ unscaled");
+        assert!(
+            (facebook_lambdas(&small)[0].1 - 1e-4).abs() < 1e-12,
+            "λ unscaled"
+        );
     }
 
     /// End-to-end smoke: one synthetic figure runs and produces sane rows.

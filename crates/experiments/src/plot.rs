@@ -83,7 +83,12 @@ pub fn render_svg(fig: &FigureResult, metric: Metric) -> String {
     let mut ymax = f64::EPSILON;
     for p in &fig.points {
         let v = metric.pick(&p.agg);
-        let top = v.mean + if v.half_width.is_finite() { v.half_width } else { 0.0 };
+        let top = v.mean
+            + if v.half_width.is_finite() {
+                v.half_width
+            } else {
+                0.0
+            };
         ymax = ymax.max(top);
     }
     ymax *= 1.08;
@@ -166,7 +171,7 @@ pub fn render_svg(fig: &FigureResult, metric: Metric) -> String {
         for (i, x) in xcats.iter().enumerate() {
             if let Some(v) = value(name, x) {
                 let (px, py) = (xpos(i), ypos(v.mean));
-                let _ = write!(path, "{}{px},{py} ", if path.is_empty() { "" } else { "" });
+                let _ = write!(path, "{px},{py} ");
                 // CI error bar.
                 if v.half_width.is_finite() && v.half_width > 0.0 {
                     let y1 = ypos(v.mean + v.half_width);
@@ -176,10 +181,7 @@ pub fn render_svg(fig: &FigureResult, metric: Metric) -> String {
                         r#"<line x1="{px}" y1="{y1}" x2="{px}" y2="{y2}" stroke="{color}" stroke-width="1"/>"#
                     );
                 }
-                let _ = writeln!(
-                    s,
-                    r#"<circle cx="{px}" cy="{py}" r="3.5" fill="{color}"/>"#
-                );
+                let _ = writeln!(s, r#"<circle cx="{px}" cy="{py}" r="3.5" fill="{color}"/>"#);
             }
         }
         if !path.is_empty() {
@@ -206,7 +208,9 @@ pub fn render_svg(fig: &FigureResult, metric: Metric) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn format_sig(v: f64) -> String {

@@ -42,9 +42,7 @@ pub fn render_table(fig: &FigureResult) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {} — {}\n", fig.name, fig.title));
     out.push_str(&format!("Paper: {}\n\n", fig.expectation));
-    out.push_str(
-        "| point | series | reps | P (late frac) | N (late jobs) | T (s) | O (s/job) |\n",
-    );
+    out.push_str("| point | series | reps | P (late frac) | N (late jobs) | T (s) | O (s/job) |\n");
     out.push_str("|---|---|---|---|---|---|---|\n");
     for p in &fig.points {
         let pl = p.agg.p_late();

@@ -203,7 +203,10 @@ where
                 })
                 .collect();
             let _ = threads;
-            handles.into_iter().map(|h| h.join().expect("replication panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replication panicked"))
+                .collect()
         });
         for s in samples {
             agg.push(s);

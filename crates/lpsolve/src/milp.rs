@@ -169,7 +169,11 @@ mod tests {
         let MilpOutcome::Optimal(s) = out else {
             panic!("expected optimal, got {out:?}")
         };
-        assert!((s.objective - brute).abs() < 1e-6, "{} vs {brute}", s.objective);
+        assert!(
+            (s.objective - brute).abs() < 1e-6,
+            "{} vs {brute}",
+            s.objective
+        );
         // Every chosen variable is integral.
         for &x in &s.x {
             assert!((x - x.round()).abs() < 1e-9);
@@ -180,7 +184,9 @@ mod tests {
     fn fractional_lp_relaxation_gets_tightened() {
         // value/weight identical → LP picks fractions; MILP must not.
         let (out, brute) = knapsack(&[5.0, 5.0, 5.0], &[2.0, 2.0, 2.0], 3.0);
-        let MilpOutcome::Optimal(s) = out else { panic!() };
+        let MilpOutcome::Optimal(s) = out else {
+            panic!()
+        };
         assert!((s.objective - brute).abs() < 1e-6);
         assert!((s.objective - 5.0).abs() < 1e-6, "only one item fits");
     }

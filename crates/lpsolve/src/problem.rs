@@ -44,7 +44,10 @@ impl Problem {
 
     /// Add a variable with the given objective coefficient (to maximize).
     pub fn add_var(&mut self, objective: f64) -> VarId {
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         let id = VarId(self.objective.len());
         self.objective.push(objective);
         id
@@ -77,11 +80,7 @@ impl Problem {
 
     /// Evaluate the objective at `x`.
     pub fn objective_at(&self, x: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(x)
-            .map(|(c, v)| c * v)
-            .sum()
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
     /// Check primal feasibility of `x` within `tol`.

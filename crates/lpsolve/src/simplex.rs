@@ -215,11 +215,7 @@ pub fn solve(p: &Problem) -> Outcome {
         // Artificial sum = −z RHS (we maximized −Σ art). The threshold
         // scales with the problem's RHS magnitude so well-scaled and
         // badly-scaled inputs get comparable relative accuracy.
-        let b_scale = p
-            .rows
-            .iter()
-            .map(|r| r.rhs.abs())
-            .fold(1.0f64, f64::max);
+        let b_scale = p.rows.iter().map(|r| r.rhs.abs()).fold(1.0f64, f64::max);
         if -t.z[cols] > 1e-7 * b_scale.max(1.0) + 1e-7 {
             return Outcome::Infeasible;
         }

@@ -116,7 +116,7 @@ mod tests {
     use cpsolve::search::Status;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    
+
     use workload::{SyntheticConfig, SyntheticGenerator};
 
     fn batch(n: usize) -> (Vec<Resource>, Vec<Job>) {
@@ -181,8 +181,7 @@ mod tests {
     fn orderings_all_solve() {
         let (cluster, jobs) = batch(5);
         for o in JobOrdering::all() {
-            let out =
-                solve_closed(&cluster, &jobs, o, &SolveParams::default(), true).unwrap();
+            let out = solve_closed(&cluster, &jobs, o, &SolveParams::default(), true).unwrap();
             assert!(
                 matches!(out.outcome.status, Status::Optimal | Status::Feasible),
                 "{o:?} failed"

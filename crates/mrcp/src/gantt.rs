@@ -135,7 +135,7 @@ mod tests {
         let j = job(7, 100, &[10, 10], &[5]);
         let kinds: std::collections::HashMap<TaskId, TaskKind> =
             j.tasks().map(|t| (t.id, t.kind)).collect();
-        rm.submit(j, SimTime::ZERO);
+        rm.submit(j, SimTime::ZERO).unwrap();
         let plan = rm.reschedule(SimTime::ZERO);
         let chart = render(&cluster, &plan, &|t| kinds[&t], 40);
         assert!(chart.contains("gantt"));

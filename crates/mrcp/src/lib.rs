@@ -37,6 +37,9 @@ pub mod ordering;
 pub mod sim_driver;
 pub mod split;
 
-pub use manager::{MrcpConfig, MrcpRm, ScheduleEntry, SolveBudget};
+pub use manager::{
+    AbandonedJob, FailureAction, ManagerError, MrcpConfig, MrcpRm, ScheduleEntry, SchedulingError,
+    SolveBudget,
+};
 pub use ordering::JobOrdering;
-pub use sim_driver::{simulate, RunMetrics, SimConfig};
+pub use sim_driver::{simulate, simulate_detailed, RunMetrics, SimConfig};

@@ -26,14 +26,90 @@
 //! ablations.
 
 use crate::defer::DeferPolicy;
-use crate::modelmap::{build_model, JobInput, TaskInput};
+use crate::modelmap::{build_model, JobInput, MappedModel, TaskInput};
 use crate::ordering::JobOrdering;
 use crate::split::split_solve;
-use cpsolve::search::{solve, SolveParams, Status};
+use cpsolve::greedy::greedy_edf;
+use cpsolve::search::{solve, Outcome, SolveParams, SolveStats, Status};
 use desim::SimTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::time::{Duration, Instant};
 use workload::{Job, JobId, Resource, ResourceId, TaskId, TaskKind};
+
+/// Rejected calls into the manager's public API. The manager's state is
+/// unchanged when any of these is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerError {
+    /// The job id is already in the system.
+    DuplicateJob(JobId),
+    /// A task id of the submitted job collides with a task already known.
+    DuplicateTask(TaskId),
+    /// The task id is not in the system.
+    UnknownTask(TaskId),
+    /// `task_started` for a task with no current schedule entry.
+    TaskNotScheduled(TaskId),
+    /// A lifecycle notification that does not match the task's state
+    /// (e.g. completion of a task that never started).
+    TaskNotRunning(TaskId),
+    /// The resource id does not belong to this cluster.
+    UnknownResource(ResourceId),
+    /// `resource_down` for a resource already marked down.
+    ResourceAlreadyDown(ResourceId),
+    /// `resource_up` for a resource that is not down.
+    ResourceNotDown(ResourceId),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::DuplicateJob(j) => write!(f, "job {j} submitted twice"),
+            ManagerError::DuplicateTask(t) => write!(f, "task {t} already known"),
+            ManagerError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            ManagerError::TaskNotScheduled(t) => {
+                write!(f, "task {t} has no schedule entry")
+            }
+            ManagerError::TaskNotRunning(t) => write!(f, "task {t} is not running"),
+            ManagerError::UnknownResource(r) => write!(f, "unknown resource {r:?}"),
+            ManagerError::ResourceAlreadyDown(r) => {
+                write!(f, "resource {r:?} is already down")
+            }
+            ManagerError::ResourceNotDown(r) => write!(f, "resource {r:?} is not down"),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
+/// A scheduling round that could not produce any schedule, after every
+/// rung of the degradation ladder (split CP → full CP → greedy EDF).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulingError {
+    /// The live state could not be translated into a CP model.
+    ModelBuild(String),
+    /// No rung produced a solution (contradictory pins are the only
+    /// plausible cause — greedy always succeeds on consistent state).
+    NoSolution(String),
+    /// The last-resort schedule failed the independent audit.
+    AuditFailed(String),
+}
+
+impl fmt::Display for SchedulingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingError::ModelBuild(e) => write!(f, "model build failed: {e}"),
+            SchedulingError::NoSolution(e) => write!(f, "no schedule found: {e}"),
+            SchedulingError::AuditFailed(e) => write!(f, "schedule audit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulingError {}
+
+/// What a scheduling round yields: the placements (task, resource, start),
+/// the solver outcome they came from, and whether the primary rung of the
+/// degradation ladder was abandoned along the way.
+type RoundResult = (Vec<(TaskId, ResourceId, SimTime)>, Outcome, bool);
 
 /// Adaptive effort scaling — the paper's §VII future-work item
 /// "mechanisms that can reduce matchmaking and scheduling times when λ is
@@ -60,6 +136,10 @@ pub struct SolveBudget {
     pub time_limit_ms: Option<u64>,
     /// Optional adaptive scaling with model size.
     pub adaptive: Option<AdaptiveBudget>,
+    /// Seed each solve with the greedy EDF incumbent (on in the paper's
+    /// configuration; turning it off exposes the `Unknown` degradation
+    /// path for testing).
+    pub warm_start: bool,
 }
 
 impl Default for SolveBudget {
@@ -69,6 +149,7 @@ impl Default for SolveBudget {
             fail_limit: 20_000,
             time_limit_ms: Some(200),
             adaptive: None,
+            warm_start: true,
         }
     }
 }
@@ -79,10 +160,8 @@ impl SolveBudget {
         let (nodes, fails) = match self.adaptive {
             Some(a) if n_tasks > a.reference_tasks => {
                 let scale = a.reference_tasks as f64 / n_tasks as f64;
-                let nodes =
-                    ((self.node_limit as f64 * scale) as u64).max(a.floor_nodes);
-                let fails =
-                    ((self.fail_limit as f64 * scale) as u64).max(a.floor_nodes);
+                let nodes = ((self.node_limit as f64 * scale) as u64).max(a.floor_nodes);
+                let fails = ((self.fail_limit as f64 * scale) as u64).max(a.floor_nodes);
                 (nodes, fails)
             }
             _ => (self.node_limit, self.fail_limit),
@@ -91,6 +170,7 @@ impl SolveBudget {
             node_limit: nodes,
             fail_limit: fails,
             time_limit: self.time_limit_ms.map(Duration::from_millis),
+            warm_start: self.warm_start,
             ..Default::default()
         }
     }
@@ -110,6 +190,9 @@ pub struct MrcpConfig {
     /// Audit every installed schedule with the independent verifier
     /// (always on in debug builds).
     pub verify_schedules: bool,
+    /// Failed attempts a task may accumulate before
+    /// [`task_failed`](MrcpRm::task_failed) abandons its job.
+    pub retry_budget: u32,
 }
 
 impl Default for MrcpConfig {
@@ -120,6 +203,7 @@ impl Default for MrcpConfig {
             use_split: true,
             defer: DeferPolicy::default(),
             verify_schedules: cfg!(debug_assertions),
+            retry_budget: 3,
         }
     }
 }
@@ -142,7 +226,10 @@ pub struct ScheduleEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TaskStatus {
     Waiting,
-    Started { resource: ResourceId, start: SimTime },
+    Started {
+        resource: ResourceId,
+        start: SimTime,
+    },
     Completed,
 }
 
@@ -150,9 +237,14 @@ enum TaskStatus {
 struct TaskState {
     id: TaskId,
     kind: TaskKind,
+    /// Current execution-time estimate (revised upward for stragglers).
     exec_time: SimTime,
+    /// The job's declared `e_t`, restored when a failed attempt requeues.
+    nominal_exec: SimTime,
     req: u32,
     status: TaskStatus,
+    /// Attempts of this task that have failed so far.
+    failed_attempts: u32,
 }
 
 #[derive(Debug)]
@@ -175,6 +267,18 @@ pub struct ManagerStats {
     pub optimal_rounds: u64,
     /// Rounds stopped by budget with an incumbent.
     pub feasible_rounds: u64,
+    /// Rounds where every CP rung came back empty and the greedy EDF
+    /// fallback supplied the schedule.
+    pub degraded_rounds: u64,
+    /// Rounds where even the fallback produced nothing (the plan is left
+    /// empty; tasks wait for the next round).
+    pub failed_rounds: u64,
+    /// Task attempts reported failed via [`MrcpRm::task_failed`].
+    pub tasks_failed: u64,
+    /// Failed or interrupted tasks returned to the waiting queue.
+    pub tasks_requeued: u64,
+    /// Jobs abandoned because a task exhausted its retry budget.
+    pub jobs_abandoned: u64,
     /// Largest single-round task count.
     pub max_tasks_in_model: usize,
 }
@@ -205,6 +309,34 @@ pub enum Submitted {
     Deferred(SimTime),
 }
 
+/// A job forced out of the system because one of its tasks exhausted the
+/// retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbandonedJob {
+    /// The job.
+    pub job: JobId,
+    /// Every task of the job (completed or not) — the host should cancel
+    /// any events it still holds for them.
+    pub tasks: Vec<TaskId>,
+    /// Its SLA deadline.
+    pub deadline: SimTime,
+    /// Its earliest start `s_j`.
+    pub earliest_start: SimTime,
+}
+
+/// Outcome of [`MrcpRm::task_failed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureAction {
+    /// The attempt was charged and the task requeued; the caller should
+    /// reschedule.
+    Requeued {
+        /// Failed attempts accumulated by this task so far.
+        failed_attempts: u32,
+    },
+    /// The retry budget is exhausted: the job left the system.
+    JobAbandoned(AbandonedJob),
+}
+
 /// The MRCP-RM resource manager.
 ///
 /// ```
@@ -227,14 +359,14 @@ pub enum Submitted {
 /// };
 ///
 /// let mut rm = MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(2, 1, 1));
-/// rm.submit(job, SimTime::ZERO);
+/// rm.submit(job, SimTime::ZERO).unwrap();
 /// let plan = rm.reschedule(SimTime::ZERO);   // Table 2 algorithm
 /// assert_eq!(plan.len(), 1);
 /// assert_eq!(plan[0].start, SimTime::ZERO);
 ///
 /// // Drive execution like the simulator would:
-/// rm.task_started(plan[0].task, plan[0].start);
-/// let done = rm.task_completed(plan[0].task, plan[0].end).unwrap();
+/// rm.task_started(plan[0].task, plan[0].start).unwrap();
+/// let done = rm.task_completed(plan[0].task, plan[0].end).unwrap().unwrap();
 /// assert!(!done.late);
 /// ```
 #[derive(Debug)]
@@ -248,6 +380,10 @@ pub struct MrcpRm {
     task_owner: HashMap<TaskId, JobId>,
     /// Current plan for unstarted tasks.
     schedule: HashMap<TaskId, ScheduleEntry>,
+    /// Resources currently down — excluded from every scheduling round.
+    down: HashSet<ResourceId>,
+    /// The most recent round's failure, if it produced no schedule.
+    last_error: Option<SchedulingError>,
     stats: ManagerStats,
 }
 
@@ -262,6 +398,8 @@ impl MrcpRm {
             deferred: Vec::new(),
             task_owner: HashMap::new(),
             schedule: HashMap::new(),
+            down: HashSet::new(),
+            last_error: None,
             stats: ManagerStats::default(),
         }
     }
@@ -286,29 +424,46 @@ impl MrcpRm {
         self.jobs.len()
     }
 
+    /// The error from the most recent scheduling round, when that round
+    /// produced no schedule at all (see [`ManagerStats::failed_rounds`]).
+    pub fn last_scheduling_error(&self) -> Option<&SchedulingError> {
+        self.last_error.as_ref()
+    }
+
+    /// Resources currently marked down.
+    pub fn down_resources(&self) -> Vec<ResourceId> {
+        let mut ids: Vec<ResourceId> = self.down.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Submit an arriving job. Returns whether it joined the scheduling set
     /// or was deferred (§V.E); in the former case the caller should invoke
     /// [`reschedule`](Self::reschedule).
-    pub fn submit(&mut self, job: Job, now: SimTime) -> Submitted {
+    pub fn submit(&mut self, job: Job, now: SimTime) -> Result<Submitted, ManagerError> {
         debug_assert!(job.validate().is_ok(), "invalid job submitted");
         let id = job.id;
-        assert!(
-            !self.jobs.contains_key(&id),
-            "job {id} submitted twice"
-        );
+        if self.jobs.contains_key(&id) {
+            return Err(ManagerError::DuplicateJob(id));
+        }
+        if let Some(t) = job.tasks().find(|t| self.task_owner.contains_key(&t.id)) {
+            return Err(ManagerError::DuplicateTask(t.id));
+        }
         let tasks: Vec<TaskState> = job
             .tasks()
             .map(|t| TaskState {
                 id: t.id,
                 kind: t.kind,
                 exec_time: t.exec_time,
+                nominal_exec: t.exec_time,
                 req: t.req,
                 status: TaskStatus::Waiting,
+                failed_attempts: 0,
             })
             .collect();
         for t in &tasks {
             let prev = self.task_owner.insert(t.id, id);
-            assert!(prev.is_none(), "task {:?} already known", t.id);
+            debug_assert!(prev.is_none(), "task {:?} already known", t.id);
         }
         let remaining = tasks.len();
         let deferral = self.cfg.defer.activation(now, job.earliest_start);
@@ -323,9 +478,9 @@ impl MrcpRm {
         match deferral {
             Some(act) => {
                 self.deferred.push((act, id));
-                Submitted::Deferred(act)
+                Ok(Submitted::Deferred(act))
             }
-            None => Submitted::Active,
+            None => Ok(Submitted::Active),
         }
     }
 
@@ -343,12 +498,15 @@ impl MrcpRm {
     }
 
     /// The host reports that a task began executing at `now` per the
-    /// current schedule.
-    pub fn task_started(&mut self, task: TaskId, now: SimTime) {
+    /// current schedule. Returns the resource it runs on.
+    pub fn task_started(&mut self, task: TaskId, now: SimTime) -> Result<ResourceId, ManagerError> {
+        if !self.task_owner.contains_key(&task) {
+            return Err(ManagerError::UnknownTask(task));
+        }
         let entry = self
             .schedule
             .remove(&task)
-            .unwrap_or_else(|| panic!("task {task} started without a schedule entry"));
+            .ok_or(ManagerError::TaskNotScheduled(task))?;
         debug_assert_eq!(entry.start, now, "start time drifted from plan");
         let job = self.task_owner[&task];
         let state = self.jobs.get_mut(&job).expect("owner exists");
@@ -362,16 +520,21 @@ impl MrcpRm {
             resource: entry.resource,
             start: now,
         };
+        Ok(entry.resource)
     }
 
     /// The host reports task completion. Returns the job's completion
     /// record when this was its last task (the job then leaves the system,
     /// Table 2 lines 13–16).
-    pub fn task_completed(&mut self, task: TaskId, now: SimTime) -> Option<JobCompletion> {
+    pub fn task_completed(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+    ) -> Result<Option<JobCompletion>, ManagerError> {
         let job = *self
             .task_owner
             .get(&task)
-            .unwrap_or_else(|| panic!("unknown task {task} completed"));
+            .ok_or(ManagerError::UnknownTask(task))?;
         let state = self.jobs.get_mut(&job).expect("owner exists");
         let t = state
             .tasks
@@ -380,9 +543,11 @@ impl MrcpRm {
             .expect("task in owner");
         match t.status {
             TaskStatus::Started { start, .. } => {
-                debug_assert_eq!(start + t.exec_time, now, "completion time drifted");
+                // Stragglers finish after start + e_t; completion can never
+                // precede the start.
+                debug_assert!(now >= start, "completion at {now} precedes start {start}");
             }
-            s => panic!("task {task} completed from state {s:?}"),
+            _ => return Err(ManagerError::TaskNotRunning(task)),
         }
         t.status = TaskStatus::Completed;
         state.remaining -= 1;
@@ -391,16 +556,139 @@ impl MrcpRm {
             for t in &state.tasks {
                 self.task_owner.remove(&t.id);
             }
-            Some(JobCompletion {
+            Ok(Some(JobCompletion {
                 job,
                 completion: now,
                 deadline: state.job.deadline,
                 earliest_start: state.job.earliest_start,
                 late: now > state.job.deadline,
-            })
+            }))
         } else {
-            None
+            Ok(None)
         }
+    }
+
+    /// The host reports that a running task's execution time is now known
+    /// to differ from its estimate (a detected straggler). The revised
+    /// value is carried into subsequent scheduling rounds so the solver
+    /// plans around the longer occupancy; the caller should reschedule.
+    pub fn task_duration_revised(
+        &mut self,
+        task: TaskId,
+        new_exec: SimTime,
+    ) -> Result<(), ManagerError> {
+        let job = *self
+            .task_owner
+            .get(&task)
+            .ok_or(ManagerError::UnknownTask(task))?;
+        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let t = state
+            .tasks
+            .iter_mut()
+            .find(|t| t.id == task)
+            .expect("task in owner");
+        match t.status {
+            TaskStatus::Started { .. } => {
+                t.exec_time = new_exec;
+                Ok(())
+            }
+            _ => Err(ManagerError::TaskNotRunning(task)),
+        }
+    }
+
+    /// The host reports that a running task's attempt failed at `now`.
+    /// Charges one failed attempt; within the retry budget the task goes
+    /// back to the waiting queue (its execution time reset to the nominal
+    /// `e_t`) and the caller should reschedule. Beyond the budget the whole
+    /// job is abandoned and leaves the system.
+    pub fn task_failed(
+        &mut self,
+        task: TaskId,
+        _now: SimTime,
+    ) -> Result<FailureAction, ManagerError> {
+        let job = *self
+            .task_owner
+            .get(&task)
+            .ok_or(ManagerError::UnknownTask(task))?;
+        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let t = state
+            .tasks
+            .iter_mut()
+            .find(|t| t.id == task)
+            .expect("task in owner");
+        if !matches!(t.status, TaskStatus::Started { .. }) {
+            return Err(ManagerError::TaskNotRunning(task));
+        }
+        self.stats.tasks_failed += 1;
+        t.failed_attempts += 1;
+        if t.failed_attempts > self.cfg.retry_budget {
+            self.stats.jobs_abandoned += 1;
+            let state = self.jobs.remove(&job).expect("present");
+            let tasks: Vec<TaskId> = state.tasks.iter().map(|t| t.id).collect();
+            for id in &tasks {
+                self.task_owner.remove(id);
+                self.schedule.remove(id);
+            }
+            self.deferred.retain(|&(_, j)| j != job);
+            return Ok(FailureAction::JobAbandoned(AbandonedJob {
+                job,
+                tasks,
+                deadline: state.job.deadline,
+                earliest_start: state.job.earliest_start,
+            }));
+        }
+        let failed_attempts = t.failed_attempts;
+        t.exec_time = t.nominal_exec;
+        t.status = TaskStatus::Waiting;
+        self.stats.tasks_requeued += 1;
+        Ok(FailureAction::Requeued { failed_attempts })
+    }
+
+    /// The host reports that a resource crashed at `now`. The resource is
+    /// excluded from subsequent scheduling rounds; every task running on it
+    /// is un-pinned and requeued (without charging its retry budget — a
+    /// machine crash is not the task's fault), and planned-but-unstarted
+    /// work assigned to it is dropped from the current plan. Returns the
+    /// interrupted (previously running) tasks; the caller should invalidate
+    /// any events held for them and reschedule.
+    pub fn resource_down(
+        &mut self,
+        rid: ResourceId,
+        _now: SimTime,
+    ) -> Result<Vec<TaskId>, ManagerError> {
+        if !self.resources.iter().any(|r| r.id == rid) {
+            return Err(ManagerError::UnknownResource(rid));
+        }
+        if !self.down.insert(rid) {
+            return Err(ManagerError::ResourceAlreadyDown(rid));
+        }
+        let mut interrupted = Vec::new();
+        for state in self.jobs.values_mut() {
+            for t in state.tasks.iter_mut() {
+                if matches!(t.status, TaskStatus::Started { resource, .. } if resource == rid) {
+                    t.exec_time = t.nominal_exec;
+                    t.status = TaskStatus::Waiting;
+                    interrupted.push(t.id);
+                }
+            }
+        }
+        self.schedule.retain(|_, e| e.resource != rid);
+        interrupted.sort_unstable();
+        self.stats.tasks_requeued += interrupted.len() as u64;
+        Ok(interrupted)
+    }
+
+    /// The host reports that a crashed resource recovered at `now`; it
+    /// rejoins the pool on the next scheduling round (the caller should
+    /// reschedule to use the regained capacity).
+    pub fn resource_up(&mut self, rid: ResourceId, _now: SimTime) -> Result<(), ManagerError> {
+        if !self.resources.iter().any(|r| r.id == rid) {
+            return Err(ManagerError::UnknownResource(rid));
+        }
+        if !self.down.remove(&rid) {
+            return Err(ManagerError::ResourceNotDown(rid));
+        }
+        Ok(())
     }
 
     /// Run one scheduling round (Table 2). Remaps and reschedules every
@@ -462,40 +750,38 @@ impl MrcpRm {
             return Vec::new();
         }
 
+        // Exclude crashed resources from the round. With the whole cluster
+        // down there is nothing to plan onto; keep the work queued until a
+        // resource recovers.
+        let up: Vec<Resource> = self
+            .resources
+            .iter()
+            .filter(|r| !self.down.contains(&r.id))
+            .cloned()
+            .collect();
+        if up.is_empty() {
+            self.schedule.clear();
+            return Vec::new();
+        }
+
         let n_tasks: usize = inputs.iter().map(|j| j.tasks.len()).sum();
         let params = self.cfg.budget.params_for(n_tasks);
 
-        // Solve: §V.D split path or the monolithic model.
-        let (placements, outcome) = if self.cfg.use_split {
-            let s = split_solve(&self.resources, &inputs, &params)
-                .expect("split solve produced no schedule");
-            (s.placements, s.outcome)
-        } else {
-            let mm = build_model(&self.resources, &inputs).expect("model builds");
-            let out = solve(&mm.model, &params);
-            let best = out
-                .best
-                .as_ref()
-                .expect("full solve produced no schedule");
-            let placements = mm
-                .task_ids
-                .iter()
-                .enumerate()
-                .map(|(i, &tid)| {
-                    (
-                        tid,
-                        mm.res_ids[best.resource[i].idx()],
-                        SimTime::from_millis(best.starts[i]),
-                    )
-                })
-                .collect();
-            (placements, out)
-        };
-
-        if self.cfg.verify_schedules {
-            crate::split::audit(&self.resources, &inputs, &placements)
-                .expect("installed schedule failed verification");
-        }
+        let (placements, outcome, degraded) =
+            match Self::solve_round(&self.cfg, &up, &inputs, &params) {
+                Ok(round) => round,
+                Err(err) => {
+                    // Every rung failed. Leave the work queued with no plan;
+                    // the next round (new arrival, completion, recovery)
+                    // retries from a different state.
+                    self.stats.invocations += 1;
+                    self.stats.failed_rounds += 1;
+                    self.stats.total_solve += t0.elapsed();
+                    self.last_error = Some(err);
+                    self.schedule.clear();
+                    return Vec::new();
+                }
+            };
 
         // Install: entries for unstarted tasks only.
         drop(inputs);
@@ -523,15 +809,94 @@ impl MrcpRm {
         self.stats.total_solve += t0.elapsed();
         self.stats.total_nodes += outcome.stats.nodes;
         self.stats.max_tasks_in_model = self.stats.max_tasks_in_model.max(n_tasks);
-        match outcome.status {
-            Status::Optimal => self.stats.optimal_rounds += 1,
-            Status::Feasible => self.stats.feasible_rounds += 1,
-            s => panic!("scheduling round ended {s:?} — warm start should prevent this"),
+        self.last_error = None;
+        if degraded {
+            self.stats.degraded_rounds += 1;
+        } else {
+            match outcome.status {
+                Status::Optimal => self.stats.optimal_rounds += 1,
+                Status::Feasible => self.stats.feasible_rounds += 1,
+                // A primary-rung success always carries a solution, but the
+                // status can be Unknown when the budget ran out before the
+                // warm start was improved; it still counts as a round.
+                _ => {}
+            }
         }
 
         let mut entries: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
         entries.sort_by_key(|e| (e.start, e.task));
         entries
+    }
+
+    /// One pass down the degradation ladder: the configured CP path first
+    /// (§V.D split model when `use_split`, else the full model), then the
+    /// full CP model as a second chance, and finally greedy EDF — which
+    /// cannot time out and succeeds on any consistent state. Each CP rung's
+    /// result is audited (when `verify_schedules`) before being accepted;
+    /// an audit failure falls through to the next rung rather than
+    /// installing a bad plan. Returns the placements, the solver outcome
+    /// they came from, and whether the primary rung was abandoned.
+    fn solve_round(
+        cfg: &MrcpConfig,
+        resources: &[Resource],
+        inputs: &[JobInput<'_>],
+        params: &SolveParams,
+    ) -> Result<RoundResult, SchedulingError> {
+        let audit_ok = |placements: &[(TaskId, ResourceId, SimTime)]| -> Result<(), String> {
+            if cfg.verify_schedules {
+                crate::split::audit(resources, inputs, placements)
+            } else {
+                Ok(())
+            }
+        };
+
+        let mut degraded = false;
+        // Rung 1: the §V.D split path, when configured.
+        if cfg.use_split {
+            match split_solve(resources, inputs, params) {
+                Ok(s) if audit_ok(&s.placements).is_ok() => {
+                    return Ok((s.placements, s.outcome, false));
+                }
+                _ => degraded = true,
+            }
+        }
+
+        // Rung 2: the monolithic multi-resource model. Build it once; the
+        // greedy rung reuses it.
+        let mm: MappedModel =
+            build_model(resources, inputs).map_err(SchedulingError::ModelBuild)?;
+        let placements_of = |mm: &MappedModel, best: &cpsolve::solution::Solution| {
+            mm.task_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &tid)| {
+                    (
+                        tid,
+                        mm.res_ids[best.resource[i].idx()],
+                        SimTime::from_millis(best.starts[i]),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let out = solve(&mm.model, params);
+        if let Some(best) = out.best.as_ref() {
+            let placements = placements_of(&mm, best);
+            if audit_ok(&placements).is_ok() {
+                return Ok((placements, out, degraded));
+            }
+        }
+
+        // Rung 3: greedy EDF, wrapped as a feasible outcome. An audit
+        // failure here is terminal — nothing further to fall back to.
+        let g = greedy_edf(&mm.model).map_err(SchedulingError::NoSolution)?;
+        let placements = placements_of(&mm, &g);
+        audit_ok(&placements).map_err(SchedulingError::AuditFailed)?;
+        let outcome = Outcome {
+            status: Status::Feasible,
+            best: Some(g),
+            stats: SolveStats::default(),
+        };
+        Ok((placements, outcome, true))
     }
 
     /// The current plan for unstarted tasks, sorted by start time.
@@ -580,7 +945,7 @@ mod tests {
     fn single_job_lifecycle() {
         let mut rm = manager();
         let job = mk_job(0, 0, 0, 100, &[10], &[5]);
-        assert_eq!(rm.submit(job, SimTime::ZERO), Submitted::Active);
+        assert_eq!(rm.submit(job, SimTime::ZERO), Ok(Submitted::Active));
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan.len(), 2);
         let map = plan.iter().find(|e| e.task == TaskId(0)).unwrap();
@@ -588,10 +953,10 @@ mod tests {
         assert_eq!(map.start, SimTime::ZERO);
         assert!(red.start >= map.end, "barrier respected");
 
-        rm.task_started(map.task, map.start);
-        assert_eq!(rm.task_completed(map.task, map.end), None);
-        rm.task_started(red.task, red.start);
-        let done = rm.task_completed(red.task, red.end).unwrap();
+        assert_eq!(rm.task_started(map.task, map.start), Ok(map.resource));
+        assert_eq!(rm.task_completed(map.task, map.end), Ok(None));
+        rm.task_started(red.task, red.start).unwrap();
+        let done = rm.task_completed(red.task, red.end).unwrap().unwrap();
         assert!(!done.late);
         assert_eq!(done.job, JobId(0));
         assert_eq!(rm.jobs_in_system(), 0);
@@ -603,7 +968,7 @@ mod tests {
         let mut rm = manager();
         let job = mk_job(0, 0, 500, 1000, &[10], &[]);
         match rm.submit(job, SimTime::ZERO) {
-            Submitted::Deferred(act) => assert_eq!(act, SimTime::from_secs(500)),
+            Ok(Submitted::Deferred(act)) => assert_eq!(act, SimTime::from_secs(500)),
             s => panic!("expected deferral, got {s:?}"),
         }
         // A reschedule round excludes the deferred job entirely.
@@ -624,7 +989,7 @@ mod tests {
         cfg.defer = DeferPolicy::disabled();
         let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
         let job = mk_job(0, 0, 500, 1000, &[10], &[]);
-        assert_eq!(rm.submit(job, SimTime::ZERO), Submitted::Active);
+        assert_eq!(rm.submit(job, SimTime::ZERO), Ok(Submitted::Active));
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan.len(), 1);
         // Still respects s_j even though scheduled early.
@@ -635,14 +1000,14 @@ mod tests {
     fn rescheduling_pins_started_tasks() {
         let mut rm = manager();
         let j0 = mk_job(0, 0, 0, 100, &[20], &[]);
-        rm.submit(j0, SimTime::ZERO);
+        rm.submit(j0, SimTime::ZERO).unwrap();
         let plan = rm.reschedule(SimTime::ZERO);
         let e0 = plan[0];
-        rm.task_started(e0.task, e0.start);
+        rm.task_started(e0.task, e0.start).unwrap();
 
         // A second, urgent job arrives mid-flight.
         let j1 = mk_job(1, 5, 5, 30, &[10], &[]);
-        rm.submit(j1, SimTime::from_secs(5));
+        rm.submit(j1, SimTime::from_secs(5)).unwrap();
         let plan = rm.reschedule(SimTime::from_secs(5));
         // Only the new job's task is in the plan; the running task is pinned.
         assert_eq!(plan.len(), 1);
@@ -663,12 +1028,12 @@ mod tests {
         // example for remapping unstarted tasks).
         let mut rm = MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(1, 1, 1));
         let a = mk_job(0, 0, 0, 200, &[10], &[]);
-        rm.submit(a, SimTime::ZERO);
+        rm.submit(a, SimTime::ZERO).unwrap();
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan[0].start, SimTime::ZERO);
 
         let b = mk_job(1, 0, 0, 12, &[10], &[]);
-        rm.submit(b, SimTime::ZERO);
+        rm.submit(b, SimTime::ZERO).unwrap();
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan.len(), 2);
         let ea = plan.iter().find(|e| e.job == JobId(0)).unwrap();
@@ -685,7 +1050,8 @@ mod tests {
         };
         let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 2, 2));
         for i in 0..3 {
-            rm.submit(mk_job(i, 0, 0, 10_000, &[10, 20], &[5]), SimTime::ZERO);
+            rm.submit(mk_job(i, 0, 0, 10_000, &[10, 20], &[5]), SimTime::ZERO)
+                .unwrap();
         }
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan.len(), 9);
@@ -693,11 +1059,188 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "submitted twice")]
-    fn duplicate_submission_panics() {
+    fn duplicate_submission_is_rejected() {
         let mut rm = manager();
-        rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO);
-        rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO);
+        rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO),
+            Err(ManagerError::DuplicateJob(JobId(0)))
+        );
+        // The rejection left the original intact.
+        assert_eq!(rm.jobs_in_system(), 1);
+        assert_eq!(rm.reschedule(SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn lifecycle_notifications_validate_state() {
+        let mut rm = manager();
+        rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        // Started before any schedule exists.
+        assert_eq!(
+            rm.task_started(TaskId(0), SimTime::ZERO),
+            Err(ManagerError::TaskNotScheduled(TaskId(0)))
+        );
+        // Completion of a task that never started.
+        assert_eq!(
+            rm.task_completed(TaskId(0), SimTime::ZERO),
+            Err(ManagerError::TaskNotRunning(TaskId(0)))
+        );
+        // Unknown ids.
+        assert_eq!(
+            rm.task_started(TaskId(999), SimTime::ZERO),
+            Err(ManagerError::UnknownTask(TaskId(999)))
+        );
+        assert_eq!(
+            rm.task_failed(TaskId(999), SimTime::ZERO),
+            Err(ManagerError::UnknownTask(TaskId(999)))
+        );
+        assert_eq!(
+            rm.resource_down(ResourceId(42), SimTime::ZERO),
+            Err(ManagerError::UnknownResource(ResourceId(42)))
+        );
+    }
+
+    #[test]
+    fn failed_task_requeues_within_budget_then_abandons() {
+        let cfg = MrcpConfig {
+            retry_budget: 1,
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(1, 1, 1));
+        rm.submit(mk_job(0, 0, 0, 100, &[10], &[5]), SimTime::ZERO)
+            .unwrap();
+        let plan = rm.reschedule(SimTime::ZERO);
+        let map = *plan.iter().find(|e| e.task == TaskId(0)).unwrap();
+        rm.task_started(map.task, map.start).unwrap();
+
+        // First failure: within the budget, requeued.
+        let act = rm.task_failed(map.task, SimTime::from_secs(4)).unwrap();
+        assert_eq!(act, FailureAction::Requeued { failed_attempts: 1 });
+        assert_eq!(rm.stats().tasks_failed, 1);
+        assert_eq!(rm.stats().tasks_requeued, 1);
+
+        // The retry shows up in the next plan.
+        let plan = rm.reschedule(SimTime::from_secs(4));
+        let retry = *plan.iter().find(|e| e.task == TaskId(0)).unwrap();
+        assert!(retry.start >= SimTime::from_secs(4));
+        rm.task_started(retry.task, retry.start).unwrap();
+
+        // Second failure exhausts the budget: the job is abandoned.
+        match rm.task_failed(retry.task, retry.start + SimTime::from_secs(1)) {
+            Ok(FailureAction::JobAbandoned(ab)) => {
+                assert_eq!(ab.job, JobId(0));
+                assert_eq!(ab.tasks.len(), 2, "all of the job's tasks are reported");
+            }
+            other => panic!("expected abandonment, got {other:?}"),
+        }
+        assert_eq!(rm.jobs_in_system(), 0);
+        assert_eq!(rm.stats().jobs_abandoned, 1);
+        assert!(rm.reschedule(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn resource_crash_requeues_without_charging_budget() {
+        let mut rm = manager();
+        rm.submit(mk_job(0, 0, 0, 1000, &[10, 10], &[]), SimTime::ZERO)
+            .unwrap();
+        let plan = rm.reschedule(SimTime::ZERO);
+        let e0 = plan[0];
+        rm.task_started(e0.task, e0.start).unwrap();
+
+        let interrupted = rm
+            .resource_down(e0.resource, SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(interrupted, vec![e0.task]);
+        assert_eq!(rm.down_resources(), vec![e0.resource]);
+        assert_eq!(
+            rm.stats().tasks_failed,
+            0,
+            "crashes do not charge the retry budget"
+        );
+        // Double-down is rejected.
+        assert_eq!(
+            rm.resource_down(e0.resource, SimTime::from_secs(2)),
+            Err(ManagerError::ResourceAlreadyDown(e0.resource))
+        );
+
+        // Replanning avoids the crashed machine entirely.
+        let plan = rm.reschedule(SimTime::from_secs(2));
+        assert_eq!(plan.len(), 2);
+        for e in &plan {
+            assert_ne!(e.resource, e0.resource, "down resource must not be used");
+        }
+
+        // Recovery brings it back into the pool.
+        rm.resource_up(e0.resource, SimTime::from_secs(3)).unwrap();
+        assert!(rm.down_resources().is_empty());
+        assert_eq!(
+            rm.resource_up(e0.resource, SimTime::from_secs(3)),
+            Err(ManagerError::ResourceNotDown(e0.resource))
+        );
+        let plan = rm.reschedule(SimTime::from_secs(3));
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn whole_cluster_down_keeps_work_queued() {
+        let mut rm = MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(1, 1, 1));
+        rm.submit(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        let rid = rm.resources()[0].id;
+        rm.resource_down(rid, SimTime::ZERO).unwrap();
+        assert!(rm.reschedule(SimTime::ZERO).is_empty());
+        assert_eq!(rm.jobs_in_system(), 1, "work waits for recovery");
+        rm.resource_up(rid, SimTime::from_secs(1)).unwrap();
+        assert_eq!(rm.reschedule(SimTime::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    fn straggler_revision_is_planned_around() {
+        let mut rm = MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(1, 1, 1));
+        rm.submit(mk_job(0, 0, 0, 1000, &[10, 10], &[]), SimTime::ZERO)
+            .unwrap();
+        let plan = rm.reschedule(SimTime::ZERO);
+        let first = plan[0];
+        let second = plan[1];
+        rm.task_started(first.task, first.start).unwrap();
+        // The running task is discovered to take 30 s instead of 10.
+        rm.task_duration_revised(first.task, SimTime::from_secs(30))
+            .unwrap();
+        let plan = rm.reschedule(SimTime::from_secs(1));
+        let moved = plan.iter().find(|e| e.task == second.task).unwrap();
+        assert!(
+            moved.start >= SimTime::from_secs(30),
+            "successor must wait for the stretched occupancy, got {}",
+            moved.start
+        );
+    }
+
+    #[test]
+    fn forced_unknown_budget_falls_back_to_greedy() {
+        // node_limit 0 + warm starts off force Status::Unknown from every CP
+        // rung; the greedy rung must still produce a full schedule.
+        let cfg = MrcpConfig {
+            budget: SolveBudget {
+                node_limit: 0,
+                fail_limit: 0,
+                time_limit_ms: Some(0),
+                adaptive: None,
+                warm_start: false,
+            },
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        for i in 0..3 {
+            rm.submit(mk_job(i, 0, 0, 10_000, &[10, 20], &[5]), SimTime::ZERO)
+                .unwrap();
+        }
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 9, "greedy fallback schedules everything");
+        assert_eq!(rm.stats().degraded_rounds, 1);
+        assert_eq!(rm.stats().failed_rounds, 0);
+        assert!(rm.last_scheduling_error().is_none());
     }
 
     #[test]
@@ -717,6 +1260,7 @@ mod tests {
                 reference_tasks: 100,
                 floor_nodes: 500,
             }),
+            warm_start: true,
         };
         // At or below the reference size: unscaled.
         assert_eq!(base.params_for(50).node_limit, 10_000);
@@ -744,7 +1288,8 @@ mod tests {
         rm.submit(
             mk_job(0, 0, 0, 1000, &[10, 10, 10, 10, 10], &[5]),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan.len(), 6);
     }
@@ -752,7 +1297,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut rm = manager();
-        rm.submit(mk_job(0, 0, 0, 1000, &[10, 10, 10], &[5]), SimTime::ZERO);
+        rm.submit(mk_job(0, 0, 0, 1000, &[10, 10, 10], &[5]), SimTime::ZERO)
+            .unwrap();
         rm.reschedule(SimTime::ZERO);
         let s = rm.stats();
         assert_eq!(s.invocations, 1);

@@ -101,10 +101,7 @@ fn add_jobs(
 }
 
 /// Build the full multi-resource model (the paper's base formulation).
-pub fn build_model(
-    resources: &[Resource],
-    jobs: &[JobInput<'_>],
-) -> Result<MappedModel, String> {
+pub fn build_model(resources: &[Resource], jobs: &[JobInput<'_>]) -> Result<MappedModel, String> {
     let mut b = ModelBuilder::new();
     let mut res_ids = Vec::with_capacity(resources.len());
     let mut index = std::collections::HashMap::new();

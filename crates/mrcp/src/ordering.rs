@@ -41,7 +41,11 @@ impl JobOrdering {
 
     /// All strategies, for sweeps and ablations.
     pub fn all() -> [JobOrdering; 3] {
-        [JobOrdering::JobId, JobOrdering::Edf, JobOrdering::LeastLaxity]
+        [
+            JobOrdering::JobId,
+            JobOrdering::Edf,
+            JobOrdering::LeastLaxity,
+        ]
     }
 
     /// Short display name used in experiment tables.

@@ -15,11 +15,12 @@
 //! ignored — mirroring how the Java implementation rewrites the dispatch
 //! plan on each round.
 
-use crate::manager::{MrcpConfig, MrcpRm, Submitted};
+use crate::manager::{FailureAction, MrcpConfig, MrcpRm, Submitted};
 use desim::engine::Flow;
-use desim::{Engine, EventQueue, SimTime};
-use std::collections::HashMap;
-use workload::{Job, Resource, TaskId};
+use desim::{Engine, EventQueue, RngStreams, SimTime};
+use std::collections::{HashMap, HashSet};
+use workload::AttemptOutcome;
+use workload::{FaultConfig, FaultModel, Job, JobId, Resource, ResourceId, TaskId};
 
 /// How the matchmaking-and-scheduling time `O` interacts with simulated
 /// time.
@@ -55,9 +56,7 @@ impl OverheadModel {
         match *self {
             OverheadModel::Instantaneous => SimTime::ZERO,
             OverheadModel::Fixed(d) => d,
-            OverheadModel::PerTask { base, per_task } => {
-                base + per_task * n_tasks as i64
-            }
+            OverheadModel::PerTask { base, per_task } => base + per_task * n_tasks as i64,
         }
     }
 }
@@ -77,6 +76,13 @@ pub struct SimConfig {
     /// information, but it gives a budget-limited solver another, smaller
     /// model to improve on — an extension worth ablating).
     pub reschedule_on_completion: bool,
+    /// Fault injection (task failures, stragglers, resource outages). The
+    /// default injects nothing, reproducing the paper's reliable-cluster
+    /// assumption. When active, `faults.retry_budget` overrides
+    /// `manager.retry_budget` so the injection and recovery policies agree.
+    pub faults: FaultConfig,
+    /// Seed for the fault processes (independent of the workload's RNG).
+    pub fault_seed: u64,
 }
 
 impl Default for SimConfig {
@@ -86,6 +92,8 @@ impl Default for SimConfig {
             warmup_jobs: 0,
             overhead: OverheadModel::Instantaneous,
             reschedule_on_completion: false,
+            faults: FaultConfig::default(),
+            fault_seed: 0,
         }
     }
 }
@@ -120,6 +128,24 @@ pub struct RunMetrics {
     pub max_tasks_in_model: usize,
     /// Simulated end time, seconds.
     pub end_time_s: f64,
+    /// Task attempts that failed mid-run.
+    pub tasks_failed: u64,
+    /// Tasks sent back to the queue (after a failure or a crash).
+    pub tasks_requeued: u64,
+    /// Attempts that straggled (ran longer than nominal).
+    pub stragglers: u64,
+    /// Resource down events that took effect.
+    pub resource_crashes: u64,
+    /// Jobs abandoned after a task exhausted its retry budget.
+    pub jobs_abandoned: usize,
+    /// Measured late jobs whose job was touched by a fault (failed or
+    /// straggling attempt, or a crash interruption) — deadline misses
+    /// attributable to the injected failures rather than to load.
+    pub late_due_to_faults: usize,
+    /// Scheduling rounds that fell down the degradation ladder.
+    pub degraded_rounds: u64,
+    /// Scheduling rounds that produced no schedule at all.
+    pub failed_rounds: u64,
 }
 
 #[derive(Debug)]
@@ -128,17 +154,54 @@ enum Ev {
     Activate,
     /// The manager's busy period ends; install the (re)computed schedule.
     Install,
-    TaskStart { task: TaskId, version: u64 },
-    TaskComplete { task: TaskId },
+    TaskStart {
+        task: TaskId,
+        version: u64,
+    },
+    /// Completion of one *attempt*; stale once the attempt is superseded
+    /// (failed, interrupted by a crash, or its job abandoned).
+    TaskComplete {
+        task: TaskId,
+        attempt: u32,
+    },
+    /// Mid-run failure of one attempt, same staleness rule.
+    TaskFail {
+        task: TaskId,
+        attempt: u32,
+    },
+    /// A resource crashes. `up_after` is the outage duration for scheduled
+    /// windows; `None` means a random crash whose repair time is sampled.
+    ResourceDown {
+        resource: ResourceId,
+        up_after: Option<SimTime>,
+    },
+    ResourceUp {
+        resource: ResourceId,
+    },
 }
 
 struct Driver {
     rm: MrcpRm,
     jobs: Vec<Option<Job>>,
+    total_jobs: usize,
     version: u64,
     /// version at which each pending start event is valid
     armed: HashMap<TaskId, u64>,
     exec_time: HashMap<TaskId, SimTime>,
+    /// Task → owning job, for fault attribution (lives until the job
+    /// completes or is abandoned).
+    task_job: HashMap<TaskId, JobId>,
+    /// Currently running attempt per task; a pending completion/failure
+    /// event is live only while its attempt number is recorded here.
+    running: HashMap<TaskId, u32>,
+    /// Attempts started so far per task.
+    attempts: HashMap<TaskId, u32>,
+    /// Jobs touched by any fault, for `late_due_to_faults`.
+    fault_jobs: HashSet<JobId>,
+    faults: Option<FaultModel>,
+    stragglers: u64,
+    resource_crashes: u64,
+    jobs_abandoned: usize,
     completions: Vec<JobOutcome>,
     arrived: usize,
     overhead: OverheadModel,
@@ -163,6 +226,18 @@ impl Driver {
                 },
             );
         }
+    }
+
+    /// The workload is exhausted and every job has left the system: the
+    /// crash renewal process must stop re-arming or the run never ends.
+    fn drained(&self) -> bool {
+        self.arrived == self.total_jobs && self.rm.jobs_in_system() == 0
+    }
+
+    /// Scale a duration by a sampled factor, keeping it a positive event
+    /// offset (millisecond resolution).
+    fn scale(t: SimTime, f: f64) -> SimTime {
+        SimTime::from_secs_f64(t.as_secs_f64() * f).max(SimTime::from_millis(1))
     }
 
     /// Request a scheduling round: immediate under
@@ -190,9 +265,10 @@ impl desim::Process<Ev> for Driver {
                 let job = self.jobs[idx].take().expect("job arrives once");
                 for t in job.tasks() {
                     self.exec_time.insert(t.id, t.exec_time);
+                    self.task_job.insert(t.id, job.id);
                 }
                 self.arrived += 1;
-                match self.rm.submit(job, now) {
+                match self.rm.submit(job, now).expect("generated jobs are unique") {
                     Submitted::Active => self.request_install(now, queue),
                     Submitted::Deferred(act) => queue.schedule_at(act, Ev::Activate),
                 }
@@ -211,13 +287,54 @@ impl desim::Process<Ev> for Driver {
                     return Flow::Continue; // superseded plan
                 }
                 self.armed.remove(&task);
-                self.rm.task_started(task, now);
+                self.rm
+                    .task_started(task, now)
+                    .expect("armed starts are valid");
+                let attempt = self.attempts.entry(task).or_insert(0);
+                *attempt += 1;
+                let attempt = *attempt;
+                self.running.insert(task, attempt);
                 let dur = self.exec_time[&task];
-                queue.schedule_at(now + dur, Ev::TaskComplete { task });
+                let fate = match self.faults.as_mut() {
+                    Some(fm) => fm.sample_attempt(),
+                    None => AttemptOutcome::Success,
+                };
+                match fate {
+                    AttemptOutcome::Success => {
+                        queue.schedule_at(now + dur, Ev::TaskComplete { task, attempt });
+                    }
+                    AttemptOutcome::Fail { at_fraction } => {
+                        let at = now + Self::scale(dur, at_fraction);
+                        queue.schedule_at(at, Ev::TaskFail { task, attempt });
+                    }
+                    AttemptOutcome::Straggle { factor } => {
+                        let stretched = Self::scale(dur, factor);
+                        self.stragglers += 1;
+                        if let Some(&job) = self.task_job.get(&task) {
+                            self.fault_jobs.insert(job);
+                        }
+                        // The manager plans around the stretched occupancy.
+                        self.rm
+                            .task_duration_revised(task, stretched)
+                            .expect("task just started");
+                        queue.schedule_at(now + stretched, Ev::TaskComplete { task, attempt });
+                        self.request_install(now, queue);
+                    }
+                }
             }
-            Ev::TaskComplete { task } => {
+            Ev::TaskComplete { task, attempt } => {
+                if self.running.get(&task) != Some(&attempt) {
+                    return Flow::Continue; // attempt superseded
+                }
+                self.running.remove(&task);
                 self.exec_time.remove(&task);
-                if let Some(done) = self.rm.task_completed(task, now) {
+                self.task_job.remove(&task);
+                self.attempts.remove(&task);
+                if let Some(done) = self
+                    .rm
+                    .task_completed(task, now)
+                    .expect("live attempt completes a running task")
+                {
                     self.completions.push(JobOutcome {
                         job: done.job,
                         earliest_start: done.earliest_start,
@@ -227,6 +344,91 @@ impl desim::Process<Ev> for Driver {
                     });
                     if self.reschedule_on_completion && self.rm.jobs_in_system() > 0 {
                         self.request_install(now, queue);
+                    }
+                }
+            }
+            Ev::TaskFail { task, attempt } => {
+                if self.running.get(&task) != Some(&attempt) {
+                    return Flow::Continue; // attempt superseded
+                }
+                self.running.remove(&task);
+                if let Some(&job) = self.task_job.get(&task) {
+                    self.fault_jobs.insert(job);
+                }
+                match self
+                    .rm
+                    .task_failed(task, now)
+                    .expect("live attempt fails a running task")
+                {
+                    FailureAction::Requeued { .. } => {
+                        self.request_install(now, queue);
+                    }
+                    FailureAction::JobAbandoned(ab) => {
+                        self.jobs_abandoned += 1;
+                        for t in &ab.tasks {
+                            self.armed.remove(t);
+                            self.running.remove(t);
+                            self.exec_time.remove(t);
+                            self.task_job.remove(t);
+                            self.attempts.remove(t);
+                        }
+                        if self.rm.jobs_in_system() > 0 {
+                            self.request_install(now, queue);
+                        }
+                    }
+                }
+            }
+            Ev::ResourceDown { resource, up_after } => {
+                if self.drained() {
+                    // Workload is done; a late crash has nothing to affect
+                    // and re-arming the renewal would keep the run alive.
+                    return Flow::Continue;
+                }
+                match self.rm.resource_down(resource, now) {
+                    Ok(interrupted) => {
+                        self.resource_crashes += 1;
+                        for t in &interrupted {
+                            self.running.remove(t);
+                            if let Some(&job) = self.task_job.get(t) {
+                                self.fault_jobs.insert(job);
+                            }
+                        }
+                        let repair = up_after.unwrap_or_else(|| {
+                            self.faults
+                                .as_mut()
+                                .expect("random crashes imply a fault model")
+                                .sample_repair_time()
+                        });
+                        queue.schedule_at(now + repair, Ev::ResourceUp { resource });
+                        self.request_install(now, queue);
+                    }
+                    // A scheduled outage can overlap a random crash (or two
+                    // overlapping windows); the resource is already down and
+                    // already has a recovery pending — ignore the duplicate.
+                    Err(_) => return Flow::Continue,
+                }
+            }
+            Ev::ResourceUp { resource } => {
+                self.rm
+                    .resource_up(resource, now)
+                    .expect("resource was marked down by the matching crash");
+                if self.rm.jobs_in_system() > 0 {
+                    self.request_install(now, queue);
+                }
+                // Re-arm the renewal process while there is work left.
+                if !self.drained() {
+                    if let Some(ttf) = self
+                        .faults
+                        .as_mut()
+                        .and_then(|f| f.sample_time_to_failure())
+                    {
+                        queue.schedule_at(
+                            now + ttf,
+                            Ev::ResourceDown {
+                                resource,
+                                up_after: None,
+                            },
+                        );
                     }
                 }
             }
@@ -251,7 +453,8 @@ pub struct JobOutcome {
 }
 
 /// Run MRCP-RM over `jobs` (arrival-ordered) on `resources` and collect the
-/// paper's metrics. The run drains: every job completes.
+/// paper's metrics. The run drains: every job completes or (under fault
+/// injection) is abandoned after exhausting its retry budget.
 pub fn simulate(cfg: &SimConfig, resources: &[Resource], jobs: Vec<Job>) -> RunMetrics {
     simulate_detailed(cfg, resources, jobs).0
 }
@@ -263,23 +466,65 @@ pub fn simulate_detailed(
     resources: &[Resource],
     jobs: Vec<Job>,
 ) -> (RunMetrics, Vec<JobOutcome>) {
+    cfg.faults.validate().expect("invalid fault config");
     let n = jobs.len();
     let mut engine: Engine<Ev> = Engine::new();
     for (i, j) in jobs.iter().enumerate() {
         engine.queue_mut().schedule_at(j.arrival, Ev::Arrival(i));
     }
+    let mut mgr_cfg = cfg.manager;
+    let faults = if cfg.faults.is_active() {
+        mgr_cfg.retry_budget = cfg.faults.retry_budget;
+        let rng = RngStreams::new(cfg.fault_seed).stream("faults");
+        Some(FaultModel::new(cfg.faults.clone(), rng))
+    } else {
+        None
+    };
     let mut driver = Driver {
-        rm: MrcpRm::new(cfg.manager, resources.to_vec()),
+        rm: MrcpRm::new(mgr_cfg, resources.to_vec()),
         jobs: jobs.into_iter().map(Some).collect(),
+        total_jobs: n,
         version: 0,
         armed: HashMap::new(),
         exec_time: HashMap::new(),
+        task_job: HashMap::new(),
+        running: HashMap::new(),
+        attempts: HashMap::new(),
+        fault_jobs: HashSet::new(),
+        faults,
+        stragglers: 0,
+        resource_crashes: 0,
+        jobs_abandoned: 0,
         completions: Vec::with_capacity(n),
         arrived: 0,
         overhead: cfg.overhead,
         install_pending: false,
         reschedule_on_completion: cfg.reschedule_on_completion,
     };
+    // Arm the fault processes: deterministic outage windows, then the
+    // first crash of each resource's renewal process.
+    for o in &cfg.faults.scheduled_outages {
+        engine.queue_mut().schedule_at(
+            o.at,
+            Ev::ResourceDown {
+                resource: o.resource,
+                up_after: Some(o.duration),
+            },
+        );
+    }
+    if let Some(fm) = driver.faults.as_mut() {
+        for r in resources {
+            if let Some(ttf) = fm.sample_time_to_failure() {
+                engine.queue_mut().schedule_at(
+                    ttf,
+                    Ev::ResourceDown {
+                        resource: r.id,
+                        up_after: None,
+                    },
+                );
+            }
+        }
+    }
     let end = engine.run(&mut driver);
 
     let stats = driver.rm.stats();
@@ -288,6 +533,10 @@ pub fn simulate_detailed(
     let measured_slice = &driver.completions[cfg.warmup_jobs.min(completed)..];
     let measured = measured_slice.len();
     let late = measured_slice.iter().filter(|c| c.late).count();
+    let late_due_to_faults = measured_slice
+        .iter()
+        .filter(|c| c.late && driver.fault_jobs.contains(&c.job))
+        .count();
     let mut turnarounds = desim::stats::Tally::new();
     for c in measured_slice {
         turnarounds.push((c.completion - c.earliest_start).as_secs_f64());
@@ -319,6 +568,14 @@ pub fn simulate_detailed(
         },
         max_tasks_in_model: stats.max_tasks_in_model,
         end_time_s: end.as_secs_f64(),
+        tasks_failed: stats.tasks_failed,
+        tasks_requeued: stats.tasks_requeued,
+        stragglers: driver.stragglers,
+        resource_crashes: driver.resource_crashes,
+        jobs_abandoned: driver.jobs_abandoned,
+        late_due_to_faults,
+        degraded_rounds: stats.degraded_rounds,
+        failed_rounds: stats.failed_rounds,
     };
     (metrics, driver.completions)
 }
@@ -328,7 +585,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    
+
     use workload::{SyntheticConfig, SyntheticGenerator};
 
     fn small_workload(n: usize, lambda: f64, seed: u64) -> (Vec<Resource>, Vec<Job>) {
@@ -458,8 +715,12 @@ mod tests {
         };
         let extra = simulate(&cfg, &cluster, jobs);
         assert_eq!(extra.completed, 25);
-        assert!(extra.invocations >= base.invocations,
-            "completion replans add rounds: {} vs {}", extra.invocations, base.invocations);
+        assert!(
+            extra.invocations >= base.invocations,
+            "completion replans add rounds: {} vs {}",
+            extra.invocations,
+            base.invocations
+        );
         // With exact execution times replanning cannot make things worse
         // by much; allow small divergence from search-order effects.
         assert!((extra.late as i64 - base.late as i64).abs() <= 2);

@@ -165,10 +165,8 @@ pub fn audit(
     placements: &[(TaskId, ResourceId, SimTime)],
 ) -> Result<(), String> {
     let full = build_model(resources, jobs)?;
-    let lookup: std::collections::HashMap<TaskId, (ResourceId, SimTime)> = placements
-        .iter()
-        .map(|&(t, r, s)| (t, (r, s)))
-        .collect();
+    let lookup: std::collections::HashMap<TaskId, (ResourceId, SimTime)> =
+        placements.iter().map(|&(t, r, s)| (t, (r, s))).collect();
     let mut starts = Vec::with_capacity(full.task_ids.len());
     let mut res = Vec::with_capacity(full.task_ids.len());
     let rindex: std::collections::HashMap<ResourceId, usize> = full

@@ -17,8 +17,7 @@ struct W {
 }
 
 fn workload() -> impl Strategy<Value = W> {
-    let hom = (1u32..=3, 1u32..=2, 1u32..=2)
-        .prop_map(|(m, cm, cr)| homogeneous_cluster(m, cm, cr));
+    let hom = (1u32..=3, 1u32..=2, 1u32..=2).prop_map(|(m, cm, cr)| homogeneous_cluster(m, cm, cr));
     let het = prop::collection::vec((1u32..=2, 0u32..=2), 2..=3).prop_map(|caps| {
         // guarantee at least one reduce slot somewhere
         let mut caps = caps;
@@ -82,6 +81,7 @@ fn audited_config() -> SimConfig {
             fail_limit: 2_000,
             time_limit_ms: Some(50),
             adaptive: None,
+            warm_start: true,
         },
         ..Default::default()
     };

@@ -44,7 +44,10 @@ pub struct Uniform {
 impl Uniform {
     /// `U[lo, hi]` with `lo <= hi`.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad U[{lo},{hi}]");
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "bad U[{lo},{hi}]"
+        );
         Uniform { lo, hi }
     }
 
@@ -91,7 +94,10 @@ pub struct Exponential {
 impl Exponential {
     /// Exponential with rate `λ > 0` (mean `1/λ`).
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "Exponential rate={rate} must be > 0");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "Exponential rate={rate} must be > 0"
+        );
         Exponential { rate }
     }
 

@@ -235,10 +235,7 @@ impl<R: Rng> FacebookGenerator<R> {
             reduce_tasks,
             precedences: vec![],
         };
-        let te = job.min_execution_time(
-            self.cfg.total_map_slots(),
-            self.cfg.total_reduce_slots(),
-        );
+        let te = job.min_execution_time(self.cfg.total_map_slots(), self.cfg.total_reduce_slots());
         let mult = Uniform::new(1.0, self.cfg.deadline_multiplier).sample(&mut self.rng);
         job.deadline =
             arrival + SimTime::from_millis((te.as_millis() as f64 * mult).round() as i64);
@@ -304,7 +301,7 @@ mod tests {
         assert_eq!(cfg.scaled_counts(0), (1, 0)); // 1 map stays 1 map
         assert_eq!(cfg.scaled_counts(8), (240, 36)); // 2400/360 scale down
         assert_eq!(cfg.scaled_counts(9), (480, 0)); // reduce 0 stays 0
-        // map-only types never gain reduces
+                                                    // map-only types never gain reduces
         let mut g = gen(cfg);
         for j in g.take_jobs(300) {
             j.validate().unwrap();
@@ -352,7 +349,10 @@ mod tests {
         let jobs = g.take_jobs(3000);
         let span = (jobs.last().unwrap().arrival - jobs[0].arrival).as_secs_f64();
         let mean_ia = span / (jobs.len() - 1) as f64;
-        assert!((mean_ia - 1000.0).abs() < 60.0, "mean inter-arrival {mean_ia}");
+        assert!(
+            (mean_ia - 1000.0).abs() < 60.0,
+            "mean inter-arrival {mean_ia}"
+        );
     }
 
     #[test]
@@ -367,7 +367,10 @@ mod tests {
             .filter(|j| j.map_tasks.len() == 1 && j.reduce_tasks.is_empty())
             .count() as f64
             / jobs.len() as f64;
-        assert!((single_map - 0.38).abs() < 0.03, "type-1 share {single_map}");
+        assert!(
+            (single_map - 0.38).abs() < 0.03,
+            "type-1 share {single_map}"
+        );
     }
 
     #[test]

@@ -15,11 +15,13 @@
 
 pub mod dist;
 pub mod facebook;
+pub mod fault;
 pub mod model;
 pub mod synthetic;
 pub mod trace;
 pub mod workflow;
 
 pub use facebook::{FacebookConfig, FacebookGenerator};
+pub use fault::{AttemptOutcome, FaultConfig, FaultModel, Outage};
 pub use model::{Job, JobId, Resource, ResourceId, Task, TaskId, TaskKind};
 pub use synthetic::{SyntheticConfig, SyntheticGenerator};

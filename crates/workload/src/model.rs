@@ -11,21 +11,15 @@ use desim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a job, unique within a workload.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u32);
 
 /// Identifier of a task, unique within a workload (not merely within a job).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
 
 /// Identifier of a resource.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ResourceId(pub u32);
 
 impl std::fmt::Display for JobId {
@@ -48,9 +42,7 @@ impl std::fmt::Display for ResourceId {
 ///
 /// Mirrors the `type` field of the paper's OPL `Task` tuple (0 = map,
 /// 1 = reduce).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TaskKind {
     /// A map task, occupying one map slot while executing.
     Map,
@@ -126,8 +118,7 @@ impl Job {
 
     /// Sum of all task execution times (the job's total work).
     pub fn total_work(&self) -> SimTime {
-        self.tasks()
-            .fold(SimTime::ZERO, |acc, t| acc + t.exec_time)
+        self.tasks().fold(SimTime::ZERO, |acc, t| acc + t.exec_time)
     }
 
     /// `TE`: the minimum execution time of the job assuming it has the whole
@@ -172,10 +163,16 @@ impl Job {
                 return Err(format!("{}: task {} has parent {}", self.id, t.id, t.job));
             }
             if t.exec_time <= SimTime::ZERO {
-                return Err(format!("{}: task {} has nonpositive exec time", self.id, t.id));
+                return Err(format!(
+                    "{}: task {} has nonpositive exec time",
+                    self.id, t.id
+                ));
             }
             if t.req == 0 {
-                return Err(format!("{}: task {} has zero capacity requirement", self.id, t.id));
+                return Err(format!(
+                    "{}: task {} has zero capacity requirement",
+                    self.id, t.id
+                ));
             }
         }
         for t in &self.map_tasks {
@@ -206,7 +203,10 @@ impl Job {
                 return Err(format!("{}: self-precedence on {a}", self.id));
             }
             let (Some(&ka), Some(&kb)) = (kind_of.get(&a), kind_of.get(&b)) else {
-                return Err(format!("{}: precedence ({a},{b}) references foreign task", self.id));
+                return Err(format!(
+                    "{}: precedence ({a},{b}) references foreign task",
+                    self.id
+                ));
             };
             if ka == TaskKind::Reduce && kb == TaskKind::Map && !self.map_tasks.is_empty() {
                 return Err(format!(
@@ -227,8 +227,7 @@ impl Job {
             succs[index[&a]].push(index[&b]);
             indegree[index[&b]] += 1;
         }
-        let mut queue: Vec<usize> =
-            (0..ids.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..ids.len()).filter(|&i| indegree[i] == 0).collect();
         let mut seen = 0;
         while let Some(i) = queue.pop() {
             seen += 1;
@@ -337,10 +336,7 @@ mod tests {
             arrival: SimTime::from_secs(10),
             earliest_start: SimTime::from_secs(12),
             deadline: SimTime::from_secs(100),
-            map_tasks: vec![
-                task(0, 1, TaskKind::Map, 5),
-                task(1, 1, TaskKind::Map, 9),
-            ],
+            map_tasks: vec![task(0, 1, TaskKind::Map, 5), task(1, 1, TaskKind::Map, 9)],
             reduce_tasks: vec![task(2, 1, TaskKind::Reduce, 4)],
             precedences: vec![],
         }
@@ -436,7 +432,9 @@ mod tests {
     fn homogeneous_cluster_shape() {
         let rs = homogeneous_cluster(64, 1, 1);
         assert_eq!(rs.len(), 64);
-        assert!(rs.iter().all(|r| r.map_capacity == 1 && r.reduce_capacity == 1));
+        assert!(rs
+            .iter()
+            .all(|r| r.map_capacity == 1 && r.reduce_capacity == 1));
         assert_eq!(rs[63].id, ResourceId(63));
         assert_eq!(rs[0].capacity(TaskKind::Map), 1);
         assert_eq!(rs[0].capacity(TaskKind::Reduce), 1);

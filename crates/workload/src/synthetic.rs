@@ -269,7 +269,11 @@ mod tests {
         let mut g = gen(SyntheticConfig::default());
         for _ in 0..50 {
             let j = g.next_job();
-            let total_me: i64 = j.map_tasks.iter().map(|t| t.exec_time.as_millis() / 1000).sum();
+            let total_me: i64 = j
+                .map_tasks
+                .iter()
+                .map(|t| t.exec_time.as_millis() / 1000)
+                .sum();
             let k_rd = j.reduce_tasks.len() as i64;
             let base = 3 * total_me / k_rd;
             for t in &j.reduce_tasks {
@@ -294,7 +298,10 @@ mod tests {
         // mean inter-arrival should be ~1/λ = 100s
         let span = (jobs.last().unwrap().arrival - jobs[0].arrival).as_secs_f64();
         let mean_ia = span / (jobs.len() - 1) as f64;
-        assert!((mean_ia - 100.0).abs() < 10.0, "mean inter-arrival {mean_ia}");
+        assert!(
+            (mean_ia - 100.0).abs() < 10.0,
+            "mean inter-arrival {mean_ia}"
+        );
     }
 
     #[test]

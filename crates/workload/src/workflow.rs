@@ -209,7 +209,9 @@ mod tests {
                 10,
             );
             job.validate().unwrap();
-            assert!(!job.precedences.is_empty() || job.task_count() <= 1 || job.map_tasks.len() <= 4);
+            assert!(
+                !job.precedences.is_empty() || job.task_count() <= 1 || job.map_tasks.len() <= 4
+            );
             assert!(job.deadline > job.arrival);
         }
     }

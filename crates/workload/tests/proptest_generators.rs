@@ -7,22 +7,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workload::trace::Trace;
 use workload::workflow::random_workflow;
-use workload::{
-    FacebookConfig, FacebookGenerator, JobId, SyntheticConfig, SyntheticGenerator,
-};
+use workload::{FacebookConfig, FacebookGenerator, JobId, SyntheticConfig, SyntheticGenerator};
 
 fn synth_config() -> impl Strategy<Value = SyntheticConfig> {
     (
-        1i64..=20,          // max maps
-        1i64..=20,          // max reduces
-        1i64..=60,          // e_max
-        0.0f64..=1.0,       // p
-        1i64..=10_000,      // s_max
-        1.0f64..=10.0,      // d_M
-        0.001f64..=0.5,     // lambda
-        1u32..=10,          // resources
-        1u32..=3,           // map cap
-        1u32..=3,           // reduce cap
+        1i64..=20,      // max maps
+        1i64..=20,      // max reduces
+        1i64..=60,      // e_max
+        0.0f64..=1.0,   // p
+        1i64..=10_000,  // s_max
+        1.0f64..=10.0,  // d_M
+        0.001f64..=0.5, // lambda
+        1u32..=10,      // resources
+        1u32..=3,       // map cap
+        1u32..=3,       // reduce cap
     )
         .prop_map(
             |(mm, mr, e_max, p, s_max, d_m, lambda, m, cm, cr)| SyntheticConfig {

@@ -40,7 +40,10 @@ fn main() {
     };
 
     println!("== deadline tightness sweep (EDF ordering, {n_jobs} jobs/point) ==");
-    println!("{:>6} {:>9} {:>10} {:>12}", "d_M", "P", "T (s)", "O (ms/job)");
+    println!(
+        "{:>6} {:>9} {:>10} {:>12}",
+        "d_M", "P", "T (s)", "O (ms/job)"
+    );
     for d_m in [1.5, 2.0, 3.0, 5.0, 10.0] {
         let cfg = SyntheticConfig {
             deadline_multiplier: d_m,
@@ -53,7 +56,10 @@ fn main() {
     println!("and the scheduler works hardest (highest O) when laxity is scarce.\n");
 
     println!("== job ordering strategies at d_M = 2 (paper §VI.B) ==");
-    println!("{:>14} {:>9} {:>10} {:>12}", "ordering", "P", "T (s)", "O (ms/job)");
+    println!(
+        "{:>14} {:>9} {:>10} {:>12}",
+        "ordering", "P", "T (s)", "O (ms/job)"
+    );
     let tight = SyntheticConfig {
         deadline_multiplier: 2.0,
         ..base

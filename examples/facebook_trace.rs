@@ -40,7 +40,9 @@ fn main() {
         "Facebook workload: {n_jobs} jobs, task scale {task_scale}, λ={:.2e} jobs/s, {}×(1,1) cluster",
         cfg.lambda, cfg.resources
     );
-    println!("(Table 4 job mix; map times LN(9.9511,1.6764)ms, reduce times LN(12.375,1.6262)ms)\n");
+    println!(
+        "(Table 4 job mix; map times LN(9.9511,1.6764)ms, reduce times LN(12.375,1.6262)ms)\n"
+    );
 
     let gen_jobs = || {
         let rng = RngStreams::new(2009).stream("facebook");
@@ -79,8 +81,14 @@ fn main() {
         "MinEDF-WC",
         run_slot_sim(slots.0, slots.1, gen_jobs(), &mut MinEdfWc::default(), 0),
     );
-    shootout("EDF", run_slot_sim(slots.0, slots.1, gen_jobs(), &mut Edf, 0));
-    shootout("FCFS", run_slot_sim(slots.0, slots.1, gen_jobs(), &mut Fcfs, 0));
+    shootout(
+        "EDF",
+        run_slot_sim(slots.0, slots.1, gen_jobs(), &mut Edf, 0),
+    );
+    shootout(
+        "FCFS",
+        run_slot_sim(slots.0, slots.1, gen_jobs(), &mut Fcfs, 0),
+    );
 
     println!("\npaper's Fig. 2: MRCP-RM cuts the proportion of late jobs by 70–93% vs MinEDF-WC");
     println!("paper's Fig. 3: MRCP-RM's turnaround is up to 7% lower");

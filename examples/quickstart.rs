@@ -11,7 +11,14 @@ use workload::model::homogeneous_cluster;
 use workload::{Job, JobId, Task, TaskId, TaskKind};
 
 /// Hand-build one MapReduce job with an SLA.
-fn job(id: u32, arrival_s: i64, start_s: i64, deadline_s: i64, maps: &[i64], reduces: &[i64]) -> Job {
+fn job(
+    id: u32,
+    arrival_s: i64,
+    start_s: i64,
+    deadline_s: i64,
+    maps: &[i64],
+    reduces: &[i64],
+) -> Job {
     let mut next_task = id * 100;
     let mut mk = |kind, secs: i64| {
         let t = Task {

@@ -42,10 +42,12 @@ fn main() {
     let path = std::env::temp_dir().join("mrcp_trace_demo.json");
     std::fs::write(&path, trace.to_json()).expect("write trace");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("archived {} jobs ({} tasks) to {} ({bytes} bytes)",
+    println!(
+        "archived {} jobs ({} tasks) to {} ({bytes} bytes)",
         trace.jobs.len(),
         trace.jobs.iter().map(|j| j.task_count()).sum::<usize>(),
-        path.display());
+        path.display()
+    );
 
     // Replay from disk.
     let loaded = Trace::from_json(&std::fs::read_to_string(&path).expect("read trace"))
@@ -53,9 +55,16 @@ fn main() {
     assert_eq!(loaded, trace, "round trip is lossless");
 
     let original = simulate(&SimConfig::default(), &trace.resources, trace.jobs.clone());
-    let replayed = simulate(&SimConfig::default(), &loaded.resources, loaded.jobs.clone());
+    let replayed = simulate(
+        &SimConfig::default(),
+        &loaded.resources,
+        loaded.jobs.clone(),
+    );
 
-    println!("\n{:<12} {:>10} {:>8} {:>12} {:>12}", "run", "completed", "late", "T (s)", "p95 T (s)");
+    println!(
+        "\n{:<12} {:>10} {:>8} {:>12} {:>12}",
+        "run", "completed", "late", "T (s)", "p95 T (s)"
+    );
     for (name, m) in [("original", original), ("replayed", replayed)] {
         println!(
             "{name:<12} {:>10} {:>8} {:>12.2} {:>12.2}",

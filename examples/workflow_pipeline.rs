@@ -85,9 +85,9 @@ fn main() {
         },
         cluster,
     );
-    rm.submit(pipeline, SimTime::ZERO);
+    rm.submit(pipeline, SimTime::ZERO).unwrap();
     for j in competing {
-        rm.submit(j, SimTime::ZERO);
+        rm.submit(j, SimTime::ZERO).unwrap();
     }
     let plan = rm.reschedule(SimTime::ZERO);
 

@@ -2,9 +2,9 @@
 //! agree on what they should agree on, and disagree exactly where theory
 //! says they must.
 
+use baselines::lp_sched::{lp_schedule_closed, milp_schedule_closed};
 use cpsolve::search::SolveParams;
 use desim::{RngStreams, SimTime};
-use baselines::lp_sched::{lp_schedule_closed, milp_schedule_closed};
 use mrcp::closed::solve_closed;
 use mrcp::JobOrdering;
 use workload::{Job, SyntheticConfig, SyntheticGenerator};
@@ -49,20 +49,10 @@ fn fluid_lp_is_internally_consistent() {
         .unwrap();
         assert_eq!(cp.late_jobs.len() as u32, cp.objective);
 
-        let coarse = lp_schedule_closed(
-            cfg.total_map_slots(),
-            cfg.total_reduce_slots(),
-            &jobs,
-            16,
-        )
-        .unwrap();
-        let fine = lp_schedule_closed(
-            cfg.total_map_slots(),
-            cfg.total_reduce_slots(),
-            &jobs,
-            40,
-        )
-        .unwrap();
+        let coarse =
+            lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 16).unwrap();
+        let fine =
+            lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 40).unwrap();
         for lp in [&coarse, &fine] {
             assert_eq!(lp.completions.len(), jobs.len());
             for j in &jobs {
@@ -96,12 +86,17 @@ fn all_solvers_agree_on_loose_batches() {
     )
     .unwrap();
     assert_eq!(cp.objective, 0, "CP meets loose deadlines");
-    let lp = lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 30)
-        .unwrap();
+    let lp =
+        lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 30).unwrap();
     assert!(lp.late_jobs.is_empty(), "fluid LP meets loose deadlines");
-    let milp =
-        milp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 20, 10_000)
-            .unwrap();
+    let milp = milp_schedule_closed(
+        cfg.total_map_slots(),
+        cfg.total_reduce_slots(),
+        &jobs,
+        20,
+        10_000,
+    )
+    .unwrap();
     assert_eq!(milp.late, 0, "MILP meets loose deadlines");
     assert!(milp.proven_optimal);
 }
@@ -121,11 +116,16 @@ fn hopeless_job_is_late_for_every_solver() {
     )
     .unwrap();
     assert!(cp.late_jobs.contains(&jobs[0].id));
-    let lp = lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 30)
-        .unwrap();
+    let lp =
+        lp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 30).unwrap();
     assert!(lp.late_jobs.contains(&jobs[0].id));
-    let milp =
-        milp_schedule_closed(cfg.total_map_slots(), cfg.total_reduce_slots(), &jobs, 20, 10_000)
-            .unwrap();
+    let milp = milp_schedule_closed(
+        cfg.total_map_slots(),
+        cfg.total_reduce_slots(),
+        &jobs,
+        20,
+        10_000,
+    )
+    .unwrap();
     assert!(milp.late >= 1);
 }

@@ -3,11 +3,11 @@
 //! (generator → MRCP-RM → CP solver → simulator → metrics) and its
 //! agreement with the baselines on common inputs.
 
+use baselines::slot_sim::run_slot_sim_detailed;
+use baselines::{run_slot_sim, Edf, Fcfs, MinEdf, MinEdfWc};
 use desim::RngStreams;
 use mrcp::sim_driver::simulate_detailed;
 use mrcp::{simulate, MrcpConfig, SimConfig};
-use baselines::slot_sim::run_slot_sim_detailed;
-use baselines::{run_slot_sim, Edf, Fcfs, MinEdf, MinEdfWc};
 use workload::{FacebookConfig, FacebookGenerator, SyntheticConfig, SyntheticGenerator};
 
 fn synth_cfg() -> SyntheticConfig {
@@ -144,7 +144,12 @@ fn split_and_monolithic_agree() {
     assert_eq!(split.completed, 40);
     assert_eq!(full.completed, 40);
     let diff = (split.late as i64 - full.late as i64).abs();
-    assert!(diff <= 3, "split late {} vs full late {}", split.late, full.late);
+    assert!(
+        diff <= 3,
+        "split late {} vs full late {}",
+        split.late,
+        full.late
+    );
 }
 
 /// Schedules installed by the manager are audited by the independent

@@ -42,7 +42,7 @@ fn chain_workflow_serializes() {
         },
         cluster,
     );
-    rm.submit(job, SimTime::ZERO);
+    rm.submit(job, SimTime::ZERO).unwrap();
     let plan = rm.reschedule(SimTime::ZERO);
     let start = |t: TaskId| plan.iter().find(|e| e.task == t).unwrap().start;
     let end = |t: TaskId| plan.iter().find(|e| e.task == t).unwrap().end;
@@ -66,14 +66,14 @@ fn incremental_reschedule_respects_dag() {
         },
         cluster,
     );
-    rm.submit(job, SimTime::ZERO);
+    rm.submit(job, SimTime::ZERO).unwrap();
     let plan = rm.reschedule(SimTime::ZERO);
     let first = *plan.iter().find(|e| e.task == ids[0]).unwrap();
-    rm.task_started(first.task, first.start);
+    rm.task_started(first.task, first.start).unwrap();
 
     // Urgent job arrives at t=2 while the chain head runs.
     let (urgent, _) = chain_job(1, 100, &[3], 20);
-    rm.submit(urgent, SimTime::from_secs(2));
+    rm.submit(urgent, SimTime::from_secs(2)).unwrap();
     let plan = rm.reschedule(SimTime::from_secs(2));
     let succ = plan.iter().find(|e| e.task == ids[1]).unwrap();
     assert!(

@@ -1,0 +1,306 @@
+//! Minimal offline drop-in subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of serde it uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs/enums (honouring `#[serde(transparent)]`,
+//! `#[serde(default)]` and `#[serde(skip)]`), routed through a simple
+//! self-describing [`Value`] tree instead of the real crate's
+//! serializer/deserializer visitors. `serde_json` (also vendored) renders
+//! and parses that tree as JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the intermediate form between Rust values
+/// and a concrete format like JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (for values above `i64::MAX`).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key→value map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric view, widening integers into `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// A signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// An unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Field lookup helper used by derive-generated code.
+#[doc(hidden)]
+pub fn __get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, String> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| format!("expected integer, got {v:?}"))?;
+                <$t>::try_from(i).map_err(|_| {
+                    format!("integer {i} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, String> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| format!("expected unsigned integer, got {v:?}"))?;
+                <$t>::try_from(u).map_err(|_| {
+                    format!("integer {u} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+uint_impls!(u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, String> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| format!("expected number, got {v:?}"))
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        v.as_bool()
+            .ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        v.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {v:?}"))?
+            .iter()
+            .map(Deserialize::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, String> {
+                let s = v
+                    .as_seq()
+                    .ok_or_else(|| format!("expected tuple sequence, got {v:?}"))?;
+                let expect = [$($n),+].len();
+                if s.len() != expect {
+                    return Err(format!("expected {expect}-tuple, got {} elements", s.len()));
+                }
+                Ok(($($t::deserialize_value(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(i64::deserialize_value(&42i64.serialize_value()), Ok(42));
+        assert_eq!(u32::deserialize_value(&7u32.serialize_value()), Ok(7));
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()), Ok(1.5));
+        assert_eq!(bool::deserialize_value(&true.serialize_value()), Ok(true));
+        assert_eq!(
+            String::deserialize_value(&String::from("hi").serialize_value()),
+            Ok(String::from("hi"))
+        );
+        assert_eq!(
+            Vec::<i64>::deserialize_value(&vec![1i64, 2].serialize_value()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(
+            <(i64, f64)>::deserialize_value(&(3i64, 0.5f64).serialize_value()),
+            Ok((3, 0.5))
+        );
+        assert_eq!(Option::<i64>::deserialize_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::deserialize_value(&Value::Int(300)).is_err());
+        assert!(u64::deserialize_value(&Value::Int(-1)).is_err());
+        assert!(i64::deserialize_value(&Value::Str("x".into())).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset — no `syn`/`quote` (the build environment cannot
+//! fetch them), just direct `proc_macro::TokenStream` walking.
+//!
+//! Supported shapes, which cover every derive site in this workspace:
+//!
+//! * named-field structs (honouring `#[serde(default)]` and
+//!   `#[serde(skip)]` on fields),
+//! * tuple structs — single-field ones (with or without
+//!   `#[serde(transparent)]`) delegate to the inner value, as real serde
+//!   does for newtypes; wider ones serialize as a sequence,
+//! * enums with unit variants only, serialized as the variant name.
+//!
+//! Generics are intentionally unsupported (no derive site needs them) and
+//! rejected with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// The parsed derive target.
+enum Target {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse(input);
+    gen_serialize(&target)
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse(input);
+    gen_deserialize(&target)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Does an attribute token sequence `# [ ... ]` carry `serde(<word>)`?
+fn attr_has(group: &TokenStream, word: &str) -> bool {
+    let mut it = group.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(w) if w.to_string() == word))
+        }
+        _ => false,
+    }
+}
+
+fn parse(input: TokenStream) -> Target {
+    let mut it = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Outer attributes and visibility before the struct/enum keyword.
+    let keyword = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    transparent |= attr_has(&g.stream(), "transparent");
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` or `pub(crate)` — the group after pub is consumed by
+                // the next iteration as it's a Group token we ignore below.
+            }
+            Some(TokenTree::Group(_)) => {} // the `(crate)` of `pub(crate)`
+            Some(other) => panic!("unexpected token before item keyword: {other}"),
+            None => panic!("no struct/enum found in derive input"),
+        }
+    };
+
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+
+    if matches!(&it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) on generic type {name} is unsupported");
+    }
+
+    if keyword == "enum" {
+        let body = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("expected enum body, got {other:?}"),
+        };
+        let mut variants = Vec::new();
+        let mut inner = body.stream().into_iter().peekable();
+        while let Some(tok) = inner.next() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    inner.next(); // the attribute group
+                }
+                TokenTree::Ident(id) => {
+                    if let Some(TokenTree::Group(_)) = inner.peek() {
+                        panic!("enum {name}: data-carrying variants are unsupported");
+                    }
+                    variants.push(id.to_string());
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => panic!("enum {name}: unexpected token {other}"),
+            }
+        }
+        return Target::UnitEnum { name, variants };
+    }
+
+    match it.next() {
+        // Tuple struct: `struct X(...);`
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let mut arity = 0usize;
+            let mut saw_tokens = false;
+            for tok in g.stream() {
+                match tok {
+                    TokenTree::Punct(ref p) if p.as_char() == ',' => {
+                        arity += 1;
+                        saw_tokens = false;
+                    }
+                    _ => saw_tokens = true,
+                }
+            }
+            if saw_tokens {
+                arity += 1;
+            }
+            let _ = transparent; // single-field tuples delegate either way
+            Target::Tuple { name, arity }
+        }
+        // Named struct: `struct X { ... }`
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let mut fields = Vec::new();
+            let mut inner = g.stream().into_iter().peekable();
+            loop {
+                let mut skip = false;
+                let mut default = false;
+                // Field attributes + visibility.
+                let field_name = loop {
+                    match inner.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                            if let Some(TokenTree::Group(a)) = inner.next() {
+                                skip |= attr_has(&a.stream(), "skip");
+                                default |= attr_has(&a.stream(), "default");
+                            }
+                        }
+                        Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                            if matches!(inner.peek(), Some(TokenTree::Group(_))) {
+                                inner.next(); // `(crate)`
+                            }
+                        }
+                        Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                        Some(other) => panic!("struct {name}: unexpected token {other}"),
+                        None => break None,
+                    }
+                };
+                let Some(field_name) = field_name else { break };
+                match inner.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("struct {name}: expected ':', got {other:?}"),
+                }
+                // Skip the type: consume until a comma at angle-depth 0.
+                let mut angle_depth = 0i32;
+                loop {
+                    match inner.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            angle_depth += 1;
+                            inner.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                            angle_depth -= 1;
+                            inner.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                            inner.next();
+                            break;
+                        }
+                        Some(_) => {
+                            inner.next();
+                        }
+                    }
+                }
+                fields.push(Field {
+                    name: field_name,
+                    skip,
+                    default,
+                });
+            }
+            Target::Named { name, fields }
+        }
+        other => panic!("struct {name}: unsupported body {other:?}"),
+    }
+}
+
+fn gen_serialize(t: &Target) -> String {
+    match t {
+        Target::Named { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::serialize_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(__m)\n}}\n}}"
+            )
+        }
+        Target::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::serialize_value(&self.0)\n}}\n}}"
+        ),
+        Target::Tuple { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Seq(vec![{}])\n}}\n}}",
+                elems.join(", ")
+            )
+        }
+        Target::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match *self {{ {} }}\n}}\n}}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(t: &Target) -> String {
+    match t {
+        Target::Named { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: match ::serde::__get(__m, \"{0}\") {{\n\
+                         Some(__x) => ::serde::Deserialize::deserialize_value(__x)?,\n\
+                         None => ::std::default::Default::default(),\n}},\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: match ::serde::__get(__m, \"{0}\") {{\n\
+                         Some(__x) => ::serde::Deserialize::deserialize_value(__x)?,\n\
+                         None => return ::std::result::Result::Err(\
+                         ::std::string::String::from(\"missing field {0} in {name}\")),\n}},\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::std::string::String> {{\n\
+                 let __m = __v.as_map().ok_or_else(|| \
+                 ::std::string::String::from(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Target::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::std::string::String> {{\n\
+             ::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_value(__v)?))\n}}\n}}"
+        ),
+        Target::Tuple { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::std::string::String> {{\n\
+                 let __s = __v.as_seq().ok_or_else(|| \
+                 ::std::string::String::from(\"expected sequence for {name}\"))?;\n\
+                 if __s.len() != {arity} {{ return ::std::result::Result::Err(\
+                 format!(\"expected {arity} elements for {name}, got {{}}\", __s.len())); }}\n\
+                 ::std::result::Result::Ok({name}({}))\n}}\n}}",
+                elems.join(", ")
+            )
+        }
+        Target::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::std::string::String> {{\n\
+                 match __v.as_str() {{\n{},\n\
+                 __other => ::std::result::Result::Err(\
+                 format!(\"unknown {name} variant {{__other:?}}\")),\n}}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
