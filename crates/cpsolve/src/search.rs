@@ -82,6 +82,32 @@ impl Default for SolveParams {
     }
 }
 
+impl SolveParams {
+    /// The same parameters with every effort budget (nodes, fails, wall
+    /// clock) multiplied by `factor` ∈ (0, 1]. Node and fail limits never
+    /// drop below 1, and a configured time limit never drops below 1 ms,
+    /// so a heavily throttled solve still makes progress — used by
+    /// overload controllers that shrink the per-round budget under load.
+    pub fn scaled(&self, factor: f64) -> SolveParams {
+        debug_assert!(factor > 0.0 && factor <= 1.0, "scale {factor} out of range");
+        let scale_u64 = |v: u64| -> u64 {
+            if v == u64::MAX {
+                u64::MAX
+            } else {
+                ((v as f64 * factor) as u64).max(1)
+            }
+        };
+        SolveParams {
+            node_limit: scale_u64(self.node_limit),
+            fail_limit: scale_u64(self.fail_limit),
+            time_limit: self
+                .time_limit
+                .map(|t| t.mul_f64(factor).max(Duration::from_millis(1))),
+            ..self.clone()
+        }
+    }
+}
+
 /// Search effort counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
@@ -738,5 +764,30 @@ mod tests {
         let s = out.best.unwrap();
         s.verify(&m).unwrap();
         assert_eq!(s.objective, 0);
+    }
+
+    #[test]
+    fn scaled_params_shrink_budgets_with_floors() {
+        let base = SolveParams {
+            node_limit: 10_000,
+            fail_limit: u64::MAX,
+            time_limit: Some(Duration::from_millis(200)),
+            ..Default::default()
+        };
+        let half = base.scaled(0.5);
+        assert_eq!(half.node_limit, 5_000);
+        assert_eq!(half.fail_limit, u64::MAX, "unlimited stays unlimited");
+        assert_eq!(half.time_limit, Some(Duration::from_millis(100)));
+        // Tiny factors clamp to the floors instead of zeroing the budget.
+        let tiny = SolveParams {
+            node_limit: 10,
+            fail_limit: 10,
+            time_limit: Some(Duration::from_millis(2)),
+            ..Default::default()
+        }
+        .scaled(0.001);
+        assert_eq!(tiny.node_limit, 1);
+        assert_eq!(tiny.fail_limit, 1);
+        assert_eq!(tiny.time_limit, Some(Duration::from_millis(1)));
     }
 }

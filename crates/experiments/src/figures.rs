@@ -13,7 +13,7 @@ use crate::report::{FigureResult, PointResult};
 use crate::runner::{replicate, MetricAgg, Sample, Scale};
 use baselines::{run_slot_sim, DispatchPolicy, Edf, Fcfs, MinEdf, MinEdfWc};
 use desim::RngStreams;
-use mrcp::{simulate, MrcpConfig, SimConfig, SolveBudget};
+use mrcp::{simulate, MrcpConfig, RunMetrics, SimConfig, SolveBudget};
 use workload::{
     FacebookConfig, FacebookGenerator, FaultConfig, Job, SyntheticConfig, SyntheticGenerator,
 };
@@ -100,6 +100,12 @@ pub fn all_figures() -> Vec<Figure> {
             run: run_fault_sweep,
         },
         Figure {
+            name: "overload",
+            title: "Extra: overload sweep — admission policies through and past saturation",
+            expectation: "not in the paper — past saturation, strict admission keeps admitted-job P bounded while the rejected fraction absorbs the excess; best-effort lets P climb",
+            run: run_overload_sweep,
+        },
+        Figure {
             name: "ablations",
             title: "Extra: MRCP-RM design ablations (split §V.D, deferral §V.E, orderings, adaptive budget)",
             expectation: "split cuts O at equal P; deferral cuts O when p > 0; orderings tie (paper §VI.B); adaptive budget caps O growth",
@@ -116,6 +122,16 @@ pub fn figure_by_name(name: &str) -> Option<Figure> {
 // ---------------------------------------------------------------------
 // Shared runners
 // ---------------------------------------------------------------------
+
+/// Fraction of arrivals the manager turned away (admission rejections plus
+/// backpressure shedding) — 0 whenever admission control is off.
+fn turned_away(m: &RunMetrics) -> f64 {
+    if m.arrived == 0 {
+        0.0
+    } else {
+        (m.jobs_rejected + m.jobs_shed) as f64 / m.arrived as f64
+    }
+}
 
 fn mrcp_sim_config(scale: &Scale, jobs: usize) -> SimConfig {
     SimConfig {
@@ -165,6 +181,7 @@ fn mrcp_synth_sample(cfg: &SyntheticConfig, scale: &Scale, seed: u64, rep: u64) 
         n_late: m.late as f64,
         turnaround_s: m.mean_turnaround_s,
         overhead_s: m.o_per_job_s,
+        rejected_frac: turned_away(&m),
     }
 }
 
@@ -183,6 +200,7 @@ fn mrcp_facebook_sample(cfg: &FacebookConfig, scale: &Scale, seed: u64, rep: u64
         n_late: m.late as f64,
         turnaround_s: m.mean_turnaround_s,
         overhead_s: m.o_per_job_s,
+        rejected_frac: turned_away(&m),
     }
 }
 
@@ -208,6 +226,7 @@ fn baseline_facebook_sample<P: DispatchPolicy>(
         n_late: m.late as f64,
         turnaround_s: m.mean_turnaround_s,
         overhead_s: 0.0, // dispatch-rule overhead is sub-microsecond
+        rejected_frac: 0.0,
     }
 }
 
@@ -483,6 +502,7 @@ fn run_fault_sweep(scale: &Scale, seed: u64) -> FigureResult {
                 n_late: m.late as f64,
                 turnaround_s: m.mean_turnaround_s,
                 overhead_s: m.o_per_job_s,
+                rejected_frac: turned_away(&m),
             }
         });
         points.push(PointResult {
@@ -495,6 +515,74 @@ fn run_fault_sweep(scale: &Scale, seed: u64) -> FigureResult {
         name: "faults".into(),
         title: "Failure sweep: SLA performance under fault injection".into(),
         expectation: "P and T rise with the failure rate; every run drains".into(),
+        points,
+    }
+}
+
+/// Extra panel: the overload sweep. The arrival rate is pushed from the
+/// Table 3 default through and well past cluster saturation (deadlines
+/// tightened to d_M = 2 and immediate starts so the excess cannot hide in
+/// slack), and each point is run under every admission policy. Best-effort
+/// is the paper's manager unprotected; the strict and renegotiate series
+/// add the feasibility probe, a bounded pending queue, and the adaptive
+/// budget controller — the graceful-degradation claim is that their
+/// admitted-job P stays bounded while the rejected/shed fraction grows
+/// with the overload.
+fn run_overload_sweep(scale: &Scale, seed: u64) -> FigureResult {
+    use mrcp::manager::BudgetController;
+    use mrcp::{AdmissionConfig, AdmissionPolicy};
+
+    let mut points = Vec::new();
+    let policies: [(&str, Option<AdmissionPolicy>); 3] = [
+        ("best-effort", None),
+        ("strict", Some(AdmissionPolicy::Strict)),
+        ("renegotiate", Some(AdmissionPolicy::Renegotiate)),
+    ];
+    for &mult in &[1.0, 4.0, 8.0] {
+        let base = SyntheticConfig::default();
+        let cfg = capped(
+            SyntheticConfig {
+                lambda: base.lambda * mult,
+                deadline_multiplier: 2.0,
+                p_future_start: 0.0,
+                ..base
+            },
+            scale,
+        );
+        let cluster = cfg.cluster();
+        for (series, policy) in &policies {
+            let agg: MetricAgg = replicate(scale, |rep| {
+                let jobs = synth_jobs(&cfg, scale, seed, rep);
+                let mut sim = mrcp_sim_config(scale, jobs.len());
+                if let Some(policy) = *policy {
+                    sim.manager.admission = AdmissionConfig {
+                        policy,
+                        max_pending_jobs: Some(64),
+                    };
+                    sim.manager.controller = Some(BudgetController::default());
+                }
+                let m = simulate(&sim, &cluster, jobs);
+                Sample {
+                    p_late: m.p_late,
+                    n_late: m.late as f64,
+                    turnaround_s: m.mean_turnaround_s,
+                    overhead_s: m.o_per_job_s,
+                    rejected_frac: turned_away(&m),
+                }
+            });
+            points.push(PointResult {
+                label: format!("λ×{mult}"),
+                series: (*series).into(),
+                agg,
+            });
+        }
+    }
+    FigureResult {
+        name: "overload".into(),
+        title: "Overload sweep: admission policies through and past saturation".into(),
+        expectation:
+            "strict/renegotiate keep admitted-job P bounded past saturation; rejections absorb the excess"
+                .into(),
         points,
     }
 }
@@ -595,6 +683,7 @@ fn run_prelim_panel(scale: &Scale, seed: u64) -> FigureResult {
                         n_late: out.objective as f64,
                         turnaround_s: mean_completion,
                         overhead_s: solve_s,
+                        rejected_frac: 0.0,
                     }
                 } else {
                     let lp = lp_schedule_closed(
@@ -615,6 +704,7 @@ fn run_prelim_panel(scale: &Scale, seed: u64) -> FigureResult {
                         n_late: lp.late_jobs.len() as f64,
                         turnaround_s: mean_completion,
                         overhead_s: lp.solve_time.as_secs_f64(),
+                        rejected_frac: 0.0,
                     }
                 }
             });
@@ -645,6 +735,7 @@ fn run_prelim_panel(scale: &Scale, seed: u64) -> FigureResult {
                     n_late: m.late as f64,
                     turnaround_s: 0.0, // completion not extracted for MILP
                     overhead_s: m.solve_time.as_secs_f64(),
+                    rejected_frac: 0.0,
                 },
                 Err(_) => Sample {
                     // Budget exhausted without an incumbent: report the
@@ -654,6 +745,7 @@ fn run_prelim_panel(scale: &Scale, seed: u64) -> FigureResult {
                     n_late: batch as f64,
                     turnaround_s: 0.0,
                     overhead_s: f64::NAN,
+                    rejected_frac: 0.0,
                 },
             }
         });
@@ -696,6 +788,7 @@ fn run_ablation_panel(scale: &Scale, seed: u64) -> FigureResult {
                 n_late: m.late as f64,
                 turnaround_s: m.mean_turnaround_s,
                 overhead_s: m.o_per_job_s,
+                rejected_frac: turned_away(&m),
             }
         });
         points.push(PointResult {
@@ -746,6 +839,7 @@ mod tests {
             assert!(names.contains(&expected), "missing {expected}");
         }
         assert!(names.contains(&"faults"), "failure sweep registered");
+        assert!(names.contains(&"overload"), "overload sweep registered");
         assert!(figure_by_name("fig7").is_some());
         assert!(figure_by_name("nope").is_none());
     }

@@ -241,12 +241,14 @@ mod tests {
                     n_late: p * 100.0,
                     turnaround_s: 600.0,
                     overhead_s: 0.001,
+                    rejected_frac: 0.0,
                 });
                 agg.push(Sample {
                     p_late: p * 1.2,
                     n_late: p * 120.0,
                     turnaround_s: 650.0,
                     overhead_s: 0.002,
+                    rejected_frac: 0.0,
                 });
                 points.push(PointResult {
                     label: label.into(),

@@ -42,15 +42,18 @@ pub fn render_table(fig: &FigureResult) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {} — {}\n", fig.name, fig.title));
     out.push_str(&format!("Paper: {}\n\n", fig.expectation));
-    out.push_str("| point | series | reps | P (late frac) | N (late jobs) | T (s) | O (s/job) |\n");
-    out.push_str("|---|---|---|---|---|---|---|\n");
+    out.push_str(
+        "| point | series | reps | P (late frac) | N (late jobs) | T (s) | O (s/job) | rejected (frac) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
     for p in &fig.points {
         let pl = p.agg.p_late();
         let n = p.agg.n_late();
         let t = p.agg.turnaround();
         let o = p.agg.overhead();
+        let rej = p.agg.rejected();
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
             p.label,
             p.series,
             p.agg.count(),
@@ -58,6 +61,7 @@ pub fn render_table(fig: &FigureResult) -> String {
             fmt_ci(n.mean, n.half_width, 2),
             fmt_ci(t.mean, t.half_width, 1),
             fmt_ci(o.mean, o.half_width, 5),
+            fmt_ci(rej.mean, rej.half_width, 4),
         ));
     }
     out
@@ -66,15 +70,16 @@ pub fn render_table(fig: &FigureResult) -> String {
 /// Render CSV rows (with header) for one figure.
 pub fn render_csv(fig: &FigureResult) -> String {
     let mut out = String::from(
-        "figure,point,series,reps,p_late,p_late_hw,n_late,n_late_hw,turnaround_s,turnaround_hw,overhead_s,overhead_hw\n",
+        "figure,point,series,reps,p_late,p_late_hw,n_late,n_late_hw,turnaround_s,turnaround_hw,overhead_s,overhead_hw,rejected_frac,rejected_hw\n",
     );
     for p in &fig.points {
         let pl = p.agg.p_late();
         let n = p.agg.n_late();
         let t = p.agg.turnaround();
         let o = p.agg.overhead();
+        let rej = p.agg.rejected();
         out.push_str(&format!(
-            "{},{},{},{},{:.6},{:.6},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6}\n",
+            "{},{},{},{},{:.6},{:.6},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6},{:.6},{:.6}\n",
             fig.name,
             p.label,
             p.series,
@@ -87,6 +92,8 @@ pub fn render_csv(fig: &FigureResult) -> String {
             t.half_width,
             o.mean,
             o.half_width,
+            rej.mean,
+            rej.half_width,
         ));
     }
     out
@@ -104,12 +111,14 @@ mod tests {
             n_late: 5.0,
             turnaround_s: 120.0,
             overhead_s: 0.004,
+            rejected_frac: 0.02,
         });
         agg.push(Sample {
             p_late: 0.07,
             n_late: 7.0,
             turnaround_s: 130.0,
             overhead_s: 0.006,
+            rejected_frac: 0.04,
         });
         FigureResult {
             name: "fig9".into(),
@@ -132,6 +141,7 @@ mod tests {
         assert!(t.contains("| 2 |"), "rep count rendered: {t}");
         assert!(t.contains("0.0600"), "mean P rendered: {t}");
         assert!(t.contains("125.0"), "mean T rendered: {t}");
+        assert!(t.contains("0.0300"), "mean rejected frac rendered: {t}");
     }
 
     #[test]
@@ -140,6 +150,8 @@ mod tests {
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("figure,point,series"));
+        assert!(lines[0].ends_with("rejected_frac,rejected_hw"));
         assert!(lines[1].starts_with("fig9,m=50,MRCP-RM,2,0.060000"));
+        assert!(lines[1].contains(",0.030000,"), "rejected column: {c}");
     }
 }

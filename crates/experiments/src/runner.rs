@@ -102,6 +102,9 @@ pub struct Sample {
     pub turnaround_s: f64,
     /// Mean matchmaking+scheduling time per job, seconds (`O`).
     pub overhead_s: f64,
+    /// Fraction of arrivals turned away (rejected by admission control or
+    /// shed by backpressure); 0 for schedulers without admission control.
+    pub rejected_frac: f64,
 }
 
 /// Aggregated metrics of one experiment point.
@@ -111,6 +114,7 @@ pub struct MetricAgg {
     n: Replications,
     t: Replications,
     o: Replications,
+    rej: Replications,
 }
 
 impl Default for MetricAgg {
@@ -127,6 +131,7 @@ impl MetricAgg {
             n: Replications::new(0.95),
             t: Replications::new(0.95),
             o: Replications::new(0.95),
+            rej: Replications::new(0.95),
         }
     }
 
@@ -136,6 +141,7 @@ impl MetricAgg {
         self.n.push(s.n_late);
         self.t.push(s.turnaround_s);
         self.o.push(s.overhead_s);
+        self.rej.push(s.rejected_frac);
     }
 
     /// `P` estimate.
@@ -156,6 +162,11 @@ impl MetricAgg {
     /// `O` estimate (seconds).
     pub fn overhead(&self) -> CiMean {
         self.o.estimate()
+    }
+
+    /// Rejected/shed fraction estimate (the overload sweep's series).
+    pub fn rejected(&self) -> CiMean {
+        self.rej.estimate()
     }
 
     /// Replications recorded.
@@ -254,6 +265,7 @@ mod tests {
             n_late: 1.0,
             turnaround_s: 100.0 + rep as f64, // deterministic spread
             overhead_s: 0.01,
+            rejected_frac: 0.0,
         });
         assert_eq!(agg.count(), 4);
         assert!((agg.turnaround().mean - 101.5).abs() < 1e-9);
@@ -274,6 +286,7 @@ mod tests {
             n_late: 0.0,
             turnaround_s: 42.0,
             overhead_s: 0.0,
+            rejected_frac: 0.0,
         });
         assert_eq!(agg.count(), 3, "no extra batches needed");
         assert!(agg.converged(0.01, 3));
@@ -287,16 +300,19 @@ mod tests {
             n_late: 2.0,
             turnaround_s: 50.0,
             overhead_s: 0.5,
+            rejected_frac: 0.1,
         });
         agg.push(Sample {
             p_late: 0.4,
             n_late: 4.0,
             turnaround_s: 70.0,
             overhead_s: 0.7,
+            rejected_frac: 0.3,
         });
         assert!((agg.p_late().mean - 0.3).abs() < 1e-12);
         assert!((agg.n_late().mean - 3.0).abs() < 1e-12);
         assert!((agg.turnaround().mean - 60.0).abs() < 1e-12);
         assert!((agg.overhead().mean - 0.6).abs() < 1e-12);
+        assert!((agg.rejected().mean - 0.2).abs() < 1e-12);
     }
 }

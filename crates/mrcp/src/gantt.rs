@@ -5,11 +5,14 @@
 //! as a span labelled with its job id. Rows are scaled to a fixed width so
 //! long horizons stay readable.
 
-use crate::manager::ScheduleEntry;
+use crate::manager::{ManagerError, ScheduleEntry};
 use desim::SimTime;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use workload::{Resource, TaskKind};
+
+/// Narrowest chart [`render`] can lay out.
+pub const MIN_WIDTH: usize = 20;
 
 /// Render `entries` (plus already-running tasks if the caller includes
 /// them) as an ASCII Gantt chart over `resources`, `width` characters wide.
@@ -17,18 +20,32 @@ use workload::{Resource, TaskKind};
 /// Tasks are attributed to the map or reduce pool by `kinds` — a lookup
 /// from task to kind the caller provides (the manager knows it; examples
 /// can close over their job definitions).
+///
+/// Fails with [`ManagerError::ChartTooNarrow`] below [`MIN_WIDTH`] and
+/// [`ManagerError::ScheduleOverCapacity`] when concurrent entries exceed a
+/// resource's slot capacity (a plan no audit-passing round produces) —
+/// render errors must not abort a chaos run.
 pub fn render(
     resources: &[Resource],
     entries: &[ScheduleEntry],
     kinds: &dyn Fn(workload::TaskId) -> TaskKind,
     width: usize,
-) -> String {
-    assert!(width >= 20, "gantt width must be at least 20 columns");
-    if entries.is_empty() {
-        return "(empty schedule)\n".into();
+) -> Result<String, ManagerError> {
+    if width < MIN_WIDTH {
+        return Err(ManagerError::ChartTooNarrow {
+            width,
+            min: MIN_WIDTH,
+        });
     }
-    let t0 = entries.iter().map(|e| e.start).min().expect("nonempty");
-    let t1 = entries.iter().map(|e| e.end).max().expect("nonempty");
+    if entries.is_empty() {
+        return Ok("(empty schedule)\n".into());
+    }
+    let t0 = entries
+        .iter()
+        .map(|e| e.start)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    let t1 = entries.iter().map(|e| e.end).max().unwrap_or(SimTime::ZERO);
     let span = (t1 - t0).as_millis().max(1);
     let scale = |t: SimTime| -> usize {
         (((t - t0).as_millis() as f64 / span as f64) * (width as f64 - 1.0)).round() as usize
@@ -64,7 +81,7 @@ pub fn render(
                 let lane = lanes
                     .iter_mut()
                     .find(|(free_at, _)| *free_at <= e.start.as_millis())
-                    .expect("schedule respects capacity, so a lane is free");
+                    .ok_or(ManagerError::ScheduleOverCapacity(e.task))?;
                 lane.0 = e.end.as_millis();
                 lane.1.push(e);
             }
@@ -82,18 +99,20 @@ pub fn render(
                         };
                     }
                 }
+                // The row buffer only ever holds ASCII bytes.
+                let row: String = line.iter().map(|&b| b as char).collect();
                 let _ = writeln!(
                     out,
                     "{:>4} {:<6} {} |{}|",
                     r.id.to_string(),
                     kind_name,
                     li,
-                    String::from_utf8(line).expect("ascii")
+                    row
                 );
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -137,7 +156,7 @@ mod tests {
             j.tasks().map(|t| (t.id, t.kind)).collect();
         rm.submit(j, SimTime::ZERO).unwrap();
         let plan = rm.reschedule(SimTime::ZERO);
-        let chart = render(&cluster, &plan, &|t| kinds[&t], 40);
+        let chart = render(&cluster, &plan, &|t| kinds[&t], 40).unwrap();
         assert!(chart.contains("gantt"));
         assert!(chart.contains("map"));
         assert!(chart.contains("reduce"));
@@ -149,14 +168,40 @@ mod tests {
     #[test]
     fn empty_schedule_renders_placeholder() {
         let cluster = homogeneous_cluster(1, 1, 1);
-        let chart = render(&cluster, &[], &|_| TaskKind::Map, 40);
+        let chart = render(&cluster, &[], &|_| TaskKind::Map, 40).unwrap();
         assert_eq!(chart, "(empty schedule)\n");
     }
 
     #[test]
-    #[should_panic(expected = "width")]
-    fn tiny_width_rejected() {
+    fn tiny_width_is_an_error_not_a_panic() {
         let cluster = homogeneous_cluster(1, 1, 1);
-        render(&cluster, &[], &|_| TaskKind::Map, 5);
+        let err = render(&cluster, &[], &|_| TaskKind::Map, 5).unwrap_err();
+        assert_eq!(
+            err,
+            ManagerError::ChartTooNarrow {
+                width: 5,
+                min: MIN_WIDTH
+            }
+        );
+        assert!(err.to_string().contains("width 5"));
+    }
+
+    #[test]
+    fn over_capacity_schedule_is_an_error_not_a_panic() {
+        use crate::manager::ScheduleEntry;
+        use workload::ResourceId;
+        let cluster = homogeneous_cluster(1, 1, 1);
+        // Two overlapping entries on the single map slot of r0: no lane
+        // assignment exists.
+        let mk = |tid: u32, start: i64| ScheduleEntry {
+            task: TaskId(tid),
+            job: JobId(0),
+            resource: ResourceId(0),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start + 10),
+        };
+        let entries = [mk(0, 0), mk(1, 5)];
+        let err = render(&cluster, &entries, &|_| TaskKind::Map, 40).unwrap_err();
+        assert_eq!(err, ManagerError::ScheduleOverCapacity(TaskId(1)));
     }
 }

@@ -20,6 +20,9 @@
 //! * [`defer`] — the §V.E performance optimization: jobs whose earliest
 //!   start time lies far in the future are parked and only enter the CP
 //!   model shortly before they become runnable.
+//! * [`admission`] — overload protection beyond the paper: SLA-aware
+//!   admission control (EDF demand bound + greedy witness schedule),
+//!   pending-queue backpressure, and the adaptive budget controller.
 //! * [`ordering`] — the three job ordering strategies of §VI.B (job id,
 //!   EDF, least laxity).
 //! * [`closed`] — the closed-system batch mode of the authors' preliminary
@@ -28,6 +31,7 @@
 //!   open-system evaluation of §VI, producing the paper's metrics
 //!   (`O`, `N`, `T`, `P`).
 
+pub mod admission;
 pub mod closed;
 pub mod defer;
 pub mod gantt;
@@ -37,9 +41,12 @@ pub mod ordering;
 pub mod sim_driver;
 pub mod split;
 
+pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionPolicy, RejectReason};
 pub use manager::{
-    AbandonedJob, FailureAction, ManagerError, MrcpConfig, MrcpRm, ScheduleEntry, SchedulingError,
-    SolveBudget,
+    AbandonedJob, AdmissionOutcome, BudgetController, FailureAction, ManagerError, MrcpConfig,
+    MrcpRm, ScheduleEntry, SchedulingError, SolveBudget,
 };
 pub use ordering::JobOrdering;
-pub use sim_driver::{simulate, simulate_detailed, RunMetrics, SimConfig};
+pub use sim_driver::{
+    simulate, simulate_detailed, soak, RunMetrics, SimConfig, SoakLimits, SoakReport,
+};

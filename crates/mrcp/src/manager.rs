@@ -25,6 +25,10 @@
 //! as in the paper's evaluated configuration, and can be disabled for
 //! ablations.
 
+use crate::admission::{
+    earliest_feasible_estimate, edf_demand_violation, AdmissionConfig, AdmissionDecision,
+    AdmissionPolicy, RejectReason,
+};
 use crate::defer::DeferPolicy;
 use crate::modelmap::{build_model, JobInput, MappedModel, TaskInput};
 use crate::ordering::JobOrdering;
@@ -40,6 +44,7 @@ use workload::{Job, JobId, Resource, ResourceId, TaskId, TaskKind};
 /// Rejected calls into the manager's public API. The manager's state is
 /// unchanged when any of these is returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ManagerError {
     /// The job id is already in the system.
     DuplicateJob(JobId),
@@ -58,6 +63,16 @@ pub enum ManagerError {
     ResourceAlreadyDown(ResourceId),
     /// `resource_up` for a resource that is not down.
     ResourceNotDown(ResourceId),
+    /// Gantt rendering: the requested chart width is below the minimum.
+    ChartTooNarrow {
+        /// The width asked for.
+        width: usize,
+        /// The smallest width the renderer can lay out.
+        min: usize,
+    },
+    /// Gantt rendering: concurrent schedule entries exceed a resource's
+    /// slot capacity, so the task cannot be placed in any lane.
+    ScheduleOverCapacity(TaskId),
 }
 
 impl fmt::Display for ManagerError {
@@ -75,6 +90,12 @@ impl fmt::Display for ManagerError {
                 write!(f, "resource {r:?} is already down")
             }
             ManagerError::ResourceNotDown(r) => write!(f, "resource {r:?} is not down"),
+            ManagerError::ChartTooNarrow { width, min } => {
+                write!(f, "chart width {width} below minimum {min}")
+            }
+            ManagerError::ScheduleOverCapacity(t) => {
+                write!(f, "task {t} does not fit any capacity lane")
+            }
         }
     }
 }
@@ -84,6 +105,7 @@ impl std::error::Error for ManagerError {}
 /// A scheduling round that could not produce any schedule, after every
 /// rung of the degradation ladder (split CP → full CP → greedy EDF).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SchedulingError {
     /// The live state could not be translated into a CP model.
     ModelBuild(String),
@@ -176,8 +198,46 @@ impl SolveBudget {
     }
 }
 
+/// Feedback controller keeping per-round scheduling latency under a
+/// ceiling (DESIGN.md §5c). After every round the observed wall-clock
+/// latency updates an EWMA; when the EWMA crosses three quarters of the
+/// ceiling the per-round solver budget is halved (down to `min_scale`),
+/// and when it falls below a quarter the budget doubles back toward
+/// full. Shrunken budgets also escalate the degradation ladder early:
+/// below half scale the full-CP second chance is skipped, and at
+/// `min_scale` rounds go straight to greedy EDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetController {
+    /// Target ceiling for per-round scheduling latency.
+    pub latency_ceiling: Duration,
+    /// EWMA smoothing factor in `(0, 1]`; higher reacts faster.
+    pub alpha: f64,
+    /// Lower bound on the budget scale factor.
+    pub min_scale: f64,
+}
+
+impl Default for BudgetController {
+    fn default() -> Self {
+        BudgetController {
+            latency_ceiling: Duration::from_millis(250),
+            alpha: 0.3,
+            min_scale: 1.0 / 64.0,
+        }
+    }
+}
+
+impl BudgetController {
+    /// A controller with the given latency ceiling and default dynamics.
+    pub fn with_ceiling(latency_ceiling: Duration) -> Self {
+        BudgetController {
+            latency_ceiling,
+            ..Default::default()
+        }
+    }
+}
+
 /// MRCP-RM configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MrcpConfig {
     /// Job ordering strategy (paper §VI.B; EDF is the reported default).
     pub ordering: JobOrdering,
@@ -193,6 +253,12 @@ pub struct MrcpConfig {
     /// Failed attempts a task may accumulate before
     /// [`task_failed`](MrcpRm::task_failed) abandons its job.
     pub retry_budget: u32,
+    /// Overload protection: admission policy and pending-queue bound
+    /// (default: admit everything, unbounded — the paper's behaviour).
+    pub admission: AdmissionConfig,
+    /// Overload protection: adaptive per-round budget controller
+    /// (default: off — budgets stay at their configured values).
+    pub controller: Option<BudgetController>,
 }
 
 impl Default for MrcpConfig {
@@ -204,6 +270,8 @@ impl Default for MrcpConfig {
             defer: DeferPolicy::default(),
             verify_schedules: cfg!(debug_assertions),
             retry_budget: 3,
+            admission: AdmissionConfig::default(),
+            controller: None,
         }
     }
 }
@@ -281,6 +349,18 @@ pub struct ManagerStats {
     pub jobs_abandoned: u64,
     /// Largest single-round task count.
     pub max_tasks_in_model: usize,
+    /// Jobs refused by the admission probe or the queue bound.
+    pub jobs_rejected: u64,
+    /// Jobs admitted with a renegotiated (relaxed) deadline.
+    pub jobs_renegotiated: u64,
+    /// Jobs shed from the pending queue to admit more urgent arrivals.
+    pub jobs_shed: u64,
+    /// High-water mark of jobs in the system (active + deferred).
+    pub max_queue_depth: usize,
+    /// Budget-controller scale changes (shrinks + grows).
+    pub budget_adaptations: u64,
+    /// Longest single scheduling round observed.
+    pub max_round_solve: Duration,
 }
 
 /// Completion record returned when a job's last task finishes.
@@ -307,6 +387,18 @@ pub enum Submitted {
     Active,
     /// §V.E deferral: the job is parked until the given activation time.
     Deferred(SimTime),
+}
+
+/// Outcome of [`MrcpRm::submit_with_admission`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionOutcome {
+    /// What the admission probe decided.
+    pub decision: AdmissionDecision,
+    /// How the job entered the system — `None` when it was rejected.
+    pub submitted: Option<Submitted>,
+    /// Jobs shed from the pending queue to make room; the host should
+    /// cancel any events it still holds for their tasks.
+    pub shed: Vec<AbandonedJob>,
 }
 
 /// A job forced out of the system because one of its tasks exhausted the
@@ -384,6 +476,12 @@ pub struct MrcpRm {
     down: HashSet<ResourceId>,
     /// The most recent round's failure, if it produced no schedule.
     last_error: Option<SchedulingError>,
+    /// Budget-controller state: current scale on the per-round solver
+    /// budget, `(min_scale, 1]`; 1.0 when no controller is configured.
+    budget_scale: f64,
+    /// EWMA of recent round latencies (seconds), `None` before the first
+    /// round.
+    latency_ewma_s: Option<f64>,
     stats: ManagerStats,
 }
 
@@ -400,6 +498,8 @@ impl MrcpRm {
             schedule: HashMap::new(),
             down: HashSet::new(),
             last_error: None,
+            budget_scale: 1.0,
+            latency_ewma_s: None,
             stats: ManagerStats::default(),
         }
     }
@@ -422,6 +522,17 @@ impl MrcpRm {
     /// Number of jobs currently in the system (active + deferred).
     pub fn jobs_in_system(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Current budget-controller scale on the per-round solver budget
+    /// (1.0 = full budget; only moves when a controller is configured).
+    pub fn budget_scale(&self) -> f64 {
+        self.budget_scale
+    }
+
+    /// EWMA of recent round latencies, `None` before the first round.
+    pub fn latency_ewma(&self) -> Option<Duration> {
+        self.latency_ewma_s.map(Duration::from_secs_f64)
     }
 
     /// The error from the most recent scheduling round, when that round
@@ -475,12 +586,243 @@ impl MrcpRm {
                 remaining,
             },
         );
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.jobs.len());
         match deferral {
             Some(act) => {
                 self.deferred.push((act, id));
                 Ok(Submitted::Deferred(act))
             }
             None => Ok(Submitted::Active),
+        }
+    }
+
+    /// Submit an arriving job through the overload-protection layer
+    /// (DESIGN.md §5c): enforce the pending-queue bound (shedding
+    /// lowest-value jobs to make room), run the admission probe, and apply
+    /// the configured [`AdmissionPolicy`]. With the default configuration
+    /// (best-effort policy, unbounded queue) this is exactly
+    /// [`submit`](Self::submit).
+    ///
+    /// `Err` means the submission itself was malformed (duplicate ids);
+    /// a rejected-but-well-formed job comes back as
+    /// `Ok` with [`AdmissionDecision::Reject`] and `submitted: None`.
+    pub fn submit_with_admission(
+        &mut self,
+        mut job: Job,
+        now: SimTime,
+    ) -> Result<AdmissionOutcome, ManagerError> {
+        // Duplicate checks up front so a malformed submit cannot shed work.
+        if self.jobs.contains_key(&job.id) {
+            return Err(ManagerError::DuplicateJob(job.id));
+        }
+        if let Some(t) = job.tasks().find(|t| self.task_owner.contains_key(&t.id)) {
+            return Err(ManagerError::DuplicateTask(t.id));
+        }
+
+        // Backpressure: bound the pending queue, shedding the lowest-value
+        // (farthest-deadline, fully unstarted) jobs to make room for more
+        // urgent arrivals. When the arrival itself is the least valuable
+        // candidate, it is the one refused.
+        let mut shed = Vec::new();
+        if let Some(limit) = self.cfg.admission.max_pending_jobs {
+            while self.jobs.len() >= limit.max(1) {
+                match self.shed_victim() {
+                    Some((victim, victim_deadline)) if victim_deadline > job.deadline => {
+                        self.stats.jobs_shed += 1;
+                        shed.push(self.evict(victim));
+                    }
+                    _ => {
+                        self.stats.jobs_rejected += 1;
+                        return Ok(AdmissionOutcome {
+                            decision: AdmissionDecision::Reject {
+                                reason: RejectReason::QueueFull,
+                                earliest_feasible_deadline: SimTime::MAX,
+                            },
+                            submitted: None,
+                            shed,
+                        });
+                    }
+                }
+            }
+        }
+
+        let decision = match self.cfg.admission.policy {
+            AdmissionPolicy::BestEffort => AdmissionDecision::Admit,
+            policy => match self.admission_probe(&job, now) {
+                Ok(()) => AdmissionDecision::Admit,
+                Err((reason, earliest)) => {
+                    // Renegotiation needs a finite deadline to offer.
+                    if policy == AdmissionPolicy::Renegotiate && earliest < SimTime::MAX {
+                        self.stats.jobs_renegotiated += 1;
+                        let original = job.deadline;
+                        job.deadline = earliest.max(original);
+                        AdmissionDecision::AdmitDegraded {
+                            original_deadline: original,
+                            new_deadline: job.deadline,
+                        }
+                    } else {
+                        self.stats.jobs_rejected += 1;
+                        return Ok(AdmissionOutcome {
+                            decision: AdmissionDecision::Reject {
+                                reason,
+                                earliest_feasible_deadline: earliest,
+                            },
+                            submitted: None,
+                            shed,
+                        });
+                    }
+                }
+            },
+        };
+
+        let submitted = self.submit(job, now)?;
+        Ok(AdmissionOutcome {
+            decision,
+            submitted: Some(submitted),
+            shed,
+        })
+    }
+
+    /// The two-stage admission probe (see [`crate::admission`]): the EDF
+    /// demand bound per slot pool, then the greedy witness schedule over
+    /// the live model plus the candidate. `Err` carries the reason and
+    /// the earliest deadline the manager could have promised.
+    fn admission_probe(&self, job: &Job, now: SimTime) -> Result<(), (RejectReason, SimTime)> {
+        let up: Vec<Resource> = self
+            .resources
+            .iter()
+            .filter(|r| !self.down.contains(&r.id))
+            .cloned()
+            .collect();
+        let map_slots: u32 = up.iter().map(|r| r.map_capacity).sum();
+        let reduce_slots: u32 = up.iter().map(|r| r.reduce_capacity).sum();
+        if up.is_empty()
+            || (!job.map_tasks.is_empty() && map_slots == 0)
+            || (!job.reduce_tasks.is_empty() && reduce_slots == 0)
+        {
+            return Err((RejectReason::DemandExceedsCapacity, SimTime::MAX));
+        }
+
+        // Stage 1: the EDF demand bound per slot pool over outstanding
+        // work. Started tasks count only their remaining occupancy.
+        let now_ms = now.as_millis();
+        let mut map_demand: Vec<(i64, i64)> = Vec::with_capacity(self.jobs.len() + 1);
+        let mut reduce_demand: Vec<(i64, i64)> = Vec::with_capacity(self.jobs.len() + 1);
+        let (mut map_total, mut reduce_total) = (0i64, 0i64);
+        for state in self.jobs.values() {
+            let d = state.job.deadline.as_millis();
+            let (mut map_work, mut reduce_work) = (0i64, 0i64);
+            for t in &state.tasks {
+                let w = match t.status {
+                    TaskStatus::Completed => 0,
+                    TaskStatus::Waiting => t.exec_time.as_millis(),
+                    TaskStatus::Started { start, .. } => {
+                        (start.as_millis() + t.exec_time.as_millis() - now_ms).max(0)
+                    }
+                };
+                match t.kind {
+                    TaskKind::Map => map_work += w,
+                    TaskKind::Reduce => reduce_work += w,
+                }
+            }
+            map_demand.push((d, map_work));
+            reduce_demand.push((d, reduce_work));
+            map_total += map_work;
+            reduce_total += reduce_work;
+        }
+        let cand_map: i64 = job.map_tasks.iter().map(|t| t.exec_time.as_millis()).sum();
+        let cand_reduce: i64 = job
+            .reduce_tasks
+            .iter()
+            .map(|t| t.exec_time.as_millis())
+            .sum();
+        map_demand.push((job.deadline.as_millis(), cand_map));
+        reduce_demand.push((job.deadline.as_millis(), cand_reduce));
+        map_total += cand_map;
+        reduce_total += cand_reduce;
+        let bound_violated = edf_demand_violation(now_ms, map_slots, &map_demand).is_some()
+            || edf_demand_violation(now_ms, reduce_slots, &reduce_demand).is_some();
+        let estimate =
+            earliest_feasible_estimate(now, map_slots, SimTime::from_millis(map_total)).max(
+                earliest_feasible_estimate(now, reduce_slots, SimTime::from_millis(reduce_total)),
+            );
+
+        // Stage 2: greedy witness. Deferred jobs are included — their
+        // capacity demand is real even though they are parked.
+        let mut inputs =
+            Self::collect_inputs(self.cfg.ordering, &self.jobs, &self.deferred, now, true);
+        inputs.push(JobInput {
+            priority: self.cfg.ordering.priority(job),
+            job,
+            release: job.earliest_start.max(now),
+            tasks: job
+                .tasks()
+                .map(|t| TaskInput {
+                    id: t.id,
+                    kind: t.kind,
+                    exec_time: t.exec_time,
+                    req: t.req,
+                    pinned: None,
+                })
+                .collect(),
+        });
+        let witness = build_model(&up, &inputs)
+            .ok()
+            .and_then(|mm| greedy_edf(&mm.model).ok().map(|g| (mm, g)))
+            .map(|(mm, g)| {
+                let cand: HashSet<TaskId> = job.tasks().map(|t| t.id).collect();
+                let mut completion = now;
+                for (i, tid) in mm.task_ids.iter().enumerate() {
+                    if cand.contains(tid) {
+                        let end = SimTime::from_millis(g.starts[i] + mm.model.tasks[i].dur);
+                        completion = completion.max(end);
+                    }
+                }
+                completion
+            });
+
+        match witness {
+            // A violated bound is a proof that the job set (candidate
+            // included) cannot all meet its deadlines; the witness
+            // completion is still the better renegotiation quote.
+            Some(c) if bound_violated => {
+                Err((RejectReason::DemandExceedsCapacity, c.max(estimate)))
+            }
+            Some(c) if c > job.deadline => Err((RejectReason::WitnessLate, c)),
+            Some(_) => Ok(()),
+            None if bound_violated => Err((RejectReason::DemandExceedsCapacity, estimate)),
+            // Witness construction failed (inconsistent pins): feasibility
+            // cannot be demonstrated, so non-best-effort policies treat
+            // the job as unmeetable.
+            None => Err((RejectReason::WitnessLate, estimate)),
+        }
+    }
+
+    /// The lowest-value shedding candidate: among fully unstarted jobs,
+    /// the one with the farthest deadline (deterministic tie-break on id).
+    fn shed_victim(&self) -> Option<(JobId, SimTime)> {
+        self.jobs
+            .iter()
+            .filter(|(_, s)| s.tasks.iter().all(|t| t.status == TaskStatus::Waiting))
+            .map(|(&id, s)| (id, s.job.deadline))
+            .max_by_key(|&(id, d)| (d, id))
+    }
+
+    /// Force a job out of the system (shedding); mirrors the abandonment
+    /// path of [`task_failed`](Self::task_failed).
+    fn evict(&mut self, id: JobId) -> AbandonedJob {
+        let state = self.jobs.remove(&id).expect("victim exists");
+        let tasks: Vec<TaskId> = state.tasks.iter().map(|t| t.id).collect();
+        for t in &tasks {
+            self.task_owner.remove(t);
+            self.schedule.remove(t);
+        }
+        self.deferred.retain(|&(_, j)| j != id);
+        AbandonedJob {
+            job: id,
+            tasks,
+            deadline: state.job.deadline,
+            earliest_start: state.job.earliest_start,
         }
     }
 
@@ -696,18 +1038,129 @@ impl MrcpRm {
     /// unstarted tasks (the host should arm start events from it).
     pub fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry> {
         let t0 = Instant::now();
-        let deferred_ids: std::collections::HashSet<JobId> =
-            self.deferred.iter().map(|&(_, j)| j).collect();
 
         // Assemble model inputs: active jobs with outstanding tasks.
-        let mut inputs: Vec<JobInput<'_>> = Vec::new();
-        let mut ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        let inputs =
+            Self::collect_inputs(self.cfg.ordering, &self.jobs, &self.deferred, now, false);
+
+        if inputs.is_empty() {
+            self.schedule.clear();
+            return Vec::new();
+        }
+
+        // Exclude crashed resources from the round. With the whole cluster
+        // down there is nothing to plan onto; keep the work queued until a
+        // resource recovers.
+        let up: Vec<Resource> = self
+            .resources
+            .iter()
+            .filter(|r| !self.down.contains(&r.id))
+            .cloned()
+            .collect();
+        if up.is_empty() {
+            self.schedule.clear();
+            return Vec::new();
+        }
+
+        let n_tasks: usize = inputs.iter().map(|j| j.tasks.len()).sum();
+        let mut params = self.cfg.budget.params_for(n_tasks);
+        // Budget controller: a shrunken scale trims every per-round limit
+        // and escalates the degradation ladder (see solve_round).
+        if self.budget_scale < 1.0 {
+            params = params.scaled(self.budget_scale);
+        }
+        let pressure = self.pressure_level();
+
+        let (placements, outcome, degraded) =
+            match Self::solve_round(&self.cfg, &up, &inputs, &params, pressure) {
+                Ok(round) => round,
+                Err(err) => {
+                    // Every rung failed. Leave the work queued with no plan;
+                    // the next round (new arrival, completion, recovery)
+                    // retries from a different state.
+                    drop(inputs);
+                    self.stats.invocations += 1;
+                    self.stats.failed_rounds += 1;
+                    let elapsed = t0.elapsed();
+                    self.stats.total_solve += elapsed;
+                    self.observe_round_latency(elapsed);
+                    self.last_error = Some(err);
+                    self.schedule.clear();
+                    return Vec::new();
+                }
+            };
+
+        // Install: entries for unstarted tasks only.
+        drop(inputs);
+        self.schedule.clear();
+        for (tid, rid, start) in placements {
+            let job = self.task_owner[&tid];
+            let state = &self.jobs[&job];
+            let t = state.tasks.iter().find(|t| t.id == tid).expect("task");
+            if t.status == TaskStatus::Waiting {
+                debug_assert!(start >= now, "new start {start} in the past (now {now})");
+                self.schedule.insert(
+                    tid,
+                    ScheduleEntry {
+                        task: tid,
+                        job,
+                        resource: rid,
+                        start,
+                        end: start + t.exec_time,
+                    },
+                );
+            }
+        }
+
+        self.stats.invocations += 1;
+        let elapsed = t0.elapsed();
+        self.stats.total_solve += elapsed;
+        self.observe_round_latency(elapsed);
+        self.stats.total_nodes += outcome.stats.nodes;
+        self.stats.max_tasks_in_model = self.stats.max_tasks_in_model.max(n_tasks);
+        self.last_error = None;
+        if degraded {
+            self.stats.degraded_rounds += 1;
+        } else {
+            match outcome.status {
+                Status::Optimal => self.stats.optimal_rounds += 1,
+                Status::Feasible => self.stats.feasible_rounds += 1,
+                // A primary-rung success always carries a solution, but the
+                // status can be Unknown when the budget ran out before the
+                // warm start was improved; it still counts as a round.
+                _ => {}
+            }
+        }
+
+        let mut entries: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
+        entries.sort_by_key(|e| (e.start, e.task));
+        entries
+    }
+
+    /// Model inputs for the active (or, for the admission probe, all) jobs
+    /// with outstanding tasks: waiting tasks are free, started tasks are
+    /// pinned, completed tasks are gone. An associated function taking the
+    /// fields it reads so callers keep field-precise borrows.
+    fn collect_inputs<'a>(
+        ordering: JobOrdering,
+        jobs: &'a HashMap<JobId, JobState>,
+        deferred: &[(SimTime, JobId)],
+        now: SimTime,
+        include_deferred: bool,
+    ) -> Vec<JobInput<'a>> {
+        let deferred_ids: HashSet<JobId> = if include_deferred {
+            HashSet::new()
+        } else {
+            deferred.iter().map(|&(_, j)| j).collect()
+        };
+        let mut inputs: Vec<JobInput<'a>> = Vec::new();
+        let mut ids: Vec<JobId> = jobs.keys().copied().collect();
         ids.sort_unstable(); // deterministic model construction
         for id in ids {
             if deferred_ids.contains(&id) {
                 continue;
             }
-            let state = &self.jobs[&id];
+            let state = &jobs[&id];
             if state.remaining == 0 {
                 continue;
             }
@@ -738,94 +1191,49 @@ impl MrcpRm {
             // Table 2 lines 1–4: releases never lie in the past.
             let release = state.job.earliest_start.max(now);
             inputs.push(JobInput {
-                priority: self.cfg.ordering.priority(&state.job),
+                priority: ordering.priority(&state.job),
                 job: &state.job,
                 release,
                 tasks,
             });
         }
+        inputs
+    }
 
-        if inputs.is_empty() {
-            self.schedule.clear();
-            return Vec::new();
+    /// How hard the budget controller is currently squeezing: 0 = none,
+    /// 1 = skip the full-CP second chance, 2 = greedy only.
+    fn pressure_level(&self) -> u8 {
+        match self.cfg.controller {
+            Some(ctl) if self.budget_scale <= ctl.min_scale => 2,
+            Some(_) if self.budget_scale < 0.5 => 1,
+            _ => 0,
         }
+    }
 
-        // Exclude crashed resources from the round. With the whole cluster
-        // down there is nothing to plan onto; keep the work queued until a
-        // resource recovers.
-        let up: Vec<Resource> = self
-            .resources
-            .iter()
-            .filter(|r| !self.down.contains(&r.id))
-            .cloned()
-            .collect();
-        if up.is_empty() {
-            self.schedule.clear();
-            return Vec::new();
+    /// Feed one round's wall-clock latency to the budget controller:
+    /// update the EWMA and shrink/grow the budget scale to keep the EWMA
+    /// under the configured ceiling.
+    fn observe_round_latency(&mut self, elapsed: Duration) {
+        self.stats.max_round_solve = self.stats.max_round_solve.max(elapsed);
+        let Some(ctl) = self.cfg.controller else {
+            return;
+        };
+        let e = elapsed.as_secs_f64();
+        let ewma = match self.latency_ewma_s {
+            Some(prev) => ctl.alpha * e + (1.0 - ctl.alpha) * prev,
+            None => e,
+        };
+        self.latency_ewma_s = Some(ewma);
+        let ceiling = ctl.latency_ceiling.as_secs_f64();
+        let old = self.budget_scale;
+        if ewma > 0.75 * ceiling {
+            self.budget_scale = (self.budget_scale * 0.5).max(ctl.min_scale);
+        } else if ewma < 0.25 * ceiling && self.budget_scale < 1.0 {
+            self.budget_scale = (self.budget_scale * 2.0).min(1.0);
         }
-
-        let n_tasks: usize = inputs.iter().map(|j| j.tasks.len()).sum();
-        let params = self.cfg.budget.params_for(n_tasks);
-
-        let (placements, outcome, degraded) =
-            match Self::solve_round(&self.cfg, &up, &inputs, &params) {
-                Ok(round) => round,
-                Err(err) => {
-                    // Every rung failed. Leave the work queued with no plan;
-                    // the next round (new arrival, completion, recovery)
-                    // retries from a different state.
-                    self.stats.invocations += 1;
-                    self.stats.failed_rounds += 1;
-                    self.stats.total_solve += t0.elapsed();
-                    self.last_error = Some(err);
-                    self.schedule.clear();
-                    return Vec::new();
-                }
-            };
-
-        // Install: entries for unstarted tasks only.
-        drop(inputs);
-        self.schedule.clear();
-        for (tid, rid, start) in placements {
-            let job = self.task_owner[&tid];
-            let state = &self.jobs[&job];
-            let t = state.tasks.iter().find(|t| t.id == tid).expect("task");
-            if t.status == TaskStatus::Waiting {
-                debug_assert!(start >= now, "new start {start} in the past (now {now})");
-                self.schedule.insert(
-                    tid,
-                    ScheduleEntry {
-                        task: tid,
-                        job,
-                        resource: rid,
-                        start,
-                        end: start + t.exec_time,
-                    },
-                );
-            }
+        if self.budget_scale != old {
+            self.stats.budget_adaptations += 1;
         }
-
-        self.stats.invocations += 1;
-        self.stats.total_solve += t0.elapsed();
-        self.stats.total_nodes += outcome.stats.nodes;
-        self.stats.max_tasks_in_model = self.stats.max_tasks_in_model.max(n_tasks);
-        self.last_error = None;
-        if degraded {
-            self.stats.degraded_rounds += 1;
-        } else {
-            match outcome.status {
-                Status::Optimal => self.stats.optimal_rounds += 1,
-                Status::Feasible => self.stats.feasible_rounds += 1,
-                // A primary-rung success always carries a solution, but the
-                // status can be Unknown when the budget ran out before the
-                // warm start was improved; it still counts as a round.
-                _ => {}
-            }
-        }
-
-        let mut entries: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
-        entries.sort_by_key(|e| (e.start, e.task));
-        entries
     }
 
     /// One pass down the degradation ladder: the configured CP path first
@@ -834,13 +1242,16 @@ impl MrcpRm {
     /// cannot time out and succeeds on any consistent state. Each CP rung's
     /// result is audited (when `verify_schedules`) before being accepted;
     /// an audit failure falls through to the next rung rather than
-    /// installing a bad plan. Returns the placements, the solver outcome
-    /// they came from, and whether the primary rung was abandoned.
+    /// installing a bad plan. Under budget-controller `pressure` the ladder
+    /// is entered lower down: level 1 skips the full-CP second chance,
+    /// level 2 goes straight to greedy. Returns the placements, the solver
+    /// outcome they came from, and whether the primary rung was abandoned.
     fn solve_round(
         cfg: &MrcpConfig,
         resources: &[Resource],
         inputs: &[JobInput<'_>],
         params: &SolveParams,
+        pressure: u8,
     ) -> Result<RoundResult, SchedulingError> {
         let audit_ok = |placements: &[(TaskId, ResourceId, SimTime)]| -> Result<(), String> {
             if cfg.verify_schedules {
@@ -851,8 +1262,9 @@ impl MrcpRm {
         };
 
         let mut degraded = false;
-        // Rung 1: the §V.D split path, when configured.
-        if cfg.use_split {
+        // Rung 1: the §V.D split path, when configured and not under
+        // maximum pressure.
+        if cfg.use_split && pressure < 2 {
             match split_solve(resources, inputs, params) {
                 Ok(s) if audit_ok(&s.placements).is_ok() => {
                     return Ok((s.placements, s.outcome, false));
@@ -878,16 +1290,20 @@ impl MrcpRm {
                 })
                 .collect::<Vec<_>>()
         };
-        let out = solve(&mm.model, params);
-        if let Some(best) = out.best.as_ref() {
-            let placements = placements_of(&mm, best);
-            if audit_ok(&placements).is_ok() {
-                return Ok((placements, out, degraded));
+        if pressure == 0 {
+            let out = solve(&mm.model, params);
+            if let Some(best) = out.best.as_ref() {
+                let placements = placements_of(&mm, best);
+                if audit_ok(&placements).is_ok() {
+                    return Ok((placements, out, degraded));
+                }
             }
         }
 
         // Rung 3: greedy EDF, wrapped as a feasible outcome. An audit
         // failure here is terminal — nothing further to fall back to.
+        // Pressure-escalated rounds land here by design and count as
+        // degraded, like any other round the CP rungs did not serve.
         let g = greedy_edf(&mm.model).map_err(SchedulingError::NoSolution)?;
         let placements = placements_of(&mm, &g);
         audit_ok(&placements).map_err(SchedulingError::AuditFailed)?;
@@ -1292,6 +1708,307 @@ mod tests {
         .unwrap();
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan.len(), 6);
+    }
+
+    fn strict_manager(cluster: Vec<Resource>) -> MrcpRm {
+        let cfg = MrcpConfig {
+            admission: AdmissionConfig {
+                policy: AdmissionPolicy::Strict,
+                max_pending_jobs: None,
+            },
+            ..Default::default()
+        };
+        MrcpRm::new(cfg, cluster)
+    }
+
+    #[test]
+    fn best_effort_admission_is_plain_submit() {
+        let mut rm = manager();
+        let out = rm
+            .submit_with_admission(mk_job(0, 0, 0, 100, &[10], &[5]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.decision, AdmissionDecision::Admit);
+        assert_eq!(out.submitted, Some(Submitted::Active));
+        assert!(out.shed.is_empty());
+        assert_eq!(rm.jobs_in_system(), 1);
+        assert_eq!(rm.stats().jobs_rejected, 0);
+    }
+
+    #[test]
+    fn strict_admission_accepts_feasible_and_rejects_witness_late() {
+        let mut rm = strict_manager(homogeneous_cluster(1, 1, 1));
+        // A 10 s job with a 100 s deadline is comfortably feasible.
+        let out = rm
+            .submit_with_admission(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.decision, AdmissionDecision::Admit);
+        let plan = rm.reschedule(SimTime::ZERO);
+        rm.task_started(plan[0].task, plan[0].start).unwrap();
+
+        // The single map slot is pinned until t=10; a 10 s job due at 12
+        // cannot finish before t=20.
+        let out = rm
+            .submit_with_admission(mk_job(1, 0, 0, 12, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            out.decision,
+            AdmissionDecision::Reject {
+                reason: RejectReason::WitnessLate,
+                earliest_feasible_deadline: SimTime::from_secs(20),
+            }
+        );
+        assert_eq!(out.submitted, None);
+        assert_eq!(rm.jobs_in_system(), 1, "rejected job never entered");
+        assert_eq!(rm.stats().jobs_rejected, 1);
+    }
+
+    #[test]
+    fn strict_admission_rejects_on_demand_bound() {
+        let mut rm = strict_manager(homogeneous_cluster(1, 1, 1));
+        // 10 s of waiting work due at 15 s...
+        rm.submit_with_admission(mk_job(0, 0, 0, 15, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        // ...plus 10 s more due at 14 s: cumulative 20 s by t=15 on one
+        // slot — provably infeasible even though the candidate itself
+        // would finish by t=10 in the witness.
+        let out = rm
+            .submit_with_admission(mk_job(1, 0, 0, 14, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        match out.decision {
+            AdmissionDecision::Reject {
+                reason: RejectReason::DemandExceedsCapacity,
+                earliest_feasible_deadline,
+            } => assert_eq!(earliest_feasible_deadline, SimTime::from_secs(20)),
+            d => panic!("expected demand-bound rejection, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_admission_rejects_when_cluster_is_down() {
+        let mut rm = strict_manager(homogeneous_cluster(1, 1, 1));
+        let rid = rm.resources()[0].id;
+        rm.resource_down(rid, SimTime::ZERO).unwrap();
+        let out = rm
+            .submit_with_admission(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            out.decision,
+            AdmissionDecision::Reject {
+                reason: RejectReason::DemandExceedsCapacity,
+                earliest_feasible_deadline: SimTime::MAX,
+            }
+        );
+    }
+
+    #[test]
+    fn renegotiation_relaxes_deadline_and_judges_against_it() {
+        let cfg = MrcpConfig {
+            admission: AdmissionConfig {
+                policy: AdmissionPolicy::Renegotiate,
+                max_pending_jobs: None,
+            },
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(1, 1, 1));
+        rm.submit_with_admission(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        let plan = rm.reschedule(SimTime::ZERO);
+        rm.task_started(plan[0].task, plan[0].start).unwrap();
+
+        let out = rm
+            .submit_with_admission(mk_job(1, 0, 0, 12, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            out.decision,
+            AdmissionDecision::AdmitDegraded {
+                original_deadline: SimTime::from_secs(12),
+                new_deadline: SimTime::from_secs(20),
+            }
+        );
+        assert_eq!(rm.stats().jobs_renegotiated, 1);
+
+        // Drive it to completion at t=20: late against the original SLA,
+        // on time against the renegotiated one it was admitted under.
+        rm.task_completed(plan[0].task, plan[0].end).unwrap();
+        let plan = rm.reschedule(SimTime::from_secs(10));
+        let e = plan[0];
+        assert_eq!(e.job, JobId(1));
+        rm.task_started(e.task, e.start).unwrap();
+        let done = rm.task_completed(e.task, e.end).unwrap().unwrap();
+        assert_eq!(done.completion, SimTime::from_secs(20));
+        assert_eq!(done.deadline, SimTime::from_secs(20));
+        assert!(!done.late);
+    }
+
+    #[test]
+    fn queue_bound_sheds_farthest_deadline_first() {
+        let cfg = MrcpConfig {
+            admission: AdmissionConfig {
+                policy: AdmissionPolicy::BestEffort,
+                max_pending_jobs: Some(2),
+            },
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        rm.submit_with_admission(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        rm.submit_with_admission(mk_job(1, 0, 0, 200, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+
+        // The queue is full; an urgent arrival sheds the laxest job.
+        let out = rm
+            .submit_with_admission(mk_job(2, 0, 0, 50, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.decision, AdmissionDecision::Admit);
+        assert_eq!(out.shed.len(), 1);
+        assert_eq!(out.shed[0].job, JobId(1));
+        assert_eq!(rm.jobs_in_system(), 2);
+        assert_eq!(rm.stats().jobs_shed, 1);
+
+        // A laxer-than-everyone arrival is itself the victim.
+        let out = rm
+            .submit_with_admission(mk_job(3, 0, 0, 1000, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            out.decision,
+            AdmissionDecision::Reject {
+                reason: RejectReason::QueueFull,
+                earliest_feasible_deadline: SimTime::MAX,
+            }
+        );
+        assert!(out.shed.is_empty());
+        assert_eq!(rm.jobs_in_system(), 2);
+        assert_eq!(rm.stats().jobs_rejected, 1);
+        assert_eq!(rm.stats().max_queue_depth, 2);
+    }
+
+    #[test]
+    fn queue_bound_never_sheds_started_jobs() {
+        let cfg = MrcpConfig {
+            admission: AdmissionConfig {
+                policy: AdmissionPolicy::BestEffort,
+                max_pending_jobs: Some(1),
+            },
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(1, 1, 1));
+        rm.submit_with_admission(mk_job(0, 0, 0, 1000, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        let plan = rm.reschedule(SimTime::ZERO);
+        rm.task_started(plan[0].task, plan[0].start).unwrap();
+
+        // j0 is running (not sheddable) even though its deadline is lax;
+        // the arrival is refused instead.
+        let out = rm
+            .submit_with_admission(mk_job(1, 0, 0, 50, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert!(matches!(
+            out.decision,
+            AdmissionDecision::Reject {
+                reason: RejectReason::QueueFull,
+                ..
+            }
+        ));
+        assert_eq!(rm.jobs_in_system(), 1);
+    }
+
+    #[test]
+    fn submit_with_admission_rejects_duplicates_without_shedding() {
+        let cfg = MrcpConfig {
+            admission: AdmissionConfig {
+                policy: AdmissionPolicy::BestEffort,
+                max_pending_jobs: Some(1),
+            },
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        rm.submit_with_admission(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            rm.submit_with_admission(mk_job(0, 0, 0, 100, &[10], &[]), SimTime::ZERO),
+            Err(ManagerError::DuplicateJob(JobId(0)))
+        );
+        assert_eq!(rm.jobs_in_system(), 1, "duplicate must not shed work");
+        assert_eq!(rm.stats().jobs_shed, 0);
+    }
+
+    #[test]
+    fn budget_controller_shrinks_then_recovers() {
+        // A ceiling of zero makes every round count as over budget.
+        let cfg = MrcpConfig {
+            controller: Some(BudgetController {
+                latency_ceiling: Duration::ZERO,
+                alpha: 1.0,
+                min_scale: 0.25,
+            }),
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        rm.submit(mk_job(0, 0, 0, 1000, &[10, 10], &[5]), SimTime::ZERO)
+            .unwrap();
+        rm.reschedule(SimTime::ZERO);
+        assert!(rm.budget_scale() < 1.0, "over-budget round shrinks scale");
+        rm.reschedule(SimTime::from_secs(1));
+        assert_eq!(rm.budget_scale(), 0.25, "clamped at min_scale");
+        assert!(rm.stats().budget_adaptations >= 2);
+        assert!(rm.stats().max_round_solve > Duration::ZERO);
+
+        // An enormous ceiling lets the scale grow back to full.
+        let mut relaxed = rm;
+        relaxed.cfg.controller = Some(BudgetController {
+            latency_ceiling: Duration::from_secs(3600),
+            alpha: 1.0,
+            min_scale: 0.25,
+        });
+        relaxed.reschedule(SimTime::from_secs(2));
+        relaxed.reschedule(SimTime::from_secs(3));
+        assert_eq!(relaxed.budget_scale(), 1.0, "scale doubles back to full");
+    }
+
+    #[test]
+    fn max_pressure_goes_straight_to_greedy() {
+        // min_scale = 1.0 keeps the scale at the floor from the start, so
+        // every round runs at pressure level 2: greedy only, counted as
+        // degraded, but still a complete schedule.
+        let cfg = MrcpConfig {
+            controller: Some(BudgetController {
+                latency_ceiling: Duration::from_secs(3600),
+                alpha: 0.3,
+                min_scale: 1.0,
+            }),
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        for i in 0..3 {
+            rm.submit(mk_job(i, 0, 0, 10_000, &[10, 20], &[5]), SimTime::ZERO)
+                .unwrap();
+        }
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 9, "greedy still schedules everything");
+        assert_eq!(rm.stats().degraded_rounds, 1);
+        assert_eq!(rm.stats().failed_rounds, 0);
+    }
+
+    #[test]
+    fn every_error_variant_displays_through_std_error() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(ManagerError::DuplicateJob(JobId(1))),
+            Box::new(ManagerError::DuplicateTask(TaskId(2))),
+            Box::new(ManagerError::UnknownTask(TaskId(3))),
+            Box::new(ManagerError::TaskNotScheduled(TaskId(4))),
+            Box::new(ManagerError::TaskNotRunning(TaskId(5))),
+            Box::new(ManagerError::UnknownResource(ResourceId(6))),
+            Box::new(ManagerError::ResourceAlreadyDown(ResourceId(7))),
+            Box::new(ManagerError::ResourceNotDown(ResourceId(8))),
+            Box::new(ManagerError::ChartTooNarrow { width: 5, min: 20 }),
+            Box::new(ManagerError::ScheduleOverCapacity(TaskId(9))),
+            Box::new(SchedulingError::ModelBuild("bad model".into())),
+            Box::new(SchedulingError::NoSolution("no rung".into())),
+            Box::new(SchedulingError::AuditFailed("overlap".into())),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

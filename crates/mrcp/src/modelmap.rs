@@ -67,8 +67,8 @@ fn kind_to_slot(kind: TaskKind) -> SlotKind {
 fn add_jobs(
     b: &mut ModelBuilder,
     jobs: &[JobInput<'_>],
-    res_index: impl Fn(ResourceId) -> ResRef,
-) -> (Vec<TaskId>, Vec<JobId>) {
+    res_index: impl Fn(ResourceId) -> Option<ResRef>,
+) -> Result<(Vec<TaskId>, Vec<JobId>), String> {
     let mut task_ids = Vec::new();
     let mut job_ids = Vec::new();
     let mut task_index: std::collections::HashMap<TaskId, cpsolve::model::TaskRef> =
@@ -85,7 +85,12 @@ fn add_jobs(
             task_ids.push(t.id);
             task_index.insert(t.id, tr);
             if let Some((rid, start)) = t.pinned {
-                b.fix_task(tr, res_index(rid), start.as_millis());
+                // A pin onto a resource outside the model (e.g. one that
+                // went down between notification and round) is corrupt
+                // state the round must surface, not abort on.
+                let rr = res_index(rid)
+                    .ok_or_else(|| format!("task {} pinned to unknown resource {rid:?}", t.id))?;
+                b.fix_task(tr, rr, start.as_millis());
             }
         }
         // Workflow edges (the paper's future-work generalization): only
@@ -97,7 +102,7 @@ fn add_jobs(
             }
         }
     }
-    (task_ids, job_ids)
+    Ok((task_ids, job_ids))
 }
 
 /// Build the full multi-resource model (the paper's base formulation).
@@ -110,9 +115,7 @@ pub fn build_model(resources: &[Resource], jobs: &[JobInput<'_>]) -> Result<Mapp
         index.insert(r.id, rr);
         res_ids.push(r.id);
     }
-    let (task_ids, job_ids) = add_jobs(&mut b, jobs, |rid| {
-        *index.get(&rid).expect("pinned task on unknown resource")
-    });
+    let (task_ids, job_ids) = add_jobs(&mut b, jobs, |rid| index.get(&rid).copied())?;
     Ok(MappedModel {
         model: b.build()?,
         task_ids,
@@ -133,7 +136,7 @@ pub fn build_combined_model(
     let reduce_total: u32 = resources.iter().map(|r| r.reduce_capacity).sum();
     let mut b = ModelBuilder::new();
     let combined = b.add_resource(map_total, reduce_total);
-    let (task_ids, job_ids) = add_jobs(&mut b, jobs, |_| combined);
+    let (task_ids, job_ids) = add_jobs(&mut b, jobs, |_| Some(combined))?;
     Ok(MappedModel {
         model: b.build()?,
         task_ids,
@@ -234,6 +237,18 @@ mod tests {
         assert_eq!(spec.fixed, Some((ResRef(1), 7000)));
         // Pinned start may precede "now": the task is already running.
         assert_eq!(mm.model.task_release(cpsolve::model::TaskRef(0)), 7000);
+    }
+
+    #[test]
+    fn pin_on_unknown_resource_is_an_error_not_a_panic() {
+        let cluster = homogeneous_cluster(2, 1, 1);
+        let job = mk_job(0, 0, 500, 1, 0);
+        let mut ji = inputs(&job, 10);
+        // Pin onto a resource id outside the model — corrupt state the
+        // round must surface as a model-build failure.
+        ji.tasks[0].pinned = Some((ResourceId(99), SimTime::from_secs(7)));
+        let err = build_model(&cluster, &[ji]).unwrap_err();
+        assert!(err.contains("unknown resource"), "{err}");
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! ignored — mirroring how the Java implementation rewrites the dispatch
 //! plan on each round.
 
-use crate::manager::{FailureAction, MrcpConfig, MrcpRm, Submitted};
+use crate::manager::{AbandonedJob, FailureAction, MrcpConfig, MrcpRm, Submitted};
 use desim::engine::Flow;
 use desim::{Engine, EventQueue, RngStreams, SimTime};
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 use workload::AttemptOutcome;
 use workload::{FaultConfig, FaultModel, Job, JobId, Resource, ResourceId, TaskId};
 
@@ -146,6 +147,19 @@ pub struct RunMetrics {
     pub degraded_rounds: u64,
     /// Scheduling rounds that produced no schedule at all.
     pub failed_rounds: u64,
+    /// Arrivals refused by admission control or the queue bound.
+    pub jobs_rejected: u64,
+    /// Arrivals admitted with a renegotiated deadline.
+    pub jobs_renegotiated: u64,
+    /// Admitted jobs shed later to make room for more urgent arrivals.
+    pub jobs_shed: u64,
+    /// High-water mark of jobs in the system at once.
+    pub max_queue_depth: usize,
+    /// Budget-controller scale changes over the run.
+    pub budget_adaptations: u64,
+    /// Longest single scheduling round, seconds (the overload figure's
+    /// per-round latency bound).
+    pub max_round_latency_s: f64,
 }
 
 #[derive(Debug)]
@@ -240,6 +254,20 @@ impl Driver {
         SimTime::from_secs_f64(t.as_secs_f64() * f).max(SimTime::from_millis(1))
     }
 
+    /// Drop every trace of a job that left the system without completing
+    /// (shed by backpressure or abandoned after retry exhaustion): pending
+    /// start events go stale, live attempts stop mattering, and the
+    /// execution bookkeeping is released.
+    fn forget_job(&mut self, ab: &AbandonedJob) {
+        for t in &ab.tasks {
+            self.armed.remove(t);
+            self.running.remove(t);
+            self.exec_time.remove(t);
+            self.task_job.remove(t);
+            self.attempts.remove(t);
+        }
+    }
+
     /// Request a scheduling round: immediate under
     /// [`OverheadModel::Instantaneous`], otherwise after the simulated busy
     /// period — during which further requests coalesce.
@@ -263,14 +291,43 @@ impl desim::Process<Ev> for Driver {
         match ev {
             Ev::Arrival(idx) => {
                 let job = self.jobs[idx].take().expect("job arrives once");
-                for t in job.tasks() {
-                    self.exec_time.insert(t.id, t.exec_time);
-                    self.task_job.insert(t.id, job.id);
-                }
                 self.arrived += 1;
-                match self.rm.submit(job, now).expect("generated jobs are unique") {
-                    Submitted::Active => self.request_install(now, queue),
-                    Submitted::Deferred(act) => queue.schedule_at(act, Ev::Activate),
+                let job_id = job.id;
+                let tasks: Vec<(TaskId, SimTime)> =
+                    job.tasks().map(|t| (t.id, t.exec_time)).collect();
+                let out = self
+                    .rm
+                    .submit_with_admission(job, now)
+                    .expect("generated jobs are unique");
+                // Shed jobs leave the system wholesale; their armed starts
+                // go stale via `forget_job`, and the freed capacity is
+                // picked up by the replan below.
+                for ab in &out.shed {
+                    self.forget_job(ab);
+                }
+                match out.submitted {
+                    Some(sub) => {
+                        // Execution state exists only for admitted jobs —
+                        // a rejected arrival must leave no trace.
+                        for (tid, e) in tasks {
+                            self.exec_time.insert(tid, e);
+                            self.task_job.insert(tid, job_id);
+                        }
+                        match sub {
+                            Submitted::Active => self.request_install(now, queue),
+                            Submitted::Deferred(act) => {
+                                queue.schedule_at(act, Ev::Activate);
+                                if !out.shed.is_empty() && self.rm.jobs_in_system() > 0 {
+                                    self.request_install(now, queue);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        if !out.shed.is_empty() && self.rm.jobs_in_system() > 0 {
+                            self.request_install(now, queue);
+                        }
+                    }
                 }
             }
             Ev::Activate => {
@@ -365,13 +422,7 @@ impl desim::Process<Ev> for Driver {
                     }
                     FailureAction::JobAbandoned(ab) => {
                         self.jobs_abandoned += 1;
-                        for t in &ab.tasks {
-                            self.armed.remove(t);
-                            self.running.remove(t);
-                            self.exec_time.remove(t);
-                            self.task_job.remove(t);
-                            self.attempts.remove(t);
-                        }
+                        self.forget_job(&ab);
                         if self.rm.jobs_in_system() > 0 {
                             self.request_install(now, queue);
                         }
@@ -576,8 +627,116 @@ pub fn simulate_detailed(
         late_due_to_faults,
         degraded_rounds: stats.degraded_rounds,
         failed_rounds: stats.failed_rounds,
+        jobs_rejected: stats.jobs_rejected,
+        jobs_renegotiated: stats.jobs_renegotiated,
+        jobs_shed: stats.jobs_shed,
+        max_queue_depth: stats.max_queue_depth,
+        budget_adaptations: stats.budget_adaptations,
+        max_round_latency_s: stats.max_round_solve.as_secs_f64(),
     };
     (metrics, driver.completions)
+}
+
+/// Invariants the long-horizon soak run must keep (the overload-hardening
+/// acceptance bounds: bounded queue, bounded per-round latency, no
+/// livelock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakLimits {
+    /// The queue-depth high-water mark must not exceed this.
+    pub max_queue_depth: usize,
+    /// No single scheduling round may take longer than this (wall clock).
+    pub max_round_latency: Duration,
+    /// The system must be empty within this long after the last arrival
+    /// (livelock / unbounded-backlog guard).
+    pub max_drain: SimTime,
+}
+
+impl Default for SoakLimits {
+    fn default() -> Self {
+        SoakLimits {
+            max_queue_depth: 200,
+            max_round_latency: Duration::from_secs(2),
+            max_drain: SimTime::from_secs(3_600),
+        }
+    }
+}
+
+/// Outcome of a soak run: the metrics plus every bound that was violated
+/// (empty = the run stayed within [`SoakLimits`]).
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Metrics of the underlying run.
+    pub metrics: RunMetrics,
+    /// Human-readable description of each violated bound.
+    pub violations: Vec<String>,
+}
+
+impl SoakReport {
+    /// True when every soak invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run a long-horizon simulation and check the overload invariants: the
+/// queue depth stays bounded, no scheduling round exceeds the latency
+/// ceiling, the system drains within `max_drain` of the last arrival, and
+/// every arrival is accounted for (completed, rejected, shed, or
+/// abandoned — nothing lost, nothing stuck).
+pub fn soak(
+    cfg: &SimConfig,
+    resources: &[Resource],
+    jobs: Vec<Job>,
+    limits: &SoakLimits,
+) -> SoakReport {
+    let last_arrival = jobs
+        .iter()
+        .map(|j| j.arrival)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let (metrics, _) = simulate_detailed(cfg, resources, jobs);
+    let mut violations = Vec::new();
+    if metrics.max_queue_depth > limits.max_queue_depth {
+        violations.push(format!(
+            "queue depth peaked at {} (limit {})",
+            metrics.max_queue_depth, limits.max_queue_depth
+        ));
+    }
+    let ceiling = limits.max_round_latency.as_secs_f64();
+    if metrics.max_round_latency_s > ceiling {
+        violations.push(format!(
+            "a scheduling round took {:.3}s (limit {:.3}s)",
+            metrics.max_round_latency_s, ceiling
+        ));
+    }
+    let drain = metrics.end_time_s - last_arrival.as_secs_f64();
+    if drain > limits.max_drain.as_secs_f64() {
+        violations.push(format!(
+            "system took {:.0}s after the last arrival to drain (limit {:.0}s)",
+            drain,
+            limits.max_drain.as_secs_f64()
+        ));
+    }
+    let accounted = metrics.completed as u64
+        + metrics.jobs_rejected
+        + metrics.jobs_shed
+        + metrics.jobs_abandoned as u64;
+    if accounted != metrics.arrived as u64 {
+        violations.push(format!(
+            "conservation broken: {} arrived but {} accounted \
+             ({} completed + {} rejected + {} shed + {} abandoned)",
+            metrics.arrived,
+            accounted,
+            metrics.completed,
+            metrics.jobs_rejected,
+            metrics.jobs_shed,
+            metrics.jobs_abandoned
+        ));
+    }
+    SoakReport {
+        metrics,
+        violations,
+    }
 }
 
 #[cfg(test)]
@@ -735,5 +894,177 @@ mod tests {
         let split = simulate(&SimConfig::default(), &cluster, jobs);
         assert_eq!(full.completed, 15);
         assert_eq!(split.completed, 15);
+    }
+
+    mod overload {
+        //! The overload-hardening paths: admission control, backpressure,
+        //! the budget controller, and the soak invariants.
+        use super::*;
+        use crate::admission::{AdmissionConfig, AdmissionPolicy};
+        use crate::manager::BudgetController;
+        use workload::ArrivalConfig;
+
+        /// A small cluster driven well past saturation: arrivals far
+        /// faster than the slots can absorb, with tight SLAs.
+        fn overloaded(n: usize, lambda: f64, seed: u64) -> (Vec<Resource>, Vec<Job>) {
+            let cfg = SyntheticConfig {
+                maps_per_job: (2, 8),
+                reduces_per_job: (1, 3),
+                e_max: 20,
+                lambda,
+                resources: 2,
+                map_capacity: 2,
+                reduce_capacity: 2,
+                p_future_start: 0.0,
+                s_max: 1,
+                deadline_multiplier: 1.5,
+                ..Default::default()
+            };
+            let cluster = cfg.cluster();
+            let mut gen = SyntheticGenerator::new(cfg, StdRng::seed_from_u64(seed));
+            (cluster, gen.take_jobs(n))
+        }
+
+        #[test]
+        fn strict_admission_rejects_past_saturation_and_still_drains() {
+            let (cluster, jobs) = overloaded(40, 2.0, 21);
+            let mut cfg = SimConfig::default();
+            cfg.manager.admission = AdmissionConfig {
+                policy: AdmissionPolicy::Strict,
+                max_pending_jobs: None,
+            };
+            let m = simulate(&cfg, &cluster, jobs);
+            assert_eq!(m.arrived, 40);
+            assert!(m.jobs_rejected > 0, "overload must trigger rejections");
+            assert!(m.completed < m.arrived);
+            assert_eq!(
+                m.completed as u64 + m.jobs_rejected + m.jobs_shed,
+                40,
+                "every arrival completes, is rejected, or is shed"
+            );
+        }
+
+        #[test]
+        fn strict_admission_protects_admitted_jobs() {
+            let (cluster, jobs) = overloaded(40, 2.0, 24);
+            let mut strict = SimConfig::default();
+            strict.manager.admission = AdmissionConfig {
+                policy: AdmissionPolicy::Strict,
+                max_pending_jobs: None,
+            };
+            let gated = simulate(&strict, &cluster, jobs.clone());
+            let open = simulate(&SimConfig::default(), &cluster, jobs);
+            // Turning away infeasible work keeps the SLAs of what remains
+            // no worse than letting everything pile in.
+            assert!(
+                gated.p_late <= open.p_late,
+                "strict P={} vs best-effort P={}",
+                gated.p_late,
+                open.p_late
+            );
+        }
+
+        #[test]
+        fn renegotiation_relaxes_deadlines_instead_of_rejecting() {
+            let (cluster, jobs) = overloaded(30, 2.0, 25);
+            let mut cfg = SimConfig::default();
+            cfg.manager.admission = AdmissionConfig {
+                policy: AdmissionPolicy::Renegotiate,
+                max_pending_jobs: None,
+            };
+            let m = simulate(&cfg, &cluster, jobs);
+            assert!(
+                m.jobs_renegotiated > 0,
+                "overload must trigger renegotiation"
+            );
+            assert_eq!(
+                m.completed as u64 + m.jobs_rejected,
+                m.arrived as u64,
+                "renegotiated jobs stay in the system and finish"
+            );
+        }
+
+        #[test]
+        fn queue_bound_caps_depth_via_shedding() {
+            let (cluster, jobs) = overloaded(30, 5.0, 22);
+            let mut cfg = SimConfig::default();
+            cfg.manager.admission = AdmissionConfig {
+                policy: AdmissionPolicy::BestEffort,
+                max_pending_jobs: Some(8),
+            };
+            let m = simulate(&cfg, &cluster, jobs);
+            assert!(
+                m.max_queue_depth <= 8,
+                "bounded queue, got depth {}",
+                m.max_queue_depth
+            );
+            assert!(
+                m.jobs_shed + m.jobs_rejected > 0,
+                "overflow must be absorbed"
+            );
+            assert_eq!(m.completed as u64 + m.jobs_rejected + m.jobs_shed, 30);
+        }
+
+        #[test]
+        fn budget_controller_adapts_under_load() {
+            let (cluster, jobs) = overloaded(25, 2.0, 26);
+            let mut cfg = SimConfig::default();
+            // A zero ceiling forces a shrink on every round — the
+            // adaptation path must engage and the run must still drain.
+            cfg.manager.controller = Some(BudgetController::with_ceiling(Duration::ZERO));
+            let m = simulate(&cfg, &cluster, jobs);
+            assert_eq!(m.completed, 25);
+            assert!(m.budget_adaptations > 0, "controller must have acted");
+        }
+
+        #[test]
+        fn soak_with_protection_stays_within_bounds_under_bursts() {
+            let cfg = SyntheticConfig {
+                maps_per_job: (1, 6),
+                reduces_per_job: (1, 3),
+                e_max: 10,
+                lambda: 0.02,
+                resources: 4,
+                map_capacity: 2,
+                reduce_capacity: 2,
+                p_future_start: 0.0,
+                s_max: 1,
+                deadline_multiplier: 2.0,
+                arrival: ArrivalConfig::mmpp(0.5, 120.0, 20.0),
+            };
+            let cluster = cfg.cluster();
+            let mut gen = SyntheticGenerator::new(cfg, StdRng::seed_from_u64(27));
+            let jobs = gen.take_jobs(60);
+            let mut sim = SimConfig::default();
+            sim.manager.admission = AdmissionConfig {
+                policy: AdmissionPolicy::Strict,
+                max_pending_jobs: Some(32),
+            };
+            sim.manager.controller = Some(BudgetController::default());
+            let limits = SoakLimits {
+                max_queue_depth: 32,
+                max_round_latency: Duration::from_secs(5),
+                max_drain: SimTime::from_secs(3_600),
+            };
+            let report = soak(&sim, &cluster, jobs, &limits);
+            assert!(report.ok(), "soak violations: {:?}", report.violations);
+            assert_eq!(report.metrics.arrived, 60);
+        }
+
+        #[test]
+        fn soak_report_flags_violated_bounds() {
+            let (cluster, jobs) = small_workload(10, 0.05, 23);
+            let limits = SoakLimits {
+                max_queue_depth: 0,
+                ..Default::default()
+            };
+            let report = soak(&SimConfig::default(), &cluster, jobs, &limits);
+            assert!(!report.ok());
+            assert!(
+                report.violations.iter().any(|v| v.contains("queue depth")),
+                "{:?}",
+                report.violations
+            );
+        }
     }
 }

@@ -20,6 +20,88 @@ use desim::SimTime;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Shape of the arrival process (chaos-harness extension; the paper's
+/// evaluation is pure Poisson).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson at the base rate `λ` (the Table 3 process).
+    Poisson,
+    /// Markov-modulated Poisson: alternate between a calm regime at the
+    /// base `λ` and a burst regime at `burst_lambda`, with exponential
+    /// dwell times (mean `calm_s` / `burst_s`).
+    Mmpp,
+    /// Deterministic flash crowds: every `calm_s` seconds the rate jumps
+    /// to `burst_lambda` for `burst_s` seconds, then returns to `λ`.
+    FlashCrowd,
+    /// Linear ramp: the rate climbs from `λ` to `burst_lambda` over the
+    /// first `calm_s` seconds and stays there — sweeps the system through
+    /// and past saturation in a single run.
+    Ramp,
+}
+
+/// Arrival-process knobs beyond the base rate `λ` (which stays in
+/// [`SyntheticConfig::lambda`], so the default remains the paper's
+/// Poisson process).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Process shape.
+    pub kind: ArrivalKind,
+    /// Burst-regime rate, jobs/s (MMPP high state, flash-crowd spike, or
+    /// the ramp's final rate). Ignored for `Poisson`.
+    pub burst_lambda: f64,
+    /// Mean calm dwell (MMPP), flash-crowd period, or ramp duration,
+    /// seconds. Ignored for `Poisson`.
+    pub calm_s: f64,
+    /// Mean burst dwell (MMPP) or flash-crowd burst width, seconds.
+    /// Ignored for `Poisson` and `Ramp`.
+    pub burst_s: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            kind: ArrivalKind::Poisson,
+            burst_lambda: 0.0,
+            calm_s: 0.0,
+            burst_s: 0.0,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// An MMPP burst process over the given regime knobs.
+    pub fn mmpp(burst_lambda: f64, mean_calm_s: f64, mean_burst_s: f64) -> Self {
+        ArrivalConfig {
+            kind: ArrivalKind::Mmpp,
+            burst_lambda,
+            calm_s: mean_calm_s,
+            burst_s: mean_burst_s,
+        }
+    }
+
+    /// A periodic flash crowd: `burst_s` seconds at `burst_lambda` every
+    /// `period_s` seconds.
+    pub fn flash_crowd(burst_lambda: f64, period_s: f64, burst_s: f64) -> Self {
+        ArrivalConfig {
+            kind: ArrivalKind::FlashCrowd,
+            burst_lambda,
+            calm_s: period_s,
+            burst_s,
+        }
+    }
+
+    /// A linear rate ramp from the base `λ` to `end_lambda` over `over_s`
+    /// seconds.
+    pub fn ramp(end_lambda: f64, over_s: f64) -> Self {
+        ArrivalConfig {
+            kind: ArrivalKind::Ramp,
+            burst_lambda: end_lambda,
+            calm_s: over_s,
+            burst_s: 0.0,
+        }
+    }
+}
+
 /// Parameters of the Table 3 workload. `Default` gives the paper's boldface
 /// defaults.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +126,10 @@ pub struct SyntheticConfig {
     pub map_capacity: u32,
     /// Reduce slots per resource `c^rd`.
     pub reduce_capacity: u32,
+    /// Arrival-process shape beyond the base Poisson rate (burst / flash
+    /// crowd / ramp chaos processes; default is the paper's Poisson).
+    #[serde(default)]
+    pub arrival: ArrivalConfig,
 }
 
 impl Default for SyntheticConfig {
@@ -59,6 +145,7 @@ impl Default for SyntheticConfig {
             resources: 50,
             map_capacity: 2,
             reduce_capacity: 2,
+            arrival: ArrivalConfig::default(),
         }
     }
 }
@@ -75,6 +162,26 @@ impl SyntheticConfig {
         assert!(self.lambda > 0.0);
         assert!(self.resources >= 1);
         assert!(self.map_capacity >= 1 && self.reduce_capacity >= 1);
+        match self.arrival.kind {
+            ArrivalKind::Poisson => {}
+            ArrivalKind::Mmpp | ArrivalKind::FlashCrowd => {
+                assert!(
+                    self.arrival.burst_lambda > 0.0,
+                    "burst arrival process needs burst_lambda > 0"
+                );
+                assert!(
+                    self.arrival.calm_s > 0.0 && self.arrival.burst_s > 0.0,
+                    "burst arrival process needs positive regime durations"
+                );
+            }
+            ArrivalKind::Ramp => {
+                assert!(
+                    self.arrival.burst_lambda > 0.0,
+                    "ramp needs a positive final rate"
+                );
+                assert!(self.arrival.calm_s > 0.0, "ramp needs a positive duration");
+            }
+        }
     }
 
     /// The cluster this workload runs on (`m` homogeneous resources).
@@ -116,6 +223,10 @@ pub struct SyntheticGenerator<R: Rng> {
     next_job_id: u32,
     next_task_id: u32,
     clock: f64, // arrival clock, seconds
+    /// MMPP regime state: currently in the burst regime, and when the
+    /// current regime's dwell ends.
+    in_burst: bool,
+    regime_until: f64,
 }
 
 impl<R: Rng> SyntheticGenerator<R> {
@@ -128,6 +239,8 @@ impl<R: Rng> SyntheticGenerator<R> {
             next_job_id: 0,
             next_task_id: 0,
             clock: 0.0,
+            in_burst: false,
+            regime_until: 0.0,
         }
     }
 
@@ -136,11 +249,71 @@ impl<R: Rng> SyntheticGenerator<R> {
         &self.cfg
     }
 
+    /// Advance the arrival clock to the next event of the configured
+    /// process. Regime-boundary stepping keeps the piecewise-constant
+    /// processes exact (the exponential is memoryless, so resampling at a
+    /// boundary does not bias the stream); the ramp uses thinning against
+    /// the peak rate.
+    fn advance_arrival_clock(&mut self) {
+        let a = self.cfg.arrival;
+        match a.kind {
+            ArrivalKind::Poisson => {
+                self.clock += Exponential::new(self.cfg.lambda).sample(&mut self.rng);
+            }
+            ArrivalKind::Mmpp => loop {
+                if self.clock >= self.regime_until {
+                    // Dwell expired (or first call): enter the next regime.
+                    if self.regime_until > 0.0 {
+                        self.in_burst = !self.in_burst;
+                    }
+                    let mean = if self.in_burst { a.burst_s } else { a.calm_s };
+                    self.regime_until =
+                        self.clock + Exponential::new(1.0 / mean).sample(&mut self.rng);
+                }
+                let rate = if self.in_burst {
+                    a.burst_lambda
+                } else {
+                    self.cfg.lambda
+                };
+                let t = self.clock + Exponential::new(rate).sample(&mut self.rng);
+                if t <= self.regime_until {
+                    self.clock = t;
+                    return;
+                }
+                self.clock = self.regime_until;
+            },
+            ArrivalKind::FlashCrowd => loop {
+                let phase = self.clock.rem_euclid(a.calm_s);
+                let (rate, boundary) = if phase < a.burst_s {
+                    (a.burst_lambda, self.clock - phase + a.burst_s)
+                } else {
+                    (self.cfg.lambda, self.clock - phase + a.calm_s)
+                };
+                let t = self.clock + Exponential::new(rate).sample(&mut self.rng);
+                if t <= boundary {
+                    self.clock = t;
+                    return;
+                }
+                self.clock = boundary;
+            },
+            ArrivalKind::Ramp => {
+                let peak = self.cfg.lambda.max(a.burst_lambda);
+                loop {
+                    self.clock += Exponential::new(peak).sample(&mut self.rng);
+                    let frac = (self.clock / a.calm_s).min(1.0);
+                    let rate = self.cfg.lambda + (a.burst_lambda - self.cfg.lambda) * frac;
+                    if self.rng.gen_bool((rate / peak).clamp(0.0, 1.0)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
     /// Generate the next arriving job.
     pub fn next_job(&mut self) -> Job {
         let cfg = self.cfg.clone();
-        let inter = Exponential::new(cfg.lambda).sample(&mut self.rng);
-        self.clock += inter;
+        self.advance_arrival_clock();
         let arrival = SimTime::from_secs_f64(self.clock);
 
         let id = JobId(self.next_job_id);
@@ -371,6 +544,136 @@ mod tests {
     fn invalid_config_panics() {
         gen(SyntheticConfig {
             lambda: 0.0,
+            ..Default::default()
+        });
+    }
+
+    /// Empirical rate of an arrival stream over `[0, horizon]` seconds.
+    fn observed_rate(cfg: SyntheticConfig, horizon: f64) -> f64 {
+        let mut g = gen(cfg);
+        let mut n = 0usize;
+        loop {
+            let j = g.next_job();
+            if j.arrival.as_secs_f64() > horizon {
+                return n as f64 / horizon;
+            }
+            n += 1;
+        }
+    }
+
+    #[test]
+    fn mmpp_rate_lies_between_calm_and_burst() {
+        let calm = 0.01;
+        let burst = 0.5;
+        let cfg = SyntheticConfig {
+            lambda: calm,
+            arrival: ArrivalConfig::mmpp(burst, 500.0, 100.0),
+            ..Default::default()
+        };
+        let rate = observed_rate(cfg, 200_000.0);
+        // Expected long-run rate: (calm·500 + burst·100)/600 ≈ 0.0917.
+        assert!(
+            rate > calm * 1.5 && rate < burst,
+            "MMPP rate {rate} should exceed the calm rate and stay below the burst rate"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals_in_bursts() {
+        let cfg = SyntheticConfig {
+            lambda: 0.001,
+            arrival: ArrivalConfig::flash_crowd(1.0, 1000.0, 50.0),
+            ..Default::default()
+        };
+        let mut g = gen(cfg);
+        let mut in_burst = 0usize;
+        let mut total = 0usize;
+        loop {
+            let j = g.next_job();
+            let t = j.arrival.as_secs_f64();
+            if t > 20_000.0 {
+                break;
+            }
+            total += 1;
+            if t.rem_euclid(1000.0) < 50.0 {
+                in_burst += 1;
+            }
+        }
+        // Bursts cover 5% of time but carry ~98% of the arrivals here.
+        assert!(total > 100, "flash crowds should produce arrivals: {total}");
+        assert!(
+            in_burst as f64 / total as f64 > 0.8,
+            "{in_burst}/{total} arrivals inside burst windows"
+        );
+    }
+
+    #[test]
+    fn ramp_rate_increases_over_the_run() {
+        let cfg = SyntheticConfig {
+            lambda: 0.01,
+            arrival: ArrivalConfig::ramp(0.5, 10_000.0),
+            ..Default::default()
+        };
+        let mut g = gen(cfg);
+        let (mut early, mut late) = (0usize, 0usize);
+        loop {
+            let j = g.next_job();
+            let t = j.arrival.as_secs_f64();
+            if t > 20_000.0 {
+                break;
+            }
+            if t < 2_000.0 {
+                early += 1;
+            } else if t >= 10_000.0 {
+                late += 1;
+            }
+        }
+        // Post-ramp runs at 0.5 jobs/s over 10k s ≈ 5000 arrivals; the
+        // first 2k s averages well under 0.1 jobs/s.
+        assert!(
+            late > early * 5,
+            "ramp should accelerate arrivals: early={early} late={late}"
+        );
+    }
+
+    #[test]
+    fn burst_processes_are_deterministic_per_seed() {
+        let cfg = SyntheticConfig {
+            arrival: ArrivalConfig::mmpp(0.2, 300.0, 60.0),
+            ..Default::default()
+        };
+        let a = gen(cfg.clone()).take_jobs(50);
+        let b = gen(cfg).take_jobs(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrival_config_round_trips_serde_default() {
+        // A config serialized before the arrival field existed must still
+        // deserialize (serde default → Poisson).
+        let cfg = SyntheticConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SyntheticConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.arrival.kind, ArrivalKind::Poisson);
+        let burst = SyntheticConfig {
+            arrival: ArrivalConfig::flash_crowd(2.0, 600.0, 30.0),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&burst).unwrap();
+        let back: SyntheticConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.arrival, burst.arrival);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn burst_process_without_rates_panics() {
+        gen(SyntheticConfig {
+            arrival: ArrivalConfig {
+                kind: ArrivalKind::Mmpp,
+                burst_lambda: 0.0,
+                calm_s: 10.0,
+                burst_s: 10.0,
+            },
             ..Default::default()
         });
     }

@@ -34,6 +34,7 @@ fn synth_config() -> impl Strategy<Value = SyntheticConfig> {
                 resources: m,
                 map_capacity: cm,
                 reduce_capacity: cr,
+                arrival: Default::default(),
             },
         )
 }

@@ -119,6 +119,7 @@ fn main() {
     print!(
         "{}",
         gantt::render(rm.resources(), &plan, &|t| kind_of[&t], 64)
+            .expect("plan came from an audited round")
     );
 
     // Demonstrate the edges held.
