@@ -110,12 +110,37 @@ impl Pool {
 /// assert_eq!(schedule.makespan(&model), 15); // maps parallel, reduce behind
 /// ```
 pub fn greedy_edf(model: &Model) -> Result<Solution, String> {
+    greedy_edf_core(model, None)
+}
+
+/// A placement suggestion for one task: `Some((resource, start))` replays
+/// a previous round's decision, `None` leaves the task to the heuristic.
+pub type Hint = Option<(ResRef, i64)>;
+
+/// [`greedy_edf`] seeded with per-task placement hints (`hints[i]` is the
+/// suggestion for task `i` — typically the previous scheduling round's
+/// assignment, re-based by the caller).
+///
+/// A hint is honoured only when it is still valid in this round's model:
+/// the start must respect the job's release (maps) or the map barrier
+/// (reduces), the resource must be in the task's candidate mask, and a
+/// free slot must exist at that time. Stale hints silently fall back to
+/// the normal best-fit rule, so the result is always a feasible schedule.
+/// Models with user precedences route to [`greedy_topo`] (hints ignored —
+/// floors there depend on dynamic predecessor completion).
+pub fn greedy_edf_with_hints(model: &Model, hints: &[Hint]) -> Result<Solution, String> {
+    debug_assert_eq!(hints.len(), model.n_tasks());
+    greedy_edf_core(model, Some(hints))
+}
+
+fn greedy_edf_core(model: &Model, hints: Option<&[Hint]>) -> Result<Solution, String> {
     if model.tasks.iter().any(|t| t.req != 1) {
         return Err("greedy scheduler supports unit capacity requirements only".into());
     }
     if !model.precedences.is_empty() {
         return greedy_topo(model);
     }
+    let hint_for = |t: TaskRef| -> Hint { hints.and_then(|h| h.get(t.idx()).copied().flatten()) };
     let mut map_pool = Pool::new(model, SlotKind::Map);
     let mut reduce_pool = Pool::new(model, SlotKind::Reduce);
     let mut starts = vec![0i64; model.n_tasks()];
@@ -161,6 +186,20 @@ pub fn greedy_edf(model: &Model) -> Result<Solution, String> {
             .filter(|t| model.tasks[t.idx()].fixed.is_none())
             .collect();
         maps.sort_by_key(|t| std::cmp::Reverse(model.tasks[t.idx()].dur));
+        // Hinted placements book first so heuristic placements don't squat
+        // on the slots a replayed round needs; failed hints fall through to
+        // the best-fit pass below.
+        maps.retain(|&t| {
+            !book_hint(
+                &mut map_pool,
+                model,
+                t,
+                hint_for(t),
+                release,
+                &mut starts,
+                &mut resource,
+            )
+        });
         for t in maps {
             let spec = &model.tasks[t.idx()];
             let (r, si, s) = map_pool
@@ -186,6 +225,17 @@ pub fn greedy_edf(model: &Model) -> Result<Solution, String> {
             .filter(|t| model.tasks[t.idx()].fixed.is_none())
             .collect();
         reduces.sort_by_key(|t| std::cmp::Reverse(model.tasks[t.idx()].dur));
+        reduces.retain(|&t| {
+            !book_hint(
+                &mut reduce_pool,
+                model,
+                t,
+                hint_for(t),
+                barrier,
+                &mut starts,
+                &mut resource,
+            )
+        });
         for t in reduces {
             let spec = &model.tasks[t.idx()];
             let (r, si, s) = reduce_pool
@@ -198,6 +248,40 @@ pub fn greedy_edf(model: &Model) -> Result<Solution, String> {
     }
 
     Ok(Solution::from_placements(model, starts, resource))
+}
+
+/// Book `t` at its hinted placement if the hint is still valid in this
+/// model: start at/after `floor`, resource in the candidate mask and in
+/// range, and a free slot at that time. Returns true when booked.
+fn book_hint(
+    pool: &mut Pool,
+    model: &Model,
+    t: TaskRef,
+    hint: Hint,
+    floor: i64,
+    starts: &mut [i64],
+    resource: &mut [ResRef],
+) -> bool {
+    let Some((r, s)) = hint else {
+        return false;
+    };
+    let spec = &model.tasks[t.idx()];
+    if s < floor
+        || r.idx() >= model.n_resources()
+        || model.candidate_mask(t) & (1u128 << r.idx()) == 0
+    {
+        return false;
+    }
+    let Some(slot) = pool.slots[r.idx()]
+        .iter_mut()
+        .find(|sl| sl.fits(s, spec.dur))
+    else {
+        return false;
+    };
+    slot.insert(s, spec.dur);
+    starts[t.idx()] = s;
+    resource[t.idx()] = r;
+    true
 }
 
 /// Greedy list scheduler for models with arbitrary user precedences
@@ -412,6 +496,41 @@ mod tests {
         b.add_task(j, SlotKind::Map, 10, 2);
         let m = b.build().unwrap();
         assert!(greedy_edf(&m).is_err());
+    }
+
+    #[test]
+    fn valid_hints_are_replayed_verbatim() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 100);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        let m = b.build().unwrap();
+        // Best-fit would spread the maps over both resources at t=0; the
+        // hints serialize them on resource 1 instead.
+        let hints = vec![Some((ResRef(1), 5)), Some((ResRef(1), 20))];
+        let s = greedy_edf_with_hints(&m, &hints).unwrap();
+        s.verify(&m).unwrap();
+        assert_eq!(s.resource, vec![ResRef(1), ResRef(1)]);
+        assert_eq!(s.starts, vec![5, 20]);
+    }
+
+    #[test]
+    fn stale_hints_fall_back_to_best_fit() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(10, 100);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        b.add_task(j, SlotKind::Map, 10, 1);
+        let m = b.build().unwrap();
+        // First hint starts before the release; second names a resource
+        // that no longer exists. Both must be ignored, not crash.
+        let hints = vec![Some((ResRef(0), 0)), Some((ResRef(7), 10))];
+        let s = greedy_edf_with_hints(&m, &hints).unwrap();
+        s.verify(&m).unwrap();
+        let unhinted = greedy_edf(&m).unwrap();
+        assert_eq!(s.objective, unhinted.objective);
     }
 
     #[test]

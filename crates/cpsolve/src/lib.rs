@@ -50,11 +50,13 @@
 pub mod brute;
 pub mod greedy;
 pub mod model;
+pub mod portfolio;
 pub mod props;
 pub mod search;
 pub mod solution;
 pub mod state;
 
 pub use model::{JobRef, Model, ModelBuilder, ResRef, SlotKind, TaskRef};
-pub use search::{solve, Outcome, SolveParams, SolveStats, Status};
+pub use portfolio::{solve_portfolio, PortfolioParams};
+pub use search::{solve, Branching, Outcome, SolveParams, SolveStats, Status};
 pub use solution::Solution;

@@ -29,6 +29,10 @@ pub struct EnergyCheck {
     tasks: Vec<TaskRef>,
     /// Scratch: (est, lct, energy) of committed tasks.
     windows: Vec<(i64, i64, i64)>,
+    /// Scratch: distinct ests (window starts).
+    ests: Vec<i64>,
+    /// Scratch: (lct, energy) of tasks inside the current window.
+    inside: Vec<(i64, i64)>,
 }
 
 impl EnergyCheck {
@@ -47,6 +51,8 @@ impl EnergyCheck {
             kind,
             tasks,
             windows: Vec::new(),
+            ests: Vec::new(),
+            inside: Vec::new(),
         })
     }
 }
@@ -71,22 +77,20 @@ impl Propagator for EnergyCheck {
         // start, scan tasks with est ≥ window start ordered by lct and keep
         // a running energy sum — overload iff sum exceeds cap × window.
         self.windows.sort_unstable();
-        let ests: Vec<i64> = {
-            let mut e: Vec<i64> = self.windows.iter().map(|w| w.0).collect();
-            e.dedup();
-            e
-        };
-        let mut inside: Vec<(i64, i64)> = Vec::with_capacity(self.windows.len());
-        for &window_start in &ests {
-            inside.clear();
+        self.ests.clear();
+        self.ests.extend(self.windows.iter().map(|w| w.0));
+        self.ests.dedup();
+        for wi in 0..self.ests.len() {
+            let window_start = self.ests[wi];
+            self.inside.clear();
             for &(est, lct, energy) in &self.windows {
                 if est >= window_start {
-                    inside.push((lct, energy));
+                    self.inside.push((lct, energy));
                 }
             }
-            inside.sort_unstable();
+            self.inside.sort_unstable();
             let mut sum = 0i64;
-            for &(lct, energy) in inside.iter() {
+            for &(lct, energy) in self.inside.iter() {
                 sum += energy;
                 if sum > cap.saturating_mul(lct - window_start) {
                     return Err(Conflict);

@@ -51,8 +51,9 @@ impl Propagator for JobLateness {
         }
 
         if ctx.dom.late(self.job) == Lateness::OnTime {
-            for t in ctx.model.tasks_of(self.job).collect::<Vec<_>>() {
-                let spec = &ctx.model.tasks[t.idx()];
+            let model = ctx.model; // copy the reference so `ctx.dom` stays free
+            for t in model.tasks_of(self.job) {
+                let spec = &model.tasks[t.idx()];
                 if spec.fixed.is_some() {
                     // A pinned task cannot be moved; if it ends after the
                     // deadline the completion_lb check above has already

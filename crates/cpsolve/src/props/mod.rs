@@ -90,6 +90,10 @@ pub struct Engine {
     /// Objective cut shared with the search (monotonically tightened).
     bound: u32,
     stats: PropStats,
+    /// Reusable buffers for draining the domains' dirty queues; kept on
+    /// the engine so steady-state propagation allocates nothing.
+    scratch_tasks: Vec<TaskRef>,
+    scratch_jobs: Vec<JobRef>,
 }
 
 impl Engine {
@@ -147,6 +151,8 @@ impl Engine {
             in_queue: vec![false; n],
             bound: u32::MAX,
             stats: PropStats::default(),
+            scratch_tasks: Vec::new(),
+            scratch_jobs: Vec::new(),
         }
     }
 
@@ -174,20 +180,26 @@ impl Engine {
     }
 
     fn enqueue_watchers(&mut self, dom: &mut Domains) {
-        let (tasks, jobs) = dom.drain_dirty();
+        // Move the scratch buffers out so the watcher walk can borrow
+        // `self` mutably; they go back (with their capacity) afterwards.
+        let mut tasks = std::mem::take(&mut self.scratch_tasks);
+        let mut jobs = std::mem::take(&mut self.scratch_jobs);
+        dom.drain_dirty_into(&mut tasks, &mut jobs);
         self.stats.prunings += (tasks.len() + jobs.len()) as u64;
-        for t in tasks {
+        for &t in &tasks {
             for i in 0..self.task_watchers[t.idx()].len() {
                 let id = self.task_watchers[t.idx()][i];
                 self.enqueue(id);
             }
         }
-        for j in jobs {
+        for &j in &jobs {
             for i in 0..self.job_watchers[j.idx()].len() {
                 let id = self.job_watchers[j.idx()][i];
                 self.enqueue(id);
             }
         }
+        self.scratch_tasks = tasks;
+        self.scratch_jobs = jobs;
     }
 
     /// Run every propagator to global fixpoint.
@@ -228,7 +240,7 @@ impl Engine {
                     self.stats.conflicts += 1;
                     self.queue.clear();
                     self.in_queue.iter_mut().for_each(|b| *b = false);
-                    let _ = dom.drain_dirty();
+                    dom.clear_dirty();
                     return Err(c);
                 }
             }

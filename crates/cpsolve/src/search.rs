@@ -18,7 +18,13 @@ use crate::model::{Model, ResRef, TaskRef};
 use crate::props::{Engine, EngineOptions};
 use crate::solution::Solution;
 use crate::state::{Domains, Lateness};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::time::{Duration, Instant};
+
+/// How often (in nodes) the search pays for a wall-clock read and polls the
+/// shared cancellation flag. A threshold counter, not a modulus — see the
+/// comment at the check site.
+pub(crate) const CHECK_STRIDE: u64 = 64;
 
 /// Search termination status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +39,20 @@ pub enum Status {
     Infeasible,
     /// A budget expired before any solution was found.
     Unknown,
+}
+
+/// Variable-selection strategy (portfolio diversification axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Branching {
+    /// Chronological set-times: the unfixed task with the smallest start
+    /// lower bound first, EDF tie-break (the default, and the rule the
+    /// single-threaded solver always used).
+    #[default]
+    SetTimes,
+    /// Deadline-first: the most urgent job's tasks first (pure EDF), ties
+    /// broken by the start lower bound. Dives commit whole jobs early,
+    /// which explores a different region of the tree than set-times.
+    Edf,
 }
 
 /// Search effort budgets and options.
@@ -64,6 +84,12 @@ pub struct SolveParams {
     /// resource choice for each task (Beck-style), so dives stay near the
     /// best known schedule and improvements are found sooner.
     pub solution_guided: bool,
+    /// Variable-selection strategy.
+    pub branching: Branching,
+    /// Initial rotation of the resource value ordering (acts like a
+    /// pre-applied restart counter); portfolio workers use distinct values
+    /// so their first dives diverge.
+    pub value_rotation: u64,
 }
 
 impl Default for SolveParams {
@@ -78,6 +104,8 @@ impl Default for SolveParams {
             energetic: true,
             restarts: None,
             solution_guided: true,
+            branching: Branching::SetTimes,
+            value_rotation: 0,
         }
     }
 }
@@ -159,13 +187,84 @@ enum Decision {
     StartGeq(TaskRef, i64),
 }
 
+#[derive(Default)]
 struct Frame {
     alts: Vec<Decision>,
     next: usize,
 }
 
+/// State shared by the workers of a [portfolio](crate::portfolio) run: the
+/// best objective published by any worker (folded into every worker's
+/// objective cut) and the cooperative cancellation flag (raised on any
+/// worker exit — optimality proof or budget expiry).
+#[derive(Debug)]
+pub struct SharedSearch {
+    /// Best objective published by any worker; `i64::MAX` = none yet.
+    pub(crate) best_obj: AtomicI64,
+    /// Raised when any worker finishes (proof or budget); every worker
+    /// polls it at the [`CHECK_STRIDE`] cadence and stops cooperatively.
+    pub(crate) cancel: AtomicBool,
+}
+
+impl SharedSearch {
+    /// Fresh shared state: no incumbent, not cancelled.
+    pub fn new() -> Self {
+        SharedSearch {
+            best_obj: AtomicI64::new(i64::MAX),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// Publish an incumbent objective (monotone min).
+    pub(crate) fn publish(&self, obj: u32) {
+        self.best_obj.fetch_min(obj as i64, Ordering::Relaxed);
+    }
+
+    /// The best objective any worker has published so far.
+    pub(crate) fn best(&self) -> Option<u32> {
+        let g = self.best_obj.load(Ordering::Relaxed);
+        (g < i64::MAX).then_some(g as u32)
+    }
+}
+
+impl Default for SharedSearch {
+    fn default() -> Self {
+        SharedSearch::new()
+    }
+}
+
+/// Per-solve scratch buffers, reused across nodes so the hot path of the
+/// search performs no allocation (see `tests/alloc_count.rs`).
+#[derive(Default)]
+struct Scratch {
+    /// Per-resource committed-task counts for the value ordering.
+    load: Vec<u32>,
+    /// Candidate resource list under construction.
+    rs: Vec<ResRef>,
+}
+
 /// Minimize the number of late jobs for `model` under `params`.
 pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
+    solve_shared(model, params, None)
+}
+
+/// [`solve`] with optional portfolio shared state: fold the global bound
+/// into the objective cut on every node, publish improvements, and stop
+/// when the cancellation flag is raised. Raises the flag itself on every
+/// exit path (proof or budget) so sibling workers stop promptly.
+pub(crate) fn solve_shared(
+    model: &Model,
+    params: &SolveParams,
+    shared: Option<&SharedSearch>,
+) -> Outcome {
+    let out = solve_inner(model, params, shared);
+    if let Some(sh) = shared {
+        sh.cancel.store(true, Ordering::Relaxed);
+    }
+    out
+}
+
+fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch>) -> Outcome {
     let t0 = Instant::now();
     let mut stats = SolveStats::default();
 
@@ -186,6 +285,12 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
                 best = Some(g);
             }
         }
+    }
+
+    // Make the warm-start/initial incumbent's objective visible to sibling
+    // portfolio workers before any search happens.
+    if let (Some(sh), Some(b)) = (shared, &best) {
+        sh.publish(b.objective);
     }
 
     let target = params.target.unwrap_or(0);
@@ -216,6 +321,11 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
     if let Some(b) = &best {
         engine.set_bound(b.objective - 1);
     }
+    // A sibling worker may already hold a better incumbent: fold its
+    // objective into the cut before the root propagation.
+    if let Some(g) = shared.and_then(|sh| sh.best()) {
+        engine.set_bound(g.saturating_sub(1));
+    }
 
     // Root propagation.
     match engine.propagate_all(model, &mut dom) {
@@ -239,40 +349,57 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
         }
     }
 
-    let mut stack: Vec<Frame> = Vec::new();
+    // Frame pool: `frames[..depth]` are the active decision levels. Popped
+    // frames stay in the pool so their `alts` buffers are reused by later
+    // pushes — the hot path allocates nothing once the pool has grown to
+    // the maximum depth (see tests/alloc_count.rs).
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut depth: usize = 0;
+    let mut scratch = Scratch::default();
     let mut exhausted = false;
     let mut budget_hit = false;
     let mut restart_no: u64 = 0;
     let mut fails_at_restart: u64 = 0;
-    // Next node count at which to pay for a clock read. A threshold (not
-    // `nodes % k == 0`) so the check cannot be skipped forever: backtracking
-    // advances `nodes` by more than one, which could step over every
-    // multiple of k and loop past the deadline indefinitely. The first
-    // iteration always checks, so even a zero time limit stops promptly.
-    let mut next_time_check: u64 = 0;
+    // Next node count at which to pay for a clock read / cancellation poll.
+    // A threshold (not `nodes % k == 0`) so the check cannot be skipped
+    // forever: backtracking advances `nodes` by more than one, which could
+    // step over every multiple of k and loop past the deadline
+    // indefinitely. The first iteration always checks, so even a zero time
+    // limit stops promptly.
+    let mut next_check: u64 = 0;
 
     'search: loop {
-        // Budget checks (time checked at a coarse cadence).
+        // Budget checks (time and cancellation polled at a coarse cadence).
         if stats.nodes >= params.node_limit || stats.fails >= params.fail_limit {
             budget_hit = true;
             break;
         }
-        if let Some(tl) = params.time_limit {
-            if stats.nodes >= next_time_check {
-                next_time_check = stats.nodes + 128;
-                if t0.elapsed() > tl {
-                    budget_hit = true;
-                    break;
-                }
+        if (params.time_limit.is_some() || shared.is_some()) && stats.nodes >= next_check {
+            next_check = stats.nodes + CHECK_STRIDE;
+            if params.time_limit.is_some_and(|tl| t0.elapsed() > tl) {
+                budget_hit = true;
+                break;
+            }
+            if shared.is_some_and(|sh| sh.cancel.load(Ordering::Relaxed)) {
+                budget_hit = true;
+                break;
+            }
+        }
+        // Fold the portfolio-wide incumbent into the objective cut on every
+        // node: a sibling worker's improvement prunes this worker's subtree
+        // as if it were a local incumbent.
+        if let Some(g) = shared.and_then(|sh| sh.best()) {
+            if (g as i64) < best.as_ref().map_or(i64::MAX, |b| b.objective as i64) {
+                engine.set_bound(g.saturating_sub(1));
             }
         }
         // Luby restart: abandon the dive, keep the (monotone) objective
         // cut, rotate the value ordering for the next dive.
         if let Some(base) = params.restarts {
             if stats.fails - fails_at_restart >= base.saturating_mul(luby(restart_no + 1)) {
-                while !stack.is_empty() {
+                while depth > 0 {
                     dom.pop_level();
-                    stack.pop();
+                    depth -= 1;
                 }
                 restart_no += 1;
                 stats.restarts += 1;
@@ -293,6 +420,9 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
             stats.solutions += 1;
             let improved = best.as_ref().is_none_or(|b| obj < b.objective);
             if improved {
+                if let Some(sh) = shared {
+                    sh.publish(obj);
+                }
                 best = Some(solution);
                 if obj <= target {
                     break 'search; // good enough (Optimal when target==0)
@@ -300,7 +430,14 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
                 engine.set_bound(obj - 1);
             }
             // Resume search for a strictly better solution.
-            if !backtrack(&mut stack, &mut dom, &mut engine, model, &mut stats) {
+            if !backtrack(
+                &mut frames,
+                &mut depth,
+                &mut dom,
+                &mut engine,
+                model,
+                &mut stats,
+            ) {
                 exhausted = true;
                 break;
             }
@@ -308,22 +445,44 @@ pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
         }
 
         // Choose a decision variable.
-        let task = select_task(model, &dom).expect("non-leaf node must have an unfixed task");
+        let task =
+            select_task(model, &dom, params.branching).expect("non-leaf node has an unfixed task");
         let guide = if params.solution_guided {
             best.as_ref()
         } else {
             None
         };
-        let alts = alternatives(model, &dom, task, restart_no, guide);
-        debug_assert!(!alts.is_empty());
-        stack.push(Frame { alts, next: 0 });
-        let frame = stack.last_mut().unwrap();
+        if depth == frames.len() {
+            frames.push(Frame::default());
+        }
+        {
+            let frame = &mut frames[depth];
+            frame.next = 0;
+            alternatives(
+                model,
+                &dom,
+                task,
+                restart_no + params.value_rotation,
+                guide,
+                &mut scratch,
+                &mut frame.alts,
+            );
+            debug_assert!(!frame.alts.is_empty());
+        }
+        let dec = frames[depth].alts[0];
+        depth += 1;
         dom.push_level();
-        let dec = frame.alts[frame.next];
         stats.nodes += 1;
         if apply(&dec, model, &mut dom, &mut engine).is_err() {
             stats.fails += 1;
-            if !backtrack(&mut stack, &mut dom, &mut engine, model, &mut stats) {
+            if !backtrack(
+                &mut frames,
+                &mut depth,
+                &mut dom,
+                &mut engine,
+                model,
+                &mut stats,
+            ) {
                 exhausted = true;
                 break;
             }
@@ -367,22 +526,25 @@ fn apply(dec: &Decision, model: &Model, dom: &mut Domains, engine: &mut Engine) 
 }
 
 /// Pop levels until an untried alternative applies cleanly. Returns false
-/// when the tree is exhausted.
+/// when the tree is exhausted. `*depth` indexes into the frame pool; popped
+/// frames stay allocated for reuse.
 fn backtrack(
-    stack: &mut Vec<Frame>,
+    frames: &mut [Frame],
+    depth: &mut usize,
     dom: &mut Domains,
     engine: &mut Engine,
     model: &Model,
     stats: &mut SolveStats,
 ) -> bool {
     loop {
-        let Some(frame) = stack.last_mut() else {
+        if *depth == 0 {
             return false;
-        };
+        }
+        let frame = &mut frames[*depth - 1];
         dom.pop_level();
         frame.next += 1;
         if frame.next >= frame.alts.len() {
-            stack.pop();
+            *depth -= 1;
             continue;
         }
         dom.push_level();
@@ -395,10 +557,11 @@ fn backtrack(
     }
 }
 
-/// Chronological + EDF variable selection: the unfixed task with the
-/// smallest start lower bound; ties broken by job deadline, then longer
-/// duration, then index.
-fn select_task(model: &Model, dom: &Domains) -> Option<TaskRef> {
+/// Variable selection. `SetTimes` is chronological + EDF: the unfixed task
+/// with the smallest start lower bound, ties broken by job priority, then
+/// deadline, then longer duration, then index. `Edf` puts the deadline
+/// first — the portfolio uses it as a diversified ordering.
+fn select_task(model: &Model, dom: &Domains, branching: Branching) -> Option<TaskRef> {
     let mut best: Option<(i64, i64, i64, i64, u32)> = None;
     let mut chosen = None;
     for i in 0..model.n_tasks() {
@@ -408,7 +571,10 @@ fn select_task(model: &Model, dom: &Domains) -> Option<TaskRef> {
         }
         let spec = &model.tasks[i];
         let job = &model.jobs[spec.job.idx()];
-        let key = (dom.lb(t), job.priority, job.deadline, -spec.dur, i as u32);
+        let key = match branching {
+            Branching::SetTimes => (dom.lb(t), job.priority, job.deadline, -spec.dur, i as u32),
+            Branching::Edf => (job.priority, job.deadline, dom.lb(t), -spec.dur, i as u32),
+        };
         if best.is_none_or(|b| key < b) {
             best = Some(key);
             chosen = Some(t);
@@ -417,21 +583,27 @@ fn select_task(model: &Model, dom: &Domains) -> Option<TaskRef> {
     chosen
 }
 
-/// Alternatives for the chosen task: resource candidates (least-loaded
-/// first, rotated by the restart counter for diversity) when unassigned,
-/// otherwise the set-times split on the start.
+/// Alternatives for the chosen task, written into `out` (reusing its
+/// capacity): resource candidates (least-loaded first, rotated by the
+/// restart counter plus the per-worker rotation for diversity) when
+/// unassigned, otherwise the set-times split on the start.
 fn alternatives(
     model: &Model,
     dom: &Domains,
     task: TaskRef,
-    restart_no: u64,
+    rotation: u64,
     guide: Option<&Solution>,
-) -> Vec<Decision> {
+    scratch: &mut Scratch,
+    out: &mut Vec<Decision>,
+) {
+    out.clear();
     if dom.assigned(task).is_none() {
         // Load = number of tasks currently committed to each resource in
         // this kind's pool; prefer the least loaded.
         let kind = model.tasks[task.idx()].kind;
-        let mut load = vec![0u32; model.n_resources()];
+        let load = &mut scratch.load;
+        load.clear();
+        load.resize(model.n_resources(), 0u32);
         for i in 0..model.n_tasks() {
             if model.tasks[i].kind != kind {
                 continue;
@@ -441,13 +613,16 @@ fn alternatives(
             }
         }
         let mask = dom.mask(task);
-        let mut rs: Vec<ResRef> = (0..model.n_resources() as u32)
-            .map(ResRef)
-            .filter(|r| mask & (1u128 << r.idx()) != 0)
-            .collect();
+        let rs = &mut scratch.rs;
+        rs.clear();
+        rs.extend(
+            (0..model.n_resources() as u32)
+                .map(ResRef)
+                .filter(|r| mask & (1u128 << r.idx()) != 0),
+        );
         rs.sort_by_key(|r| (load[r.idx()], r.idx()));
-        if restart_no > 0 && rs.len() > 1 {
-            let k = (restart_no as usize) % rs.len();
+        if rotation > 0 && rs.len() > 1 {
+            let k = (rotation as usize) % rs.len();
             rs.rotate_left(k);
         }
         // Solution-guided: the incumbent's choice for this task leads.
@@ -457,13 +632,11 @@ fn alternatives(
                 rs[..=pos].rotate_right(1);
             }
         }
-        rs.into_iter().map(|r| Decision::Assign(task, r)).collect()
+        out.extend(rs.iter().map(|&r| Decision::Assign(task, r)));
     } else {
         let lb = dom.lb(task);
-        vec![
-            Decision::StartEq(task, lb),
-            Decision::StartGeq(task, lb + 1),
-        ]
+        out.push(Decision::StartEq(task, lb));
+        out.push(Decision::StartGeq(task, lb + 1));
     }
 }
 
@@ -627,7 +800,7 @@ mod tests {
     }
 
     /// A zero time limit must stop the search at the first cadence check
-    /// even though nodes advance by irregular strides (a `% 128 == 0` gate
+    /// even though nodes advance by irregular strides (a `% k == 0` gate
     /// could be stepped over forever).
     #[test]
     fn zero_time_limit_stops_promptly() {
@@ -651,7 +824,7 @@ mod tests {
         assert_eq!(out.status, Status::Unknown);
         assert!(out.best.is_none());
         assert!(
-            out.stats.nodes <= 128,
+            out.stats.nodes <= CHECK_STRIDE,
             "search ran {} nodes past an already-expired deadline",
             out.stats.nodes
         );

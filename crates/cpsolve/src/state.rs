@@ -260,11 +260,31 @@ impl Domains {
     }
 
     /// Drain the tasks dirtied since the last drain.
+    ///
+    /// Allocates fresh queues; the search hot path uses
+    /// [`drain_dirty_into`](Self::drain_dirty_into) instead, which reuses
+    /// caller-owned buffers.
     pub fn drain_dirty(&mut self) -> (Vec<TaskRef>, Vec<JobRef>) {
         (
             std::mem::take(&mut self.dirty_tasks),
             std::mem::take(&mut self.dirty_jobs),
         )
+    }
+
+    /// Drain the dirty queues into caller-owned buffers (cleared first).
+    /// Both the internal queues and the output buffers keep their
+    /// capacity, so steady-state propagation performs no allocation.
+    pub fn drain_dirty_into(&mut self, tasks: &mut Vec<TaskRef>, jobs: &mut Vec<JobRef>) {
+        tasks.clear();
+        jobs.clear();
+        tasks.append(&mut self.dirty_tasks);
+        jobs.append(&mut self.dirty_jobs);
+    }
+
+    /// Discard pending dirty entries in place, keeping queue capacity.
+    pub fn clear_dirty(&mut self) {
+        self.dirty_tasks.clear();
+        self.dirty_jobs.clear();
     }
 
     /// True when nothing is pending in the dirty queues.

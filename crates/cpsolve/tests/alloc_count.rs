@@ -1,0 +1,89 @@
+//! Steady-state search must not allocate per node.
+//!
+//! A counting global allocator wraps `System`; we run the same model twice
+//! with different node limits and require the allocation delta to be far
+//! smaller than the node delta. Frame/alternative/scratch buffers are
+//! reused after warm-up, so extra nodes should be (nearly) free.
+//!
+//! This lives in its own integration-test binary because the global
+//! allocator is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cpsolve::model::{Model, ModelBuilder, SlotKind};
+use cpsolve::search::{solve, SolveParams};
+
+struct Counting;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+/// A contended instance that forces real search (tight deadlines, shared
+/// resources) so the node limits below are actually reached.
+fn contended_model() -> Model {
+    let mut b = ModelBuilder::new();
+    b.add_resource(2, 1);
+    b.add_resource(1, 1);
+    for j in 0..8i64 {
+        let job = b.add_job(j % 3, 14 + (j * 7) % 11);
+        for k in 0..3 {
+            b.add_task(job, SlotKind::Map, 3 + (j + k) % 4, 1);
+        }
+        b.add_task(job, SlotKind::Reduce, 2 + j % 3, 1);
+    }
+    b.set_horizon(400);
+    b.build().unwrap()
+}
+
+fn run(node_limit: u64) -> (usize, u64) {
+    let model = contended_model();
+    let params = SolveParams {
+        node_limit,
+        warm_start: false,
+        restarts: None,
+        ..Default::default()
+    };
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = solve(&model, &params);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (after - before, out.stats.nodes)
+}
+
+#[test]
+fn search_does_not_allocate_per_node() {
+    // Warm up once so one-time lazies (fmt machinery, etc.) don't skew run 1.
+    run(64);
+
+    let (small_allocs, small_nodes) = run(200);
+    let (large_allocs, large_nodes) = run(3000);
+
+    let extra_nodes = large_nodes.saturating_sub(small_nodes);
+    assert!(
+        extra_nodes >= 1000,
+        "instance too easy to exercise the limits: {small_nodes} vs {large_nodes} nodes"
+    );
+
+    let extra_allocs = large_allocs.saturating_sub(small_allocs) as u64;
+    assert!(
+        extra_allocs < extra_nodes / 4,
+        "search allocates per node: {extra_allocs} extra allocations \
+         over {extra_nodes} extra nodes"
+    );
+}

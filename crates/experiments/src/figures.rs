@@ -106,6 +106,12 @@ pub fn all_figures() -> Vec<Figure> {
             run: run_overload_sweep,
         },
         Figure {
+            name: "workers",
+            title: "Extra: portfolio workers sweep — per-round parallel CP search (K = 1, 2, 4)",
+            expectation: "not in the paper — more workers never worsen P at equal budget; O stays near-flat (workers share one wall-clock budget)",
+            run: run_workers_sweep,
+        },
+        Figure {
             name: "ablations",
             title: "Extra: MRCP-RM design ablations (split §V.D, deferral §V.E, orderings, adaptive budget)",
             expectation: "split cuts O at equal P; deferral cuts O when p > 0; orderings tie (paper §VI.B); adaptive budget caps O growth",
@@ -142,6 +148,7 @@ fn mrcp_sim_config(scale: &Scale, jobs: usize) -> SimConfig {
                 time_limit_ms: Some(scale.solver_time_ms),
                 adaptive: None,
                 warm_start: true,
+                workers: 1,
             },
             ..Default::default()
         },
@@ -332,6 +339,40 @@ fn synth_sweep(
         name: name.into(),
         title: title.into(),
         expectation: expectation.into(),
+        points,
+    }
+}
+
+/// Portfolio-worker sweep: the same Table 3 workload scheduled with
+/// K ∈ {1, 2, 4} diversified CP workers per round.
+fn run_workers_sweep(scale: &Scale, seed: u64) -> FigureResult {
+    let cfg = capped(SyntheticConfig::default(), scale);
+    let mut points = Vec::new();
+    for &k in &[1usize, 2, 4] {
+        let agg: MetricAgg = replicate(scale, |rep| {
+            let jobs = synth_jobs(&cfg, scale, seed, rep);
+            let cluster = cfg.cluster();
+            let mut sim = mrcp_sim_config(scale, jobs.len());
+            sim.manager.budget.workers = k;
+            let m = simulate(&sim, &cluster, jobs);
+            Sample {
+                p_late: m.p_late,
+                n_late: m.late as f64,
+                turnaround_s: m.mean_turnaround_s,
+                overhead_s: m.o_per_job_s,
+                rejected_frac: turned_away(&m),
+            }
+        });
+        points.push(PointResult {
+            label: format!("K={k}"),
+            series: "MRCP-RM".into(),
+            agg,
+        });
+    }
+    FigureResult {
+        name: "workers".into(),
+        title: "Portfolio workers sweep".into(),
+        expectation: "more workers never worsen P at equal budget".into(),
         points,
     }
 }

@@ -32,12 +32,16 @@ use crate::admission::{
 use crate::defer::DeferPolicy;
 use crate::modelmap::{build_model, JobInput, MappedModel, TaskInput};
 use crate::ordering::JobOrdering;
-use crate::split::split_solve;
-use cpsolve::greedy::greedy_edf;
-use cpsolve::search::{solve, Outcome, SolveParams, SolveStats, Status};
+use crate::split::{split_solve_portfolio, RoundHints};
+use cpsolve::greedy::{greedy_edf, greedy_edf_with_hints, Hint};
+use cpsolve::model::ResRef;
+use cpsolve::portfolio::{solve_portfolio, PortfolioParams};
+use cpsolve::search::{Outcome, SolveParams, SolveStats, Status};
 use desim::SimTime;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 use workload::{Job, JobId, Resource, ResourceId, TaskId, TaskKind};
 
@@ -162,6 +166,10 @@ pub struct SolveBudget {
     /// configuration; turning it off exposes the `Unknown` degradation
     /// path for testing).
     pub warm_start: bool,
+    /// Parallel portfolio workers per solve (1 = the single-threaded
+    /// search; >1 spawns diversified workers sharing the incumbent bound,
+    /// see [`cpsolve::portfolio`]).
+    pub workers: usize,
 }
 
 impl Default for SolveBudget {
@@ -172,6 +180,7 @@ impl Default for SolveBudget {
             time_limit_ms: Some(200),
             adaptive: None,
             warm_start: true,
+            workers: 1,
         }
     }
 }
@@ -259,6 +268,11 @@ pub struct MrcpConfig {
     /// Overload protection: adaptive per-round budget controller
     /// (default: off — budgets stay at their configured values).
     pub controller: Option<BudgetController>,
+    /// Cross-round incremental reuse: cache the previous round's
+    /// placements and feed the surviving portion (unchanged jobs on an
+    /// unchanged resource pool) back as the next solve's warm start
+    /// (default on; off reproduces the paper's from-scratch rounds).
+    pub reuse_rounds: bool,
 }
 
 impl Default for MrcpConfig {
@@ -272,6 +286,7 @@ impl Default for MrcpConfig {
             retry_budget: 3,
             admission: AdmissionConfig::default(),
             controller: None,
+            reuse_rounds: true,
         }
     }
 }
@@ -322,6 +337,55 @@ struct JobState {
     remaining: usize,
 }
 
+/// Cross-round reuse state: the previous round's placements keyed by
+/// fingerprints of what produced them. A job whose fingerprint is
+/// unchanged under an unchanged resource pool gets its old placements
+/// replayed as warm-start hints; anything else re-solves from scratch.
+///
+/// Job releases are deliberately **excluded** from the fingerprint — they
+/// advance with `now` every round, so including them would invalidate the
+/// cache permanently. Staleness from advancing time is handled at replay:
+/// a hint whose start lies before this round's release is dropped by the
+/// hinted greedy, and the solver independently verifies the warm-start
+/// incumbent before using it.
+#[derive(Debug)]
+struct RoundCache {
+    /// Fingerprint of the up-resource pool the placements assume.
+    pool_fp: u64,
+    /// Per-job fingerprint (tasks, deadline, priority, pins) at solve time.
+    jobs: HashMap<JobId, u64>,
+    /// The installed placements of the previous round.
+    placements: HashMap<TaskId, (ResourceId, SimTime)>,
+}
+
+/// Fingerprint of the schedulable resource pool (ids + capacities).
+fn pool_fingerprint(up: &[Resource]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for r in up {
+        r.id.hash(&mut h);
+        r.map_capacity.hash(&mut h);
+        r.reduce_capacity.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprint of one job's model-relevant state (everything that shapes
+/// its part of the CP model except the release — see [`RoundCache`]).
+fn job_fingerprint(input: &JobInput<'_>) -> u64 {
+    let mut h = DefaultHasher::new();
+    input.job.id.hash(&mut h);
+    input.job.deadline.as_millis().hash(&mut h);
+    input.priority.hash(&mut h);
+    for t in &input.tasks {
+        t.id.hash(&mut h);
+        t.kind.hash(&mut h);
+        t.exec_time.as_millis().hash(&mut h);
+        t.req.hash(&mut h);
+        t.pinned.map(|(r, s)| (r, s.as_millis())).hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Aggregate manager statistics (drives the paper's `O` metric).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ManagerStats {
@@ -361,6 +425,11 @@ pub struct ManagerStats {
     pub budget_adaptations: u64,
     /// Longest single scheduling round observed.
     pub max_round_solve: Duration,
+    /// Rounds that reused at least one cached placement from the previous
+    /// round as warm start (cross-round incremental reuse).
+    pub warm_rounds: u64,
+    /// Round-cache invalidations from resource availability changes.
+    pub cache_invalidations: u64,
 }
 
 /// Completion record returned when a job's last task finishes.
@@ -482,6 +551,9 @@ pub struct MrcpRm {
     /// EWMA of recent round latencies (seconds), `None` before the first
     /// round.
     latency_ewma_s: Option<f64>,
+    /// Previous round's placements for cross-round reuse; `None` when
+    /// cold (first round, failed round, or invalidated).
+    cache: Option<RoundCache>,
     stats: ManagerStats,
 }
 
@@ -500,6 +572,7 @@ impl MrcpRm {
             last_error: None,
             budget_scale: 1.0,
             latency_ewma_s: None,
+            cache: None,
             stats: ManagerStats::default(),
         }
     }
@@ -1015,9 +1088,19 @@ impl MrcpRm {
             }
         }
         self.schedule.retain(|_, e| e.resource != rid);
+        self.invalidate_round_cache();
         interrupted.sort_unstable();
         self.stats.tasks_requeued += interrupted.len() as u64;
         Ok(interrupted)
+    }
+
+    /// Drop the cross-round cache (resource availability changed — the
+    /// pool fingerprint would reject it anyway, but dropping eagerly
+    /// keeps placements onto vanished resources out of the manager).
+    fn invalidate_round_cache(&mut self) {
+        if self.cache.take().is_some() {
+            self.stats.cache_invalidations += 1;
+        }
     }
 
     /// The host reports that a crashed resource recovered at `now`; it
@@ -1030,6 +1113,7 @@ impl MrcpRm {
         if !self.down.remove(&rid) {
             return Err(ManagerError::ResourceNotDown(rid));
         }
+        self.invalidate_round_cache();
         Ok(())
     }
 
@@ -1071,8 +1155,44 @@ impl MrcpRm {
         }
         let pressure = self.pressure_level();
 
+        // Cross-round reuse: replay the previous round's placements for
+        // jobs whose fingerprint is unchanged under the same resource
+        // pool. Pinned tasks are already constrained by the model and
+        // need no hint.
+        let pool_fp = pool_fingerprint(&up);
+        let job_fps: Vec<(JobId, u64)> = inputs
+            .iter()
+            .map(|i| (i.job.id, job_fingerprint(i)))
+            .collect();
+        let hints: Option<Vec<Option<(ResourceId, SimTime)>>> = if self.cfg.reuse_rounds {
+            self.cache
+                .as_ref()
+                .filter(|c| c.pool_fp == pool_fp)
+                .map(|c| {
+                    inputs
+                        .iter()
+                        .zip(&job_fps)
+                        .flat_map(|(inp, &(_, fp))| {
+                            let fresh = c.jobs.get(&inp.job.id) == Some(&fp);
+                            inp.tasks.iter().map(move |t| {
+                                if fresh && t.pinned.is_none() {
+                                    c.placements.get(&t.id).copied()
+                                } else {
+                                    None
+                                }
+                            })
+                        })
+                        .collect()
+                })
+        } else {
+            None
+        };
+        let warm = hints
+            .as_ref()
+            .is_some_and(|h| h.iter().any(|x| x.is_some()));
+
         let (placements, outcome, degraded) =
-            match Self::solve_round(&self.cfg, &up, &inputs, &params, pressure) {
+            match Self::solve_round(&self.cfg, &up, &inputs, &params, pressure, hints.as_deref()) {
                 Ok(round) => round,
                 Err(err) => {
                     // Every rung failed. Leave the work queued with no plan;
@@ -1086,9 +1206,22 @@ impl MrcpRm {
                     self.observe_round_latency(elapsed);
                     self.last_error = Some(err);
                     self.schedule.clear();
+                    self.cache = None;
                     return Vec::new();
                 }
             };
+
+        // Remember this round for the next one's warm start.
+        if self.cfg.reuse_rounds {
+            self.cache = Some(RoundCache {
+                pool_fp,
+                jobs: job_fps.iter().copied().collect(),
+                placements: placements.iter().map(|&(t, r, s)| (t, (r, s))).collect(),
+            });
+        }
+        if warm {
+            self.stats.warm_rounds += 1;
+        }
 
         // Install: entries for unstarted tasks only.
         drop(inputs);
@@ -1252,6 +1385,7 @@ impl MrcpRm {
         inputs: &[JobInput<'_>],
         params: &SolveParams,
         pressure: u8,
+        hints: Option<&RoundHints>,
     ) -> Result<RoundResult, SchedulingError> {
         let audit_ok = |placements: &[(TaskId, ResourceId, SimTime)]| -> Result<(), String> {
             if cfg.verify_schedules {
@@ -1260,12 +1394,17 @@ impl MrcpRm {
                 Ok(())
             }
         };
+        let pp = PortfolioParams {
+            base: params.clone(),
+            workers: cfg.budget.workers,
+            seed: 0,
+        };
 
         let mut degraded = false;
         // Rung 1: the §V.D split path, when configured and not under
         // maximum pressure.
         if cfg.use_split && pressure < 2 {
-            match split_solve(resources, inputs, params) {
+            match split_solve_portfolio(resources, inputs, &pp, hints) {
                 Ok(s) if audit_ok(&s.placements).is_ok() => {
                     return Ok((s.placements, s.outcome, false));
                 }
@@ -1291,7 +1430,26 @@ impl MrcpRm {
                 .collect::<Vec<_>>()
         };
         if pressure == 0 {
-            let out = solve(&mm.model, params);
+            let mut pp = pp.clone();
+            // Full model: hints carry the real resource assignment too.
+            if let Some(h) = hints {
+                let rindex: HashMap<ResourceId, u32> = mm
+                    .res_ids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| (r, i as u32))
+                    .collect();
+                let full: Vec<Hint> = h
+                    .iter()
+                    .map(|o| {
+                        o.and_then(|(r, s)| rindex.get(&r).map(|&i| (ResRef(i), s.as_millis())))
+                    })
+                    .collect();
+                if let Ok(sol) = greedy_edf_with_hints(&mm.model, &full) {
+                    pp.base.initial = Some(sol);
+                }
+            }
+            let out = solve_portfolio(&mm.model, &pp);
             if let Some(best) = out.best.as_ref() {
                 let placements = placements_of(&mm, best);
                 if audit_ok(&placements).is_ok() {
@@ -1644,6 +1802,7 @@ mod tests {
                 time_limit_ms: Some(0),
                 adaptive: None,
                 warm_start: false,
+                workers: 1,
             },
             ..Default::default()
         };
@@ -1677,6 +1836,7 @@ mod tests {
                 floor_nodes: 500,
             }),
             warm_start: true,
+            workers: 1,
         };
         // At or below the reference size: unscaled.
         assert_eq!(base.params_for(50).node_limit, 10_000);

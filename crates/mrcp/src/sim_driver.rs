@@ -160,6 +160,11 @@ pub struct RunMetrics {
     /// Longest single scheduling round, seconds (the overload figure's
     /// per-round latency bound).
     pub max_round_latency_s: f64,
+    /// Rounds warm-started from the previous round's cached placements
+    /// (cross-round incremental reuse).
+    pub warm_rounds: u64,
+    /// Round-cache invalidations (resource availability changes).
+    pub cache_invalidations: u64,
 }
 
 #[derive(Debug)]
@@ -627,6 +632,8 @@ pub fn simulate_detailed(
         late_due_to_faults,
         degraded_rounds: stats.degraded_rounds,
         failed_rounds: stats.failed_rounds,
+        warm_rounds: stats.warm_rounds,
+        cache_invalidations: stats.cache_invalidations,
         jobs_rejected: stats.jobs_rejected,
         jobs_renegotiated: stats.jobs_renegotiated,
         jobs_shed: stats.jobs_shed,

@@ -20,10 +20,17 @@
 //! because their starts lie in the past.
 
 use crate::modelmap::{build_combined_model, build_model, JobInput};
-use cpsolve::search::{solve, Outcome, SolveParams};
+use cpsolve::greedy::{greedy_edf_with_hints, Hint};
+use cpsolve::model::ResRef;
+use cpsolve::portfolio::{solve_portfolio, PortfolioParams};
+use cpsolve::search::{Outcome, SolveParams};
 use cpsolve::solution::Solution;
 use desim::SimTime;
 use workload::{Resource, ResourceId, TaskId, TaskKind};
+
+/// Previous-round placement suggestions, one per task in flattened
+/// `JobInput` order (see [`crate::manager`]'s round cache).
+pub type RoundHints = [Option<(ResourceId, SimTime)>];
 
 /// Result of the split solve: placements in workload terms.
 #[derive(Debug)]
@@ -52,8 +59,42 @@ pub fn split_solve(
     jobs: &[JobInput<'_>],
     params: &SolveParams,
 ) -> Result<SplitOutcome, String> {
+    split_solve_portfolio(resources, jobs, &PortfolioParams::single(params), None)
+}
+
+/// [`split_solve`] driven by the parallel portfolio, optionally seeded
+/// with the previous round's placements. The combined model has a single
+/// synthetic resource, so only the hinted start times carry over — a hint
+/// whose start is stale (before this round's release) falls back to the
+/// greedy heuristic inside [`greedy_edf_with_hints`].
+pub fn split_solve_portfolio(
+    resources: &[Resource],
+    jobs: &[JobInput<'_>],
+    pp: &PortfolioParams,
+    hints: Option<&RoundHints>,
+) -> Result<SplitOutcome, String> {
     let mm = build_combined_model(resources, jobs)?;
-    let outcome = solve(&mm.model, params);
+    let mut pp = pp.clone();
+    if let Some(h) = hints {
+        debug_assert_eq!(h.len(), mm.task_ids.len());
+        let combined: Vec<Hint> = h
+            .iter()
+            .map(|o| o.map(|(_, s)| (ResRef(0), s.as_millis())))
+            .collect();
+        if let Ok(sol) = greedy_edf_with_hints(&mm.model, &combined) {
+            // The hinted schedule replays the surviving part of the last
+            // round; the portfolio improves on it from the first node.
+            if pp
+                .base
+                .initial
+                .as_ref()
+                .is_none_or(|cur| sol.objective < cur.objective)
+            {
+                pp.base.initial = Some(sol);
+            }
+        }
+    }
+    let outcome = solve_portfolio(&mm.model, &pp);
     let best: &Solution = outcome
         .best
         .as_ref()

@@ -173,6 +173,7 @@ fn forced_unknown_solver_outcome_degrades_gracefully() {
             time_limit_ms: Some(0),
             adaptive: None,
             warm_start: false,
+            workers: 1,
         },
         ..Default::default()
     };

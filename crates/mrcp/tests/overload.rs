@@ -45,6 +45,7 @@ fn protected(policy: AdmissionPolicy, max_pending: usize) -> SimConfig {
         time_limit_ms: Some(50),
         adaptive: None,
         warm_start: true,
+        workers: 1,
     };
     cfg.manager.admission = AdmissionConfig {
         policy,

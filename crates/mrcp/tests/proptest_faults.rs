@@ -113,6 +113,7 @@ fn sim_config(faults: FaultConfig, fault_seed: u64) -> SimConfig {
             time_limit_ms: Some(50),
             adaptive: None,
             warm_start: true,
+            workers: 1,
         },
         ..Default::default()
     };

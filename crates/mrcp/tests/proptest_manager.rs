@@ -82,6 +82,7 @@ fn audited_config() -> SimConfig {
             time_limit_ms: Some(50),
             adaptive: None,
             warm_start: true,
+            workers: 1,
         },
         ..Default::default()
     };

@@ -157,6 +157,19 @@ macro_rules! uint_impls {
 }
 uint_impls!(u64, usize);
 
+// Identity impls: a hand-built `Value` tree serializes as itself, so code
+// can assemble ad-hoc JSON documents without a dedicated struct.
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! float_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
