@@ -14,7 +14,10 @@
 //! Usage: `cargo run --release -p bench --bin bench_json -- [--smoke] [--out PATH]`
 //!
 //! `--smoke` shrinks sizes/reps for CI; timing numbers are then meaningless
-//! but the JSON shape is identical, which is what the CI step checks.
+//! but the JSON shape is identical (checked by CI) and the `sizes` section
+//! keeps the full rep count so its nodes_p50 stays comparable with the
+//! committed full run (CI's regression guard — node counts, unlike
+//! latencies, travel across machines).
 
 use std::time::Instant;
 
@@ -67,13 +70,16 @@ fn solver_params() -> SolveParams {
     }
 }
 
-/// Per-size single-threaded latency/nodes distribution.
+/// Per-size single-threaded latency/nodes distribution, plus the
+/// per-propagator-class counters summed over reps (runs / prunings /
+/// conflicts / time — the observability surface of the tiered engine).
 fn bench_sizes(sizes: &[usize], reps: u64) -> Value {
     let params = solver_params();
     let mut out = Vec::new();
     for &n in sizes {
         let mut lat_us: Vec<u64> = Vec::new();
         let mut nodes: Vec<u64> = Vec::new();
+        let mut by_class = [cpsolve::PropClassStats::default(); cpsolve::N_PROP_CLASSES];
         for rep in 0..reps {
             let (cluster, jobs) = batch_scenario(n, 7 * rep + 1);
             let ji = job_inputs(&jobs);
@@ -82,9 +88,29 @@ fn bench_sizes(sizes: &[usize], reps: u64) -> Value {
             let o = solve(&mm.model, &params);
             lat_us.push(t0.elapsed().as_micros() as u64);
             nodes.push(o.stats.nodes);
+            for (acc, c) in by_class.iter_mut().zip(o.stats.by_class.iter()) {
+                acc.merge(c);
+            }
         }
         lat_us.sort_unstable();
         nodes.sort_unstable();
+        let classes = Value::Map(
+            cpsolve::PROP_CLASSES
+                .iter()
+                .map(|&c| {
+                    let s = by_class[c.idx()];
+                    (
+                        c.name().into(),
+                        Value::Map(vec![
+                            ("runs".into(), Value::UInt(s.runs)),
+                            ("prunings".into(), Value::UInt(s.prunings)),
+                            ("conflicts".into(), Value::UInt(s.conflicts)),
+                            ("time_us".into(), Value::UInt(s.time_us)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         out.push(Value::Map(vec![
             ("n_jobs".into(), Value::UInt(n as u64)),
             ("reps".into(), Value::UInt(reps)),
@@ -92,6 +118,7 @@ fn bench_sizes(sizes: &[usize], reps: u64) -> Value {
             ("p95_us".into(), Value::UInt(quantile(&lat_us, 0.95))),
             ("nodes_p50".into(), Value::UInt(quantile(&nodes, 0.5))),
             ("nodes_p95".into(), Value::UInt(quantile(&nodes, 0.95))),
+            ("by_class".into(), classes),
         ]));
     }
     Value::Seq(out)
@@ -218,7 +245,15 @@ fn main() {
         }
     }
 
-    let (sizes, reps): (&[usize], u64) = if smoke { (&[5], 3) } else { (&[5, 15, 30], 15) };
+    // Smoke trims the sizes and the portfolio/rounds reps, but keeps the
+    // full rep count for `sizes`: CI compares its nodes_p50 against the
+    // committed full run, and medians are only comparable when the seed
+    // set matches (the n=5 distribution is bimodal — root-solved or cap).
+    let (sizes, size_reps, reps): (&[usize], u64, u64) = if smoke {
+        (&[5], 15, 3)
+    } else {
+        (&[5, 15, 30], 15, 15)
+    };
     let top = *sizes.last().unwrap();
 
     eprintln!(
@@ -228,7 +263,7 @@ fn main() {
     let doc = Value::Map(vec![
         ("schema".into(), Value::Str("bench_solver/v1".into())),
         ("smoke".into(), Value::Bool(smoke)),
-        ("sizes".into(), bench_sizes(sizes, reps)),
+        ("sizes".into(), bench_sizes(sizes, size_reps)),
         ("portfolio".into(), bench_portfolio(top, reps)),
         ("rounds".into(), bench_rounds(top, reps)),
     ]);

@@ -58,5 +58,6 @@ pub mod state;
 
 pub use model::{JobRef, Model, ModelBuilder, ResRef, SlotKind, TaskRef};
 pub use portfolio::{solve_portfolio, PortfolioParams};
+pub use props::{PropClass, PropClassStats, N_PROP_CLASSES, PROP_CLASSES};
 pub use search::{solve, Branching, Outcome, SolveParams, SolveStats, Status};
 pub use solution::Solution;

@@ -67,8 +67,9 @@ impl PortfolioParams {
 /// portfolio can never do worse than `solve` on the same budget. Workers
 /// 1.. drop the greedy warm start (they inherit its objective through the
 /// shared bound within the first check stride anyway) and cycle through
-/// restart-heavy, EDF-branching, and unguided variants, each with a
-/// distinct value-ordering rotation.
+/// restart-heavy, EDF-branching, conflict-guided (weighted-degree and
+/// last-conflict), and unguided variants, each with a distinct
+/// value-ordering rotation.
 fn worker_params(params: &PortfolioParams, w: usize) -> SolveParams {
     let mut wp = params.base.clone();
     if w == 0 {
@@ -76,7 +77,7 @@ fn worker_params(params: &PortfolioParams, w: usize) -> SolveParams {
     }
     wp.warm_start = false;
     wp.value_rotation = params.seed.wrapping_add(w as u64);
-    match w % 4 {
+    match w % 6 {
         1 => {
             wp.restarts = Some(32);
         }
@@ -86,6 +87,15 @@ fn worker_params(params: &PortfolioParams, w: usize) -> SolveParams {
         3 => {
             wp.solution_guided = false;
             wp.restarts = Some(128);
+        }
+        4 => {
+            // Weighted-degree pairs naturally with restarts: weights learned
+            // in one dive redirect the next.
+            wp.branching = crate::search::Branching::WeightedDegree;
+            wp.restarts = Some(64);
+        }
+        5 => {
+            wp.branching = crate::search::Branching::LastConflict;
         }
         _ => {} // rotation-only variant
     }
@@ -137,6 +147,9 @@ fn merge(outcomes: Vec<Outcome>, t0: std::time::Instant) -> Outcome {
         stats.restarts += out.stats.restarts;
         stats.propagations += out.stats.propagations;
         stats.prunings += out.stats.prunings;
+        for (acc, c) in stats.by_class.iter_mut().zip(out.stats.by_class.iter()) {
+            acc.merge(c);
+        }
         any_solution |= out.best.is_some();
         any_exhausted |= matches!(out.status, Status::Optimal | Status::Infeasible);
     }
@@ -259,5 +272,19 @@ mod tests {
         assert!(!w1.warm_start && !w2.warm_start);
         assert_ne!(w1.value_rotation, w2.value_rotation);
         assert_eq!(w2.branching, crate::search::Branching::Edf);
+    }
+
+    #[test]
+    fn conflict_guided_workers_join_the_mix() {
+        let params = PortfolioParams {
+            base: SolveParams::default(),
+            workers: 8,
+            seed: 0,
+        };
+        let w4 = worker_params(&params, 4);
+        assert_eq!(w4.branching, crate::search::Branching::WeightedDegree);
+        assert_eq!(w4.restarts, Some(64));
+        let w5 = worker_params(&params, 5);
+        assert_eq!(w5.branching, crate::search::Branching::LastConflict);
     }
 }

@@ -1,7 +1,7 @@
 //! Precedence propagation: the map→reduce phase barrier (paper constraint 3)
 //! and generic pairwise task precedences.
 
-use super::{Ctx, Propagator};
+use super::{Ctx, PropClass, Propagator};
 use crate::model::{JobRef, Model, TaskRef};
 use crate::state::Conflict;
 
@@ -60,6 +60,10 @@ impl Propagator for PhaseBarrier {
     fn watched_tasks(&self, model: &Model) -> Vec<TaskRef> {
         model.tasks_of(self.job).collect()
     }
+
+    fn class(&self) -> PropClass {
+        PropClass::Barrier
+    }
 }
 
 /// A user-specified precedence `before → after`:
@@ -91,6 +95,10 @@ impl Propagator for Precedence {
 
     fn watched_tasks(&self, _model: &Model) -> Vec<TaskRef> {
         vec![self.before, self.after]
+    }
+
+    fn class(&self) -> PropClass {
+        PropClass::Barrier
     }
 }
 

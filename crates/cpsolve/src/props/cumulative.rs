@@ -4,8 +4,8 @@
 //! like the paper's per-resource `cumulative` constraints built from `pulse`
 //! functions in OPL. The propagator:
 //!
-//! 1. builds the *mandatory-part profile* of tasks currently assigned to the
-//!    resource (a task assigned to `r` with start window `[lb, ub]` and
+//! 1. maintains the *mandatory-part profile* of tasks currently assigned to
+//!    the resource (a task assigned to `r` with start window `[lb, ub]` and
 //!    duration `e` certainly occupies `[ub, lb + e)` when that interval is
 //!    nonempty),
 //! 2. fails when the profile exceeds the pool capacity anywhere (overload),
@@ -15,8 +15,20 @@
 //! 4. implements the assignment side of the OPL `alternative`: a resource
 //!    with no feasible placement anywhere in a task's start window is
 //!    removed from the task's candidate set.
+//!
+//! The profile is **incremental**: along one search path (no backtracking
+//! between invocations, witnessed by [`crate::state::Domains::generation`])
+//! mandatory parts only *grow* — bounds tighten monotonically and an
+//! assignment to this resource is never undone without a pop — so the
+//! profile update for the tasks dirtied since the last call (witnessed by
+//! per-task change stamps) is a pure merge of added rectangles into the
+//! previous profile, O(changed + segments) instead of a full
+//! O(tasks log tasks) re-sort. Any backtrack, conflict mid-build, or
+//! (defensively, release only) invariant violation falls back to a scratch
+//! rebuild; debug builds cross-check every incremental profile against a
+//! scratch rebuild.
 
-use super::{Ctx, Propagator};
+use super::{Ctx, PropClass, Propagator};
 use crate::model::{Model, ResRef, SlotKind, TaskRef};
 use crate::state::Conflict;
 
@@ -28,6 +40,79 @@ struct Seg {
     height: i64,
 }
 
+/// The mandatory part of `t` on `res`, or `None`.
+#[inline]
+fn mandatory_part(ctx: &Ctx<'_>, t: TaskRef, res: ResRef) -> Option<(i64, i64)> {
+    if ctx.dom.assigned(t) != Some(res) {
+        return None;
+    }
+    let dur = ctx.model.tasks[t.idx()].dur;
+    let m_start = ctx.dom.ub(t);
+    let m_end = ctx.dom.lb(t) + dur;
+    (m_start < m_end).then_some((m_start, m_end))
+}
+
+/// Build the profile of `tasks`' mandatory parts from scratch into `segs`
+/// (canonical: adjacent segments always differ in height). `Err` on
+/// overload.
+fn profile_from_scratch(
+    ctx: &Ctx<'_>,
+    res: ResRef,
+    tasks: &[TaskRef],
+    events: &mut Vec<(i64, i64)>,
+    segs: &mut Vec<Seg>,
+    cap: i64,
+) -> Result<(), Conflict> {
+    events.clear();
+    for &t in tasks {
+        if let Some((m_start, m_end)) = mandatory_part(ctx, t, res) {
+            let req = ctx.model.tasks[t.idx()].req as i64;
+            events.push((m_start, req));
+            events.push((m_end, -req));
+        }
+    }
+    events.sort_unstable();
+    segs.clear();
+    let mut height = 0i64;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        let mut delta = 0;
+        while i < events.len() && events[i].0 == t {
+            delta += events[i].1;
+            i += 1;
+        }
+        if delta == 0 {
+            continue; // canonical form: no zero-width height transitions
+        }
+        height += delta;
+        if height > cap {
+            return Err(Conflict);
+        }
+        // Close the previous segment and open a new one when height > 0.
+        if let Some(last) = segs.last_mut() {
+            if last.end == i64::MAX {
+                last.end = t;
+                if last.start == last.end {
+                    segs.pop();
+                }
+            }
+        }
+        if height > 0 {
+            segs.push(Seg {
+                start: t,
+                end: i64::MAX,
+                height,
+            });
+        }
+    }
+    debug_assert!(
+        segs.last().is_none_or(|s| s.end != i64::MAX),
+        "profile must be closed (events balance)"
+    );
+    Ok(())
+}
+
 /// Timetable cumulative for one `(resource, kind)` slot pool.
 #[derive(Debug)]
 pub struct Cumulative {
@@ -35,10 +120,26 @@ pub struct Cumulative {
     kind: SlotKind,
     /// Tasks of this kind that may run on this resource (root candidates).
     tasks: Vec<TaskRef>,
-    /// Scratch: sweep events, reused across calls.
+    /// Scratch: sweep events (full rebuilds) / delta events (incremental).
     events: Vec<(i64, i64)>,
-    /// Scratch: profile segments with height > 0, sorted by start.
+    /// Profile segments with height > 0, sorted by start, canonical.
     segs: Vec<Seg>,
+    /// Cached mandatory part per pool task (`start >= end` = none), valid
+    /// for the profile in `segs`.
+    cached_mp: Vec<(i64, i64)>,
+    /// Per pool task: the domain change stamp the cache was computed at.
+    last_stamp: Vec<u64>,
+    /// Domains generation of the cached profile (backtrack witness).
+    last_gen: u64,
+    /// False until a profile build completes (forces a scratch rebuild).
+    valid: bool,
+    /// Scratch: the previous profile during an incremental merge.
+    old_segs: Vec<Seg>,
+    /// Scratch: from-scratch profile for the debug cross-check (unused in
+    /// release, but kept unconditionally so debug runs don't allocate per
+    /// propagation — see tests/alloc_count.rs).
+    #[allow(dead_code)]
+    check_segs: Vec<Seg>,
 }
 
 impl Cumulative {
@@ -53,49 +154,96 @@ impl Cumulative {
         if tasks.is_empty() {
             return None;
         }
+        let n = tasks.len();
         Some(Cumulative {
             res,
             kind,
             tasks,
             events: Vec::new(),
             segs: Vec::new(),
+            cached_mp: vec![(0, 0); n],
+            last_stamp: vec![0; n],
+            last_gen: 0,
+            valid: false,
+            old_segs: Vec::new(),
+            check_segs: Vec::new(),
         })
     }
 
-    /// Rebuild the mandatory-part profile. Returns `Err` on overload.
-    fn build_profile(&mut self, ctx: &Ctx<'_>, cap: i64) -> Result<(), Conflict> {
-        self.events.clear();
-        for &t in &self.tasks {
-            if ctx.dom.assigned(t) != Some(self.res) {
+    /// Scratch rebuild: refresh the per-task cache and the whole profile.
+    fn rebuild_full(&mut self, ctx: &Ctx<'_>, cap: i64, gen: u64) -> Result<(), Conflict> {
+        self.valid = false;
+        for (i, &t) in self.tasks.iter().enumerate() {
+            self.last_stamp[i] = ctx.dom.task_stamp(t);
+            self.cached_mp[i] = mandatory_part(ctx, t, self.res).unwrap_or((0, 0));
+        }
+        profile_from_scratch(
+            ctx,
+            self.res,
+            &self.tasks,
+            &mut self.events,
+            &mut self.segs,
+            cap,
+        )?;
+        self.last_gen = gen;
+        self.valid = true;
+        Ok(())
+    }
+
+    /// Merge the sorted delta events in `self.events` (grown mandatory-part
+    /// rectangles) into the previous profile. `Err` on overload.
+    fn merge_delta(&mut self, cap: i64) -> Result<(), Conflict> {
+        std::mem::swap(&mut self.segs, &mut self.old_segs);
+        self.segs.clear();
+        // Two sorted event streams: the old profile's boundaries (a segment
+        // contributes `+height` at `start`, `-height` at `end`; the
+        // interleaved walk is time-ordered because segments are disjoint
+        // and ordered) and the delta events.
+        let mut di = 0;
+        let mut oi = 0;
+        let mut o_open = false; // old_segs[oi]'s start already consumed
+        let mut height = 0i64;
+        loop {
+            let o_t = (oi < self.old_segs.len()).then(|| {
+                let s = &self.old_segs[oi];
+                if o_open {
+                    s.end
+                } else {
+                    s.start
+                }
+            });
+            let d_t = (di < self.events.len()).then(|| self.events[di].0);
+            let t = match (o_t, d_t) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            let mut delta = 0i64;
+            while oi < self.old_segs.len() {
+                let s = self.old_segs[oi];
+                if !o_open && s.start == t {
+                    delta += s.height;
+                    o_open = true;
+                } else if o_open && s.end == t {
+                    delta -= s.height;
+                    o_open = false;
+                    oi += 1;
+                } else {
+                    break;
+                }
+            }
+            while di < self.events.len() && self.events[di].0 == t {
+                delta += self.events[di].1;
+                di += 1;
+            }
+            if delta == 0 {
                 continue;
             }
-            let spec = &ctx.model.tasks[t.idx()];
-            let lb = ctx.dom.lb(t);
-            let ub = ctx.dom.ub(t);
-            let m_start = ub;
-            let m_end = lb + spec.dur;
-            if m_start < m_end {
-                self.events.push((m_start, spec.req as i64));
-                self.events.push((m_end, -(spec.req as i64)));
-            }
-        }
-        self.events.sort_unstable();
-        self.segs.clear();
-        let mut height = 0i64;
-        let mut i = 0;
-        while i < self.events.len() {
-            let t = self.events[i].0;
-            let mut delta = 0;
-            while i < self.events.len() && self.events[i].0 == t {
-                delta += self.events[i].1;
-                i += 1;
-            }
-            let prev_height = height;
             height += delta;
             if height > cap {
                 return Err(Conflict);
             }
-            // Close the previous segment and open a new one when height > 0.
             if let Some(last) = self.segs.last_mut() {
                 if last.end == i64::MAX {
                     last.end = t;
@@ -104,7 +252,6 @@ impl Cumulative {
                     }
                 }
             }
-            let _ = prev_height;
             if height > 0 {
                 self.segs.push(Seg {
                     start: t,
@@ -115,8 +262,98 @@ impl Cumulative {
         }
         debug_assert!(
             self.segs.last().is_none_or(|s| s.end != i64::MAX),
-            "profile must be closed (events balance)"
+            "merged profile must be closed"
         );
+        Ok(())
+    }
+
+    /// Bring the mandatory-part profile up to date. Returns `Err` on
+    /// overload. Incremental along an unbroken search path, scratch rebuild
+    /// otherwise.
+    fn build_profile(&mut self, ctx: &Ctx<'_>, cap: i64) -> Result<(), Conflict> {
+        let gen = ctx.dom.generation();
+        if !self.valid || gen != self.last_gen {
+            return self.rebuild_full(ctx, cap, gen);
+        }
+        // Delta collection: along one path mandatory parts only grow, so
+        // every change is an added rectangle.
+        self.events.clear();
+        let mut changed = false;
+        for i in 0..self.tasks.len() {
+            let t = self.tasks[i];
+            let stamp = ctx.dom.task_stamp(t);
+            if stamp == self.last_stamp[i] {
+                continue;
+            }
+            self.last_stamp[i] = stamp;
+            let (os, oe) = self.cached_mp[i];
+            let old_some = os < oe;
+            match mandatory_part(ctx, t, self.res) {
+                None => {
+                    if old_some {
+                        // A part vanished without a backtrack: impossible by
+                        // the monotonicity argument; rebuild defensively.
+                        debug_assert!(false, "mandatory part shrank on one search path");
+                        return self.rebuild_full(ctx, cap, gen);
+                    }
+                }
+                Some((ns, ne)) => {
+                    let req = ctx.model.tasks[t.idx()].req as i64;
+                    if old_some {
+                        if ns > os || ne < oe {
+                            debug_assert!(false, "mandatory part shrank on one search path");
+                            return self.rebuild_full(ctx, cap, gen);
+                        }
+                        if ns < os {
+                            self.events.push((ns, req));
+                            self.events.push((os, -req));
+                            changed = true;
+                        }
+                        if ne > oe {
+                            self.events.push((oe, req));
+                            self.events.push((ne, -req));
+                            changed = true;
+                        }
+                    } else {
+                        self.events.push((ns, req));
+                        self.events.push((ne, -req));
+                        changed = true;
+                    }
+                    self.cached_mp[i] = (ns, ne);
+                }
+            }
+        }
+        let merged = if changed {
+            self.valid = false; // not valid again until the merge completes
+            self.events.sort_unstable();
+            self.merge_delta(cap)
+        } else {
+            Ok(())
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut check = std::mem::take(&mut self.check_segs);
+            let scratch = profile_from_scratch(
+                ctx,
+                self.res,
+                &self.tasks,
+                &mut self.events,
+                &mut check,
+                cap,
+            );
+            match (&merged, &scratch) {
+                (Ok(()), Ok(())) => debug_assert_eq!(
+                    self.segs, check,
+                    "incremental profile diverged from scratch rebuild"
+                ),
+                (Err(_), Err(_)) => {}
+                (Ok(()), Err(_)) => panic!("incremental profile missed an overload"),
+                (Err(_), Ok(())) => panic!("incremental profile fabricated an overload"),
+            }
+            self.check_segs = check;
+        }
+        merged?;
+        self.valid = true;
         Ok(())
     }
 
@@ -274,6 +511,10 @@ impl Propagator for Cumulative {
     fn watched_tasks(&self, _model: &Model) -> Vec<TaskRef> {
         self.tasks.clone()
     }
+
+    fn class(&self) -> PropClass {
+        PropClass::Timetable
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +522,149 @@ mod tests {
     use super::*;
     use crate::model::{JobRef, ModelBuilder, SlotKind};
     use crate::state::Domains;
+
+    /// The incremental path (same generation, dirtied tasks) grows the
+    /// profile rectangle by rectangle; the debug cross-check inside
+    /// `build_profile` compares every step against a scratch rebuild.
+    #[test]
+    fn incremental_profile_tracks_growing_parts() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(2, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1);
+        let t1 = b.add_task(j, SlotKind::Map, 10, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        {
+            let mut ctx = Ctx {
+                model: &m,
+                dom: &mut d,
+                bound: u32::MAX,
+            };
+            c.propagate(&mut ctx).unwrap();
+        }
+        assert!(c.segs.is_empty());
+        d.fix_start(t0, 0).unwrap(); // part [0, 10)
+        {
+            let mut ctx = Ctx {
+                model: &m,
+                dom: &mut d,
+                bound: u32::MAX,
+            };
+            c.propagate(&mut ctx).unwrap();
+        }
+        assert_eq!(
+            c.segs,
+            vec![Seg {
+                start: 0,
+                end: 10,
+                height: 1
+            }]
+        );
+        d.set_ub(t1, 5).unwrap(); // part [5, 10)
+        {
+            let mut ctx = Ctx {
+                model: &m,
+                dom: &mut d,
+                bound: u32::MAX,
+            };
+            c.propagate(&mut ctx).unwrap();
+        }
+        assert_eq!(
+            c.segs,
+            vec![
+                Seg {
+                    start: 0,
+                    end: 5,
+                    height: 1
+                },
+                Seg {
+                    start: 5,
+                    end: 10,
+                    height: 2
+                },
+            ]
+        );
+    }
+
+    /// An overload introduced between calls on one search path is caught by
+    /// the incremental merge itself.
+    #[test]
+    fn incremental_merge_detects_overload() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1);
+        let t1 = b.add_task(j, SlotKind::Map, 10, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        {
+            let mut ctx = Ctx {
+                model: &m,
+                dom: &mut d,
+                bound: u32::MAX,
+            };
+            c.propagate(&mut ctx).unwrap();
+        }
+        // Same path: both parts appear at once and overlap on [5, 10).
+        d.set_ub(t0, 2).unwrap(); // part [2, 10)
+        d.set_ub(t1, 5).unwrap(); // part [5, 10)
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        assert!(c.propagate(&mut ctx).is_err());
+        // After the failed merge a later call must recover via rebuild.
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        assert!(c.propagate(&mut ctx).is_err(), "still overloaded");
+    }
+
+    /// Backtracking (generation change) falls back to a scratch rebuild
+    /// that reflects the restored domains.
+    #[test]
+    fn incremental_profile_survives_backtracking() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        let j = b.add_job(0, 1000);
+        let t0 = b.add_task(j, SlotKind::Map, 10, 1);
+        let t1 = b.add_task(j, SlotKind::Map, 10, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        let mut c = Cumulative::new(&m, ResRef(0), SlotKind::Map).unwrap();
+        d.push_level();
+        d.fix_start(t0, 0).unwrap();
+        {
+            let mut ctx = Ctx {
+                model: &m,
+                dom: &mut d,
+                bound: u32::MAX,
+            };
+            c.propagate(&mut ctx).unwrap();
+            assert_eq!(ctx.dom.lb(t1), 10);
+        }
+        d.pop_level();
+        // After the pop the part is gone; a fresh propagate must see the
+        // empty profile (scratch rebuild) and leave t1 unconstrained.
+        d.clear_dirty();
+        let mut ctx = Ctx {
+            model: &m,
+            dom: &mut d,
+            bound: u32::MAX,
+        };
+        c.propagate(&mut ctx).unwrap();
+        assert_eq!(ctx.dom.lb(t1), 0);
+        assert!(c.segs.is_empty());
+    }
 
     /// One 1-map-slot resource, two 10-long maps: once one is placed at 0,
     /// the other's lb must move to its end.

@@ -1,0 +1,490 @@
+//! Θ-tree cumulative edge-finding per `(resource, kind)` slot pool.
+//!
+//! This is the solver's strong inference rung, replacing the capped
+//! O(n² log n) [`super::energy::EnergyCheck`] as the default. Per pool it
+//! runs two symmetric passes (the second on the time-reversed instance so
+//! the same code filters upper bounds):
+//!
+//! 1. **Overload check** (Vilím-style, O(n log n)): sweep tasks in
+//!    ascending latest-completion-time order, inserting assigned tasks into
+//!    the Θ-tree; if the energy envelope ever exceeds `C · lct`, the node
+//!    is infeasible. Candidate (not-yet-assigned) tasks ride along as
+//!    *gray* Λ-entries: a gray whose addition alone overloads the pool can
+//!    never execute here, so the resource leaves its candidate set — the
+//!    assignment side of the OPL `alternative`, with energy reasoning.
+//! 2. **Edge-finding detection**: sweep distinct lct levels `L` descending,
+//!    Θ = assigned tasks with `lct ≤ L`, Λ = assigned tasks with
+//!    `lct > L` plus surviving candidates. While `Env(Θ ∪ {g}) > C·L` for
+//!    some gray `g`, every schedule has `g` ending after `L` (the Θ-tasks'
+//!    energy is mandatory in `[est, L]`), which yields a start bound for
+//!    `g` on this pool:
+//!    * the interval rule `s_g ≥ L + 1 − dur_g`, and
+//!    * the energy rule: for an est-cut `a` of Θ, if the computed
+//!      `ceil((C·a + e_Θ(a) − (C − c_g)·L) / c_g)` exceeds `a`, then `g`
+//!      cannot start left of the cut and the value bounds `s_g` (an O(n)
+//!      reverse scan per detection; detections are rare, so the pass stays
+//!      O(n log n) in practice).
+//!
+//!    Assigned grays get the bound as a pending `lb` update; candidate
+//!    grays whose bound exceeds their start `ub` lose the resource.
+//!
+//! All buffers live on the propagator and are reused across invocations
+//! (see `tests/alloc_count.rs`).
+
+use super::theta::{ThetaTree, NEG};
+use super::{Ctx, PropClass, Propagator};
+use crate::model::{Model, ResRef, SlotKind, TaskRef};
+use crate::state::Conflict;
+
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    est: i64,
+    lct: i64,
+    dur: i64,
+    req: i64,
+    energy: i64,
+    assigned: bool,
+    task: TaskRef,
+}
+
+/// Edge-finding for one `(resource, kind)` slot pool.
+#[derive(Debug)]
+pub struct EdgeFinding {
+    res: ResRef,
+    kind: SlotKind,
+    /// Tasks of this kind that may ever use this resource.
+    tasks: Vec<TaskRef>,
+    /// Scratch: the active tasks this call (assigned or candidate).
+    items: Vec<Item>,
+    /// Scratch: item indices sorted by est — the Θ-tree leaf order.
+    order_est: Vec<u32>,
+    /// Scratch: item indices sorted by lct — the sweep order.
+    order_lct: Vec<u32>,
+    /// Scratch: item index → leaf position (est rank).
+    pos: Vec<u32>,
+    tree: ThetaTree,
+    /// Scratch: pending start lower bound per item (`NEG` = none).
+    new_lb: Vec<i64>,
+    /// Scratch: candidate items that must lose this resource.
+    drop_res: Vec<bool>,
+    /// Change-detection cache: the narrowing stamp of each pool task as of
+    /// the last full run (parallel to `tasks`).
+    last_stamp: Vec<u64>,
+    /// Trail generation of the last full run (stamps survive backtracking,
+    /// so a generation change alone must force a re-run).
+    last_gen: u64,
+    /// False until the first full run.
+    valid: bool,
+}
+
+impl EdgeFinding {
+    /// Propagator for the `kind` pool of `res`; `None` if no task can use it.
+    pub fn new(model: &Model, res: ResRef, kind: SlotKind) -> Option<Self> {
+        let bit = 1u128 << res.idx();
+        let tasks: Vec<TaskRef> = (0..model.n_tasks())
+            .map(|i| TaskRef(i as u32))
+            .filter(|&t| model.tasks[t.idx()].kind == kind && model.candidate_mask(t) & bit != 0)
+            .collect();
+        if tasks.is_empty() {
+            return None;
+        }
+        let n = tasks.len();
+        Some(EdgeFinding {
+            res,
+            kind,
+            tasks,
+            items: Vec::new(),
+            order_est: Vec::new(),
+            order_lct: Vec::new(),
+            pos: Vec::new(),
+            tree: ThetaTree::default(),
+            new_lb: Vec::new(),
+            drop_res: Vec::new(),
+            last_stamp: vec![0; n],
+            last_gen: 0,
+            valid: false,
+        })
+    }
+
+    /// True when some pool member narrowed since the last run on this
+    /// search path. Pool membership only shrinks within a trail generation
+    /// (masks only narrow) and every narrowing advances the owner's stamp,
+    /// so unchanged member stamps under an unchanged generation mean the
+    /// pool's inputs are bit-identical to the previous (already applied)
+    /// run. Refreshes the member stamps as it scans.
+    fn dirty_since_last_run(&mut self, ctx: &Ctx<'_>) -> bool {
+        let gen = ctx.dom.generation();
+        let mut changed = !self.valid || gen != self.last_gen;
+        for (i, &t) in self.tasks.iter().enumerate() {
+            if !ctx.dom.has_res(t, self.res) {
+                continue;
+            }
+            let s = ctx.dom.task_stamp(t);
+            if s != self.last_stamp[i] {
+                self.last_stamp[i] = s;
+                changed = true;
+            }
+        }
+        self.last_gen = gen;
+        self.valid = true;
+        changed
+    }
+
+    /// Gather the pool's active tasks; `mirror` time-reverses the instance
+    /// (`est' = −lct`, `lct' = −est`) so the forward pass filters ubs.
+    fn collect(&mut self, ctx: &Ctx<'_>, mirror: bool) {
+        self.items.clear();
+        for &t in &self.tasks {
+            if !ctx.dom.has_res(t, self.res) {
+                continue;
+            }
+            let spec = &ctx.model.tasks[t.idx()];
+            let (lb, ub) = (ctx.dom.lb(t), ctx.dom.ub(t));
+            let (est, lct) = if mirror {
+                (-(ub + spec.dur), -lb)
+            } else {
+                (lb, ub + spec.dur)
+            };
+            self.items.push(Item {
+                est,
+                lct,
+                dur: spec.dur,
+                req: spec.req as i64,
+                energy: spec.dur * spec.req as i64,
+                assigned: ctx.dom.assigned(t) == Some(self.res),
+                task: t,
+            });
+        }
+    }
+
+    /// Both sweeps over the current `items`, writing pending updates into
+    /// `new_lb` / `drop_res`.
+    fn run_pass(&mut self, cap: i64) -> Result<(), Conflict> {
+        let n = self.items.len();
+        self.new_lb.clear();
+        self.new_lb.resize(n, NEG);
+        self.drop_res.clear();
+        self.drop_res.resize(n, false);
+        if n == 0 {
+            return Ok(());
+        }
+        let items = &self.items;
+        self.order_est.clear();
+        self.order_est.extend(0..n as u32);
+        self.order_est
+            .sort_unstable_by_key(|&i| (items[i as usize].est, i));
+        self.order_lct.clear();
+        self.order_lct.extend(0..n as u32);
+        self.order_lct
+            .sort_unstable_by_key(|&i| (items[i as usize].lct, i));
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        for (p, &i) in self.order_est.iter().enumerate() {
+            self.pos[i as usize] = p as u32;
+        }
+
+        // Pass 1: overload check, ascending lct; candidates gray.
+        self.tree.reset(n);
+        for k in 0..n {
+            let i = self.order_lct[k] as usize;
+            let it = self.items[i];
+            let p = self.pos[i] as usize;
+            if it.assigned {
+                self.tree.set_theta(p, it.est, it.energy, cap);
+            } else {
+                self.tree.set_lambda(p, it.est, it.energy, cap);
+            }
+            let lim = cap * it.lct;
+            if self.tree.env() > lim {
+                return Err(Conflict);
+            }
+            // Every gray in the tree has lct ≤ it.lct (sweep order), so a
+            // gray pushing the envelope past the limit can never run here.
+            loop {
+                let (env_l, resp) = self.tree.env_lambda();
+                if env_l <= lim {
+                    break;
+                }
+                let Some(p_g) = resp else { break };
+                let g = self.order_est[p_g] as usize;
+                debug_assert!(!self.items[g].assigned);
+                self.drop_res[g] = true;
+                self.tree.remove(p_g);
+            }
+        }
+
+        // Pass 2: edge-finding detection, descending lct levels.
+        self.tree.reset(n);
+        for i in 0..n {
+            let it = self.items[i];
+            let p = self.pos[i] as usize;
+            if it.assigned {
+                self.tree.set_theta(p, it.est, it.energy, cap);
+            } else if !self.drop_res[i] {
+                self.tree.set_lambda(p, it.est, it.energy, cap);
+            }
+        }
+        let mut k = n;
+        while k > 0 {
+            // Demote the top lct group from Θ to Λ; the next distinct lct
+            // below becomes the detection level.
+            let l_top = self.items[self.order_lct[k - 1] as usize].lct;
+            while k > 0 && self.items[self.order_lct[k - 1] as usize].lct == l_top {
+                let i = self.order_lct[k - 1] as usize;
+                let it = self.items[i];
+                if it.assigned {
+                    self.tree
+                        .set_lambda(self.pos[i] as usize, it.est, it.energy, cap);
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                break;
+            }
+            let level = self.items[self.order_lct[k - 1] as usize].lct;
+            let lim = cap * level;
+            loop {
+                let (env_l, resp) = self.tree.env_lambda();
+                if env_l <= lim {
+                    break;
+                }
+                let Some(p_g) = resp else { break };
+                let g = self.order_est[p_g] as usize;
+                let v = self.update_bound(g, level, cap);
+                let it = self.items[g];
+                if it.assigned {
+                    if v > self.new_lb[g] {
+                        self.new_lb[g] = v;
+                    }
+                } else if v > it.lct - it.dur {
+                    // A candidate whose implied start exceeds its start ub
+                    // cannot execute on this resource.
+                    self.drop_res[g] = true;
+                }
+                self.tree.remove(p_g);
+            }
+        }
+        Ok(())
+    }
+
+    /// Start bound for detected gray `g` at detection level `level`:
+    /// max of the interval rule and the energy rule over all valid Θ-cuts.
+    fn update_bound(&self, g: usize, level: i64, cap: i64) -> i64 {
+        let it = &self.items[g];
+        let mut v = level + 1 - it.dur;
+        let rest = cap - it.req;
+        let mut e = 0i64;
+        // Reverse est order: `e` accumulates the energy of Θ-tasks with
+        // est ≥ a as the cut `a` walks left. Evaluating at every item is
+        // sound (a partial equal-est group under-counts `e`, weakening but
+        // never invalidating the bound; the last item of the group sees the
+        // full sum).
+        for idx in (0..self.order_est.len()).rev() {
+            let i = self.order_est[idx] as usize;
+            if i == g {
+                continue;
+            }
+            let o = &self.items[i];
+            if !o.assigned || o.lct > level {
+                continue;
+            }
+            e += o.energy;
+            let a = o.est;
+            let num = cap * a + e - rest * level;
+            if it.req > 0 && num > 0 {
+                let cand = num.div_euclid(it.req) + (num.rem_euclid(it.req) > 0) as i64;
+                // `ceil(x) > a ⟺ x > a` for integer `a`: only then is the
+                // cut binding (g cannot lie entirely left of it).
+                if cand > a && cand > v {
+                    v = cand;
+                }
+            }
+        }
+        v
+    }
+
+    /// Apply the pending updates computed by [`run_pass`](Self::run_pass).
+    fn apply(&mut self, ctx: &mut Ctx<'_>, mirror: bool) -> Result<(), Conflict> {
+        for i in 0..self.items.len() {
+            let it = self.items[i];
+            if self.drop_res[i] {
+                ctx.dom.remove_res(it.task, self.res)?;
+            } else if it.assigned && self.new_lb[i] > NEG {
+                if mirror {
+                    // s' ≥ v in reversed time ⟺ s ≤ −v − dur.
+                    ctx.dom.set_ub(it.task, -self.new_lb[i] - it.dur)?;
+                } else {
+                    ctx.dom.set_lb(it.task, self.new_lb[i])?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for EdgeFinding {
+    fn propagate(&mut self, ctx: &mut Ctx<'_>) -> Result<(), Conflict> {
+        // Skip-gate: the engine re-enqueues this propagator whenever ANY
+        // watched task narrows, which for unassigned tasks means every
+        // candidate pool — O(resources) enqueues per decision. Most of
+        // those see a pool whose members are untouched (the narrowed task
+        // left the pool, or belongs to another pool); an O(n) stamp scan
+        // detects that and avoids the O(n log n) passes.
+        if !self.dirty_since_last_run(ctx) {
+            return Ok(());
+        }
+        let cap = ctx.model.resources[self.res.idx()].cap(self.kind) as i64;
+        // Forward pass filters lbs; the mirrored pass re-reads the (possibly
+        // tightened) domains and filters ubs. On conflict, invalidate the
+        // stamp cache so a retry in an identical state re-detects it.
+        let result = (|| {
+            self.collect(ctx, false);
+            // Inert pool: with no assigned member Θ stays empty in both
+            // passes, so detection cannot fire, and the only remaining
+            // filter — dropping a gray that alone overloads its own window
+            // — needs req > cap. (Mirroring preserves membership, windows
+            // and assignment flags, so one check covers both passes.)
+            if self.items.iter().all(|it| !it.assigned && it.req <= cap) {
+                return Ok(());
+            }
+            self.run_pass(cap)?;
+            self.apply(ctx, false)?;
+            self.collect(ctx, true);
+            self.run_pass(cap)?;
+            self.apply(ctx, true)
+        })();
+        if result.is_err() {
+            self.valid = false;
+        }
+        result
+    }
+
+    fn watched_tasks(&self, _model: &Model) -> Vec<TaskRef> {
+        self.tasks.clone()
+    }
+
+    fn class(&self) -> PropClass {
+        PropClass::EdgeFinding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelBuilder, SlotKind};
+    use crate::state::Domains;
+
+    fn ef_ctx<'a>(m: &'a Model, d: &'a mut Domains) -> (EdgeFinding, Ctx<'a>) {
+        let ef = EdgeFinding::new(m, ResRef(0), SlotKind::Map).unwrap();
+        let ctx = Ctx {
+            model: m,
+            dom: d,
+            bound: u32::MAX,
+        };
+        (ef, ctx)
+    }
+
+    /// Three 2-long tasks confined to [0,5) on a 1-capacity pool: no
+    /// mandatory parts (timetable-blind), but 6 energy > 5 area.
+    #[test]
+    fn detects_energy_overload_without_mandatory_parts() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 0);
+        let j = b.add_job(0, 1000);
+        let ts: Vec<_> = (0..3).map(|_| b.add_task(j, SlotKind::Map, 2, 1)).collect();
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        for &t in &ts {
+            d.set_ub(t, 3).unwrap(); // lct = 5
+        }
+        let (mut ef, mut ctx) = ef_ctx(&m, &mut d);
+        assert!(ef.propagate(&mut ctx).is_err());
+    }
+
+    /// Classic detection: Ω = {[0,5) dur 3, [1,5) dur 2} saturates [0,5);
+    /// a third task (dur 4) must end after 5, and the energy rule pushes
+    /// its est all the way to 5 (disjunctive case). The mirrored pass then
+    /// pins the first task's ub to 0.
+    #[test]
+    fn edge_finding_lifts_est_past_the_omega_block() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 0);
+        let j = b.add_job(0, 1000);
+        let a = b.add_task(j, SlotKind::Map, 3, 1);
+        let bt = b.add_task(j, SlotKind::Map, 2, 1);
+        let i = b.add_task(j, SlotKind::Map, 4, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.set_ub(a, 2).unwrap(); // a ∈ [0,2], lct 5
+        d.set_lb(bt, 1).unwrap();
+        d.set_ub(bt, 3).unwrap(); // bt ∈ [1,3], lct 5
+        let (mut ef, mut ctx) = ef_ctx(&m, &mut d);
+        ef.propagate(&mut ctx).unwrap();
+        assert_eq!(d.lb(i), 5, "i is pushed past the saturated window");
+        assert_eq!(d.ub(a), 0, "mirror pass: a must lead the block");
+    }
+
+    /// A candidate task whose energy cannot fit the pool's leftover window
+    /// loses the resource (alternative-side filtering), while a second
+    /// resource keeps it schedulable.
+    #[test]
+    fn overloaded_candidate_loses_the_resource() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 0);
+        b.add_resource(1, 0);
+        let j = b.add_job(0, 1000);
+        let blocker = b.add_task(j, SlotKind::Map, 4, 1);
+        let c = b.add_task(j, SlotKind::Map, 3, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.assign_res(blocker, ResRef(0)).unwrap();
+        d.set_ub(blocker, 1).unwrap(); // blocker ∈ [0,1], lct 5
+        d.set_ub(c, 2).unwrap(); // c ∈ [0,2], lct 5: 4+3 energy > 5 area
+        let (mut ef, mut ctx) = ef_ctx(&m, &mut d);
+        ef.propagate(&mut ctx).unwrap();
+        assert_eq!(d.assigned(c), Some(ResRef(1)));
+    }
+
+    /// Capacity-2 pool: Θ = two dur-4 req-1 tasks in [0,5); g (dur 4,
+    /// req 1) is detected at level 5 (Env = 12 > 2·5) and the energy rule's
+    /// cut at a = 0 yields s_g ≥ ceil((2·0 + 8 − 1·5)/1) = 3, beating the
+    /// interval rule's 5 + 1 − 4 = 2.
+    #[test]
+    fn cumulative_detection_respects_capacity() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(2, 0);
+        let j = b.add_job(0, 1000);
+        let t1 = b.add_task(j, SlotKind::Map, 4, 1);
+        let t2 = b.add_task(j, SlotKind::Map, 4, 1);
+        let g = b.add_task(j, SlotKind::Map, 4, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        d.set_ub(t1, 1).unwrap(); // lct 5
+        d.set_ub(t2, 1).unwrap(); // lct 5
+        let (mut ef, mut ctx) = ef_ctx(&m, &mut d);
+        ef.propagate(&mut ctx).unwrap();
+        assert_eq!(d.lb(g), 3);
+    }
+
+    /// No assigned tasks and roomy windows: nothing to prune, no conflict.
+    #[test]
+    fn quiescent_pool_is_untouched() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(2, 0);
+        b.add_resource(2, 0);
+        let j = b.add_job(0, 1000);
+        let t = b.add_task(j, SlotKind::Map, 5, 1);
+        b.set_horizon(100);
+        let m = b.build().unwrap();
+        let mut d = Domains::new(&m);
+        let (mut ef, mut ctx) = ef_ctx(&m, &mut d);
+        ef.propagate(&mut ctx).unwrap();
+        assert_eq!(d.lb(t), 0);
+        assert_eq!(d.ub(t), 100);
+        assert!(d.assigned(t).is_none());
+    }
+}

@@ -14,7 +14,7 @@
 //! solver's budgeted setting (CP Optimizer makes the same trade with its
 //! inference levels).
 
-use super::{Ctx, Propagator};
+use super::{Ctx, PropClass, Propagator};
 use crate::model::{Model, ResRef, SlotKind, TaskRef};
 use crate::state::Conflict;
 
@@ -102,6 +102,11 @@ impl Propagator for EnergyCheck {
 
     fn watched_tasks(&self, _model: &Model) -> Vec<TaskRef> {
         self.tasks.clone()
+    }
+
+    fn class(&self) -> PropClass {
+        // Shares the strong-inference tier and stat bucket with edge-finding.
+        PropClass::EdgeFinding
     }
 }
 

@@ -12,7 +12,7 @@
 //! * Once `N_j = 0` is decided (by this propagator or by the objective
 //!   cut), the deadline becomes a hard bound: every task must end by `d_j`.
 
-use super::{Ctx, Propagator};
+use super::{Ctx, PropClass, Propagator};
 use crate::model::{JobRef, Model, TaskRef};
 use crate::state::{Conflict, Lateness};
 
@@ -73,6 +73,10 @@ impl Propagator for JobLateness {
 
     fn watched_jobs(&self, _model: &Model) -> Vec<JobRef> {
         vec![self.job] // re-run when the objective cut forces N_j = 0
+    }
+
+    fn class(&self) -> PropClass {
+        PropClass::Lateness
     }
 }
 

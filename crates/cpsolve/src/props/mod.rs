@@ -15,17 +15,27 @@
 //! * [`objective::ObjectiveBound`] — the branch-and-bound cut
 //!   `Σ N_j ≤ bound`.
 //!
-//! The [`Engine`] runs them to fixpoint with a watcher-driven worklist.
+//! The strong-inference rung is [`edge_finding::EdgeFinding`] (Θ-tree
+//! overload checking + edge-finding per pool); the older
+//! [`energy::EnergyCheck`] remains available behind an option.
+//!
+//! The [`Engine`] runs them to fixpoint with a watcher-driven worklist,
+//! tiered by cost: cheap bound propagators (barrier, precedence, lateness,
+//! objective) drain before timetable filtering, which drains before
+//! edge-finding, so the expensive filters always run on quiesced domains.
 
 pub mod barrier;
 pub mod cumulative;
+pub mod edge_finding;
 pub mod energy;
 pub mod lateness;
 pub mod objective;
+pub mod theta;
 
 use crate::model::{JobRef, Model, TaskRef};
 use crate::state::{Conflict, Domains};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Shared context handed to propagators.
 pub struct Ctx<'a> {
@@ -36,6 +46,71 @@ pub struct Ctx<'a> {
     /// Current objective cut: at most this many jobs may be late.
     pub bound: u32,
 }
+
+/// Cost/observability class of a propagator. The class decides both the
+/// queue tier it drains from (see [`PropClass::priority`]) and the bucket
+/// its counters land in ([`PropStats::by_class`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropClass {
+    /// Phase barriers and precedences (cheap bound propagation).
+    Barrier,
+    /// Deadline/lateness reification (cheap).
+    Lateness,
+    /// Timetable cumulative filtering (medium).
+    Timetable,
+    /// Θ-tree edge-finding and the legacy energetic check (expensive).
+    EdgeFinding,
+    /// The branch-and-bound objective cut (cheap).
+    Objective,
+}
+
+/// Number of [`PropClass`] variants (array-indexed stats).
+pub const N_PROP_CLASSES: usize = 5;
+
+impl PropClass {
+    /// Index into per-class stat arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            PropClass::Barrier => 0,
+            PropClass::Lateness => 1,
+            PropClass::Timetable => 2,
+            PropClass::EdgeFinding => 3,
+            PropClass::Objective => 4,
+        }
+    }
+
+    /// Stable lowercase name (bench/report columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            PropClass::Barrier => "barrier",
+            PropClass::Lateness => "lateness",
+            PropClass::Timetable => "timetable",
+            PropClass::EdgeFinding => "edge_finding",
+            PropClass::Objective => "objective",
+        }
+    }
+
+    /// Queue tier: 0 = cheap bound propagators, 1 = timetable,
+    /// 2 = edge-finding/energetic. Lower tiers drain first.
+    #[inline]
+    pub fn priority(self) -> usize {
+        match self {
+            PropClass::Barrier | PropClass::Lateness | PropClass::Objective => 0,
+            PropClass::Timetable => 1,
+            PropClass::EdgeFinding => 2,
+        }
+    }
+}
+
+/// All classes in stat-array order.
+pub const PROP_CLASSES: [PropClass; N_PROP_CLASSES] = [
+    PropClass::Barrier,
+    PropClass::Lateness,
+    PropClass::Timetable,
+    PropClass::EdgeFinding,
+    PropClass::Objective,
+];
 
 /// One propagator: narrows domains, reporting a conflict on wipe-out.
 pub trait Propagator {
@@ -49,22 +124,57 @@ pub trait Propagator {
     fn watched_jobs(&self, _model: &Model) -> Vec<JobRef> {
         Vec::new()
     }
+
+    /// Cost/stat class (also selects the queue tier).
+    fn class(&self) -> PropClass;
 }
 
 /// Identifier of a propagator inside an [`Engine`].
 type PropId = usize;
 
+/// Number of queue tiers (max [`PropClass::priority`] + 1).
+const N_TIERS: usize = 3;
+
 /// Engine construction options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
-    /// Enable the energetic overload check (strictly stronger pruning at
-    /// O(n² log n) per pool; see [`energy`]).
+    /// Enable the legacy energetic overload check (O(n² log n) per pool;
+    /// subsumed by edge-finding and off by default — see [`energy`]).
     pub energetic: bool,
+    /// Enable Θ-tree edge-finding (O(n log n) overload check + start/end
+    /// filtering per pool; the default strong rung — see [`edge_finding`]).
+    pub edge_finding: bool,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { energetic: true }
+        EngineOptions {
+            energetic: false,
+            edge_finding: true,
+        }
+    }
+}
+
+/// Counters for one propagator class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropClassStats {
+    /// Propagator invocations.
+    pub runs: u64,
+    /// Domain narrowings produced by this class's runs.
+    pub prunings: u64,
+    /// Conflicts raised.
+    pub conflicts: u64,
+    /// Wall-clock spent inside `propagate`, microseconds.
+    pub time_us: u64,
+}
+
+impl PropClassStats {
+    /// Accumulate another counter set (portfolio merge).
+    pub fn merge(&mut self, other: &PropClassStats) {
+        self.runs += other.runs;
+        self.prunings += other.prunings;
+        self.conflicts += other.conflicts;
+        self.time_us += other.time_us;
     }
 }
 
@@ -78,14 +188,20 @@ pub struct PropStats {
     pub prunings: u64,
     /// Conflicts raised.
     pub conflicts: u64,
+    /// Per-class breakdown, indexed by [`PropClass::idx`].
+    pub by_class: [PropClassStats; N_PROP_CLASSES],
 }
 
-/// Watcher-driven propagation fixpoint engine.
+/// Watcher-driven propagation fixpoint engine with cost-tiered queues.
 pub struct Engine {
     props: Vec<Box<dyn Propagator>>,
+    /// Per-propagator class (cached; also fixes the queue tier).
+    classes: Vec<PropClass>,
     task_watchers: Vec<Vec<PropId>>,
     job_watchers: Vec<Vec<PropId>>,
-    queue: VecDeque<PropId>,
+    /// One FIFO per cost tier; lower tiers always drain first so the
+    /// expensive filters run on quiesced domains.
+    queues: [VecDeque<PropId>; N_TIERS],
     in_queue: Vec<bool>,
     /// Objective cut shared with the search (monotonically tightened).
     bound: u32,
@@ -122,6 +238,11 @@ impl Engine {
                     if let Some(c) = cumulative::Cumulative::new(model, r, kind) {
                         props.push(Box::new(c));
                     }
+                    if options.edge_finding {
+                        if let Some(ef) = edge_finding::EdgeFinding::new(model, r, kind) {
+                            props.push(Box::new(ef));
+                        }
+                    }
                     if options.energetic {
                         if let Some(e) = energy::EnergyCheck::new(model, r, kind) {
                             props.push(Box::new(e));
@@ -142,12 +263,14 @@ impl Engine {
                 job_watchers[j.idx()].push(id);
             }
         }
+        let classes: Vec<PropClass> = props.iter().map(|p| p.class()).collect();
         let n = props.len();
         Engine {
             props,
+            classes,
             task_watchers,
             job_watchers,
-            queue: VecDeque::with_capacity(n),
+            queues: std::array::from_fn(|_| VecDeque::with_capacity(n)),
             in_queue: vec![false; n],
             bound: u32::MAX,
             stats: PropStats::default(),
@@ -175,8 +298,13 @@ impl Engine {
     fn enqueue(&mut self, id: PropId) {
         if !self.in_queue[id] {
             self.in_queue[id] = true;
-            self.queue.push_back(id);
+            self.queues[self.classes[id].priority()].push_back(id);
         }
+    }
+
+    /// Pop the next propagator, cheapest tier first.
+    fn pop_next(&mut self) -> Option<PropId> {
+        self.queues.iter_mut().find_map(|q| q.pop_front())
     }
 
     fn enqueue_watchers(&mut self, dom: &mut Domains) {
@@ -214,31 +342,41 @@ impl Engine {
     /// search decision).
     pub fn propagate_dirty(&mut self, model: &Model, dom: &mut Domains) -> Result<(), Conflict> {
         self.enqueue_watchers(dom);
-        // The objective cut may have been tightened since the last call
-        // (new incumbent); always re-check it.
-        let obj_id = self.props.len() - 1;
-        self.enqueue(obj_id);
+        // Re-check the objective cut only when it tightened since the last
+        // time the objective propagator saw it on this search path (the
+        // applied cut is trailed, so backtracking past an incumbent's
+        // discovery re-arms the check for sibling branches).
+        if self.bound < dom.applied_cut() {
+            let obj_id = self.props.len() - 1;
+            self.enqueue(obj_id);
+        }
         self.fixpoint(model, dom)
     }
 
     fn fixpoint(&mut self, model: &Model, dom: &mut Domains) -> Result<(), Conflict> {
-        while let Some(id) = self.queue.pop_front() {
+        while let Some(id) = self.pop_next() {
             self.in_queue[id] = false;
             let mut ctx = Ctx {
                 model,
                 dom,
                 bound: self.bound,
             };
-            // Temporarily move the propagator out to appease the borrow
-            // checker without cloning: swap with a no-op is avoided by
-            // indexing through a raw split.
+            let class_idx = self.classes[id].idx();
+            let t0 = Instant::now();
             let result = self.props[id].propagate(&mut ctx);
+            self.stats.by_class[class_idx].time_us += t0.elapsed().as_micros() as u64;
             self.stats.runs += 1;
+            self.stats.by_class[class_idx].runs += 1;
             match result {
-                Ok(()) => self.enqueue_watchers(dom),
+                Ok(()) => {
+                    let before = self.stats.prunings;
+                    self.enqueue_watchers(dom);
+                    self.stats.by_class[class_idx].prunings += self.stats.prunings - before;
+                }
                 Err(c) => {
                     self.stats.conflicts += 1;
-                    self.queue.clear();
+                    self.stats.by_class[class_idx].conflicts += 1;
+                    self.queues.iter_mut().for_each(|q| q.clear());
                     self.in_queue.iter_mut().for_each(|b| *b = false);
                     dom.clear_dirty();
                     return Err(c);

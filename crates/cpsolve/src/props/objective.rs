@@ -7,7 +7,7 @@
 //! undecided job to be on time, which turns all remaining deadlines into
 //! hard bounds and lets the deadline/cumulative propagators prune deeply.
 
-use super::{Ctx, Propagator};
+use super::{Ctx, PropClass, Propagator};
 use crate::model::{JobRef, Model, TaskRef};
 use crate::state::{Conflict, Lateness};
 
@@ -24,6 +24,10 @@ impl ObjectiveBound {
 
 impl Propagator for ObjectiveBound {
     fn propagate(&mut self, ctx: &mut Ctx<'_>) -> Result<(), Conflict> {
+        // Record (trailed) that this cut value has been enforced on the
+        // current search path, so the engine can skip re-enqueueing this
+        // propagator until the cut tightens again.
+        ctx.dom.note_applied_cut(ctx.bound);
         if ctx.bound == u32::MAX {
             return Ok(()); // no incumbent yet, nothing to cut
         }
@@ -48,6 +52,10 @@ impl Propagator for ObjectiveBound {
 
     fn watched_jobs(&self, model: &Model) -> Vec<JobRef> {
         (0..model.n_jobs()).map(|j| JobRef(j as u32)).collect()
+    }
+
+    fn class(&self) -> PropClass {
+        PropClass::Objective
     }
 }
 

@@ -15,9 +15,9 @@
 
 use crate::greedy::greedy_edf;
 use crate::model::{Model, ResRef, TaskRef};
-use crate::props::{Engine, EngineOptions};
+use crate::props::{Engine, EngineOptions, PropClassStats, N_PROP_CLASSES};
 use crate::solution::Solution;
-use crate::state::{Domains, Lateness};
+use crate::state::{Domains, Lateness, TaskWeights};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -53,6 +53,15 @@ pub enum Branching {
     /// broken by the start lower bound. Dives commit whole jobs early,
     /// which explores a different region of the tree than set-times.
     Edf,
+    /// Conflict-guided: the unfixed task with the largest decayed failure
+    /// count (weighted-degree / EVSIDS-style), ties broken by the set-times
+    /// key. Focuses the search on the tasks that keep causing conflicts.
+    WeightedDegree,
+    /// Set-times, except that immediately after a conflict the task whose
+    /// decision failed is re-selected first while it remains unfixed
+    /// (last-conflict branching): the search stays on the culprit until the
+    /// conflict is fully resolved.
+    LastConflict,
 }
 
 /// Search effort budgets and options.
@@ -72,9 +81,13 @@ pub struct SolveParams {
     /// Stop as soon as the objective reaches this value (0 = stop at the
     /// first schedule with no late jobs).
     pub target: Option<u32>,
-    /// Enable the energetic overload propagator (stronger pruning; see
-    /// [`crate::props::energy`]).
+    /// Enable the energetic overload propagator (the older O(n²·log n)
+    /// windowed check; see [`crate::props::energy`]). Off by default now
+    /// that Θ-tree edge-finding subsumes it at lower cost.
     pub energetic: bool,
+    /// Enable Θ-tree edge-finding (overload checking, start-time lifting
+    /// and candidate filtering; see [`crate::props::edge_finding`]).
+    pub edge_finding: bool,
     /// Luby restarts: `Some(base)` restarts the dive after
     /// `base × luby(k)` conflicts, rotating the resource value ordering
     /// each time so successive dives explore different regions. `None`
@@ -101,7 +114,8 @@ impl Default for SolveParams {
             warm_start: true,
             initial: None,
             target: None,
-            energetic: true,
+            energetic: false,
+            edge_finding: true,
             restarts: None,
             solution_guided: true,
             branching: Branching::SetTimes,
@@ -153,6 +167,9 @@ pub struct SolveStats {
     pub prunings: u64,
     /// Wall-clock time spent, microseconds.
     pub elapsed_us: u64,
+    /// Per-propagator-class breakdown of runs/prunings/conflicts/time,
+    /// indexed by [`crate::props::PropClass::idx`].
+    pub by_class: [PropClassStats; N_PROP_CLASSES],
 }
 
 /// The Luby sequence 1,1,2,1,1,2,4,… (`i` is 1-based).
@@ -243,6 +260,41 @@ struct Scratch {
     rs: Vec<ResRef>,
 }
 
+/// Decay factor for the conflict-guided task weights: each conflict's
+/// charge is ~5% larger than the previous one, so recent trouble dominates.
+const WEIGHT_DECAY: f64 = 0.95;
+
+/// Conflict-guided branching state: decayed per-task failure counts
+/// (weighted-degree) plus the task whose decision failed most recently
+/// (last-conflict). Deliberately not trailed — the weights carry learned
+/// information across backtracks and restarts.
+struct ConflictGuide {
+    weights: TaskWeights,
+    last: Option<TaskRef>,
+}
+
+impl ConflictGuide {
+    fn new(model: &Model) -> Self {
+        ConflictGuide {
+            weights: TaskWeights::new(model.n_tasks(), WEIGHT_DECAY),
+            last: None,
+        }
+    }
+
+    /// Charge a failed decision on `t`.
+    fn record(&mut self, t: TaskRef) {
+        self.weights.bump(t);
+        self.last = Some(t);
+    }
+}
+
+/// The task a decision branches on.
+fn decided_task(dec: &Decision) -> TaskRef {
+    match *dec {
+        Decision::Assign(t, _) | Decision::StartEq(t, _) | Decision::StartGeq(t, _) => t,
+    }
+}
+
 /// Minimize the number of late jobs for `model` under `params`.
 pub fn solve(model: &Model, params: &SolveParams) -> Outcome {
     solve_shared(model, params, None)
@@ -316,6 +368,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
         model,
         EngineOptions {
             energetic: params.energetic,
+            edge_finding: params.edge_finding,
         },
     );
     if let Some(b) = &best {
@@ -340,6 +393,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
             let ps = engine.prop_stats();
             stats.propagations = ps.runs;
             stats.prunings = ps.prunings;
+            stats.by_class = ps.by_class;
             stats.elapsed_us = t0.elapsed().as_micros() as u64;
             return Outcome {
                 status,
@@ -356,6 +410,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
     let mut frames: Vec<Frame> = Vec::new();
     let mut depth: usize = 0;
     let mut scratch = Scratch::default();
+    let mut cg = ConflictGuide::new(model);
     let mut exhausted = false;
     let mut budget_hit = false;
     let mut restart_no: u64 = 0;
@@ -437,6 +492,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
                 &mut engine,
                 model,
                 &mut stats,
+                &mut cg,
             ) {
                 exhausted = true;
                 break;
@@ -445,8 +501,8 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
         }
 
         // Choose a decision variable.
-        let task =
-            select_task(model, &dom, params.branching).expect("non-leaf node has an unfixed task");
+        let task = select_task(model, &dom, params.branching, &cg)
+            .expect("non-leaf node has an unfixed task");
         let guide = if params.solution_guided {
             best.as_ref()
         } else {
@@ -475,6 +531,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
         stats.nodes += 1;
         if apply(&dec, model, &mut dom, &mut engine).is_err() {
             stats.fails += 1;
+            cg.record(task);
             if !backtrack(
                 &mut frames,
                 &mut depth,
@@ -482,6 +539,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
                 &mut engine,
                 model,
                 &mut stats,
+                &mut cg,
             ) {
                 exhausted = true;
                 break;
@@ -506,6 +564,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
     let ps = engine.prop_stats();
     stats.propagations = ps.runs;
     stats.prunings = ps.prunings;
+    stats.by_class = ps.by_class;
     stats.elapsed_us = t0.elapsed().as_micros() as u64;
     Outcome {
         status,
@@ -527,7 +586,9 @@ fn apply(dec: &Decision, model: &Model, dom: &mut Domains, engine: &mut Engine) 
 
 /// Pop levels until an untried alternative applies cleanly. Returns false
 /// when the tree is exhausted. `*depth` indexes into the frame pool; popped
-/// frames stay allocated for reuse.
+/// frames stay allocated for reuse. Failed alternatives charge the decided
+/// task's conflict weight, same as first-branch failures in the main loop.
+#[allow(clippy::too_many_arguments)]
 fn backtrack(
     frames: &mut [Frame],
     depth: &mut usize,
@@ -535,6 +596,7 @@ fn backtrack(
     engine: &mut Engine,
     model: &Model,
     stats: &mut SolveStats,
+    cg: &mut ConflictGuide,
 ) -> bool {
     loop {
         if *depth == 0 {
@@ -554,28 +616,52 @@ fn backtrack(
             return true;
         }
         stats.fails += 1;
+        cg.record(decided_task(&dec));
     }
 }
 
 /// Variable selection. `SetTimes` is chronological + EDF: the unfixed task
 /// with the smallest start lower bound, ties broken by job priority, then
 /// deadline, then longer duration, then index. `Edf` puts the deadline
-/// first — the portfolio uses it as a diversified ordering.
-fn select_task(model: &Model, dom: &Domains, branching: Branching) -> Option<TaskRef> {
+/// first. `WeightedDegree` maximizes the decayed conflict weight (ties fall
+/// back to the set-times key); `LastConflict` re-selects the most recent
+/// culprit while it remains unfixed, otherwise behaves like `SetTimes`.
+fn select_task(
+    model: &Model,
+    dom: &Domains,
+    branching: Branching,
+    cg: &ConflictGuide,
+) -> Option<TaskRef> {
+    let unfixed = |t: TaskRef| !(dom.start_fixed(t) && dom.assigned(t).is_some());
+    if branching == Branching::LastConflict {
+        if let Some(t) = cg.last {
+            if unfixed(t) {
+                return Some(t);
+            }
+        }
+    }
     let mut best: Option<(i64, i64, i64, i64, u32)> = None;
+    let mut best_w = f64::NEG_INFINITY;
     let mut chosen = None;
     for i in 0..model.n_tasks() {
         let t = TaskRef(i as u32);
-        if dom.start_fixed(t) && dom.assigned(t).is_some() {
+        if !unfixed(t) {
             continue;
         }
         let spec = &model.tasks[i];
         let job = &model.jobs[spec.job.idx()];
         let key = match branching {
-            Branching::SetTimes => (dom.lb(t), job.priority, job.deadline, -spec.dur, i as u32),
             Branching::Edf => (job.priority, job.deadline, dom.lb(t), -spec.dur, i as u32),
+            _ => (dom.lb(t), job.priority, job.deadline, -spec.dur, i as u32),
         };
-        if best.is_none_or(|b| key < b) {
+        let better = if branching == Branching::WeightedDegree {
+            let w = cg.weights.weight(t);
+            w > best_w || (w == best_w && best.is_none_or(|b| key < b))
+        } else {
+            best.is_none_or(|b| key < b)
+        };
+        if better {
+            best_w = cg.weights.weight(t);
             best = Some(key);
             chosen = Some(t);
         }
@@ -937,6 +1023,63 @@ mod tests {
         let s = out.best.unwrap();
         s.verify(&m).unwrap();
         assert_eq!(s.objective, 0);
+    }
+
+    /// Conflict-guided branchings reach the same optimum as set-times on a
+    /// contended instance that actually produces conflicts.
+    #[test]
+    fn conflict_guided_branchings_preserve_optimum() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        b.add_resource(1, 1);
+        for i in 0..4 {
+            let j = b.add_job(0, 25 + i);
+            b.add_task(j, SlotKind::Map, 10, 1);
+            b.add_task(j, SlotKind::Reduce, 2, 1);
+        }
+        let m = b.build().unwrap();
+        let baseline = solve(&m, &SolveParams::default());
+        let expect = baseline.best.as_ref().unwrap().objective;
+        for branching in [Branching::WeightedDegree, Branching::LastConflict] {
+            let out = solve(
+                &m,
+                &SolveParams {
+                    branching,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(out.status, Status::Optimal, "{branching:?}");
+            let s = out.best.unwrap();
+            s.verify(&m).unwrap();
+            assert_eq!(s.objective, expect, "{branching:?}");
+        }
+    }
+
+    /// The per-class stats surface through SolveStats and account for every
+    /// propagator run.
+    #[test]
+    fn per_class_stats_are_reported() {
+        let mut b = ModelBuilder::new();
+        b.add_resource(1, 1);
+        for i in 0..3 {
+            let j = b.add_job(0, 25 + i);
+            b.add_task(j, SlotKind::Map, 10, 1);
+        }
+        let m = b.build().unwrap();
+        let out = solve(
+            &m,
+            &SolveParams {
+                warm_start: false,
+                ..Default::default()
+            },
+        );
+        let total: u64 = out.stats.by_class.iter().map(|c| c.runs).sum();
+        assert_eq!(total, out.stats.propagations, "classes partition runs");
+        // `prunings` also counts narrowings made by search decisions, which
+        // belong to no propagator class — the class sum is a lower bound.
+        let total_prune: u64 = out.stats.by_class.iter().map(|c| c.prunings).sum();
+        assert!(total_prune <= out.stats.prunings);
+        assert!(total > 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ enum TrailEntry {
     StartUb(u32, i64),
     Mask(u32, u128),
     Late(u32, Lateness),
+    AppliedCut(u32),
 }
 
 /// The backtrackable domain store.
@@ -45,6 +46,21 @@ pub struct Domains {
     dirty_tasks: Vec<TaskRef>,
     /// Jobs whose lateness changed since the engine last drained.
     dirty_jobs: Vec<JobRef>,
+    /// Incremented on every [`pop_level`](Self::pop_level); lets stateful
+    /// propagators (the incremental timetable) detect that the search
+    /// jumped to a different path and their cached view is stale.
+    generation: u64,
+    /// Per-task monotone change stamp: bumped on every narrowing of the
+    /// task's start bounds or resource mask. A stateful propagator records
+    /// the stamps it has seen and refreshes only tasks whose stamp moved.
+    stamp: Vec<u64>,
+    /// Global stamp counter backing [`stamp`](Self::stamp).
+    next_stamp: u64,
+    /// The tightest objective cut already propagated on the current path
+    /// (trailed; `u32::MAX` = never). Maintained by the objective
+    /// propagator so the engine re-enqueues it only when the cut actually
+    /// tightened relative to this path.
+    applied_cut: u32,
 }
 
 impl Domains {
@@ -76,6 +92,10 @@ impl Domains {
             levels: Vec::new(),
             dirty_tasks: Vec::new(),
             dirty_jobs: Vec::new(),
+            generation: 0,
+            stamp: vec![0; n],
+            next_stamp: 0,
+            applied_cut: u32::MAX,
         }
     }
 
@@ -141,6 +161,50 @@ impl Domains {
         self.late.iter().filter(|&&l| l == Lateness::Late).count() as u32
     }
 
+    /// Backtrack generation: changes exactly when [`pop_level`](Self::pop_level)
+    /// runs. Stateful propagators compare it against the generation they
+    /// cached under; a mismatch means the search moved to another path and
+    /// incrementally-maintained state must be rebuilt from scratch.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Monotone change stamp of `t`: moves on every narrowing of its start
+    /// bounds or resource mask (never reverts on backtracking — a stale
+    /// stamp only means "maybe changed", which pairs with
+    /// [`generation`](Self::generation) for correctness).
+    #[inline]
+    pub fn task_stamp(&self, t: TaskRef) -> u64 {
+        self.stamp[t.idx()]
+    }
+
+    #[inline]
+    fn touch(&mut self, t: TaskRef) {
+        self.next_stamp += 1;
+        self.stamp[t.idx()] = self.next_stamp;
+        self.dirty_tasks.push(t);
+    }
+
+    /// The tightest objective cut already propagated on the current path
+    /// (`u32::MAX` = none). Trailed: backtracking reverts it, so a cut
+    /// tightened deeper in the tree is correctly re-applied on sibling
+    /// branches.
+    #[inline]
+    pub fn applied_cut(&self) -> u32 {
+        self.applied_cut
+    }
+
+    /// Record that the objective cut `bound` has been propagated on the
+    /// current path (trailed; monotone per path — attempts to loosen are
+    /// ignored).
+    pub fn note_applied_cut(&mut self, bound: u32) {
+        if bound < self.applied_cut {
+            self.trail.push(TrailEntry::AppliedCut(self.applied_cut));
+            self.applied_cut = bound;
+        }
+    }
+
     // ---- trailed updates -----------------------------------------------
 
     /// Raise the start lower bound of `t` to `v`. Returns whether the domain
@@ -155,7 +219,7 @@ impl Domains {
         }
         self.trail.push(TrailEntry::StartLb(t.0, self.start_lb[i]));
         self.start_lb[i] = v;
-        self.dirty_tasks.push(t);
+        self.touch(t);
         Ok(true)
     }
 
@@ -170,7 +234,7 @@ impl Domains {
         }
         self.trail.push(TrailEntry::StartUb(t.0, self.start_ub[i]));
         self.start_ub[i] = v;
-        self.dirty_tasks.push(t);
+        self.touch(t);
         Ok(true)
     }
 
@@ -194,7 +258,7 @@ impl Domains {
         }
         self.trail.push(TrailEntry::Mask(t.0, self.mask[i]));
         self.mask[i] = new;
-        self.dirty_tasks.push(t);
+        self.touch(t);
         Ok(true)
     }
 
@@ -210,7 +274,7 @@ impl Domains {
         }
         self.trail.push(TrailEntry::Mask(t.0, self.mask[i]));
         self.mask[i] = bit;
-        self.dirty_tasks.push(t);
+        self.touch(t);
         Ok(true)
     }
 
@@ -246,8 +310,10 @@ impl Domains {
                 TrailEntry::StartUb(t, v) => self.start_ub[t as usize] = v,
                 TrailEntry::Mask(t, v) => self.mask[t as usize] = v,
                 TrailEntry::Late(j, v) => self.late[j as usize] = v,
+                TrailEntry::AppliedCut(v) => self.applied_cut = v,
             }
         }
+        self.generation += 1;
         // Dirty queues are only meaningful within a propagation round; a
         // backtrack invalidates them wholesale.
         self.dirty_tasks.clear();
@@ -290,6 +356,55 @@ impl Domains {
     /// True when nothing is pending in the dirty queues.
     pub fn dirty_is_empty(&self) -> bool {
         self.dirty_tasks.is_empty() && self.dirty_jobs.is_empty()
+    }
+}
+
+/// Per-task failure counters for conflict-guided branching (weighted degree
+/// with exponential decay, VSIDS-style).
+///
+/// Every conflict bumps the weight of the task whose decision failed by a
+/// geometrically growing increment; dividing the increment by the decay
+/// factor after each bump makes *recent* conflicts dominate without ever
+/// touching the other counters (the classic EVSIDS trick). Weights are
+/// deliberately **not** trailed: the whole point is that failure history
+/// survives backtracking and restarts to steer the search toward the
+/// variables that keep causing trouble.
+#[derive(Debug, Clone)]
+pub struct TaskWeights {
+    w: Vec<f64>,
+    inc: f64,
+    decay: f64,
+}
+
+impl TaskWeights {
+    /// Flat counters for `n` tasks with the given decay factor in `(0, 1]`
+    /// (1.0 = plain failure counts, no recency bias).
+    pub fn new(n: usize, decay: f64) -> Self {
+        debug_assert!(decay > 0.0 && decay <= 1.0, "decay {decay} out of range");
+        TaskWeights {
+            w: vec![0.0; n],
+            inc: 1.0,
+            decay,
+        }
+    }
+
+    /// Charge one conflict to `t` and advance the decay clock.
+    pub fn bump(&mut self, t: TaskRef) {
+        self.w[t.idx()] += self.inc;
+        self.inc /= self.decay;
+        // Rescale before anything overflows; relative order is preserved.
+        if self.inc > 1e100 {
+            for w in &mut self.w {
+                *w *= 1e-100;
+            }
+            self.inc *= 1e-100;
+        }
+    }
+
+    /// Current weight of `t`.
+    #[inline]
+    pub fn weight(&self, t: TaskRef) -> f64 {
+        self.w[t.idx()]
     }
 }
 
@@ -391,6 +506,76 @@ mod tests {
         assert_eq!(ts, vec![TaskRef(0)]);
         assert_eq!(js, vec![JobRef(0)]);
         assert!(d.dirty_is_empty());
+    }
+
+    #[test]
+    fn generation_moves_only_on_pop() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        let g0 = d.generation();
+        d.push_level();
+        d.set_lb(TaskRef(0), 10).unwrap();
+        assert_eq!(d.generation(), g0, "narrowing does not change generation");
+        d.pop_level();
+        assert_ne!(d.generation(), g0, "pop changes generation");
+    }
+
+    #[test]
+    fn stamps_move_on_every_narrowing_and_survive_pops() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        let t = TaskRef(0);
+        let s0 = d.task_stamp(t);
+        d.push_level();
+        d.set_lb(t, 10).unwrap();
+        let s1 = d.task_stamp(t);
+        assert_ne!(s0, s1);
+        d.remove_res(t, ResRef(0)).unwrap();
+        let s2 = d.task_stamp(t);
+        assert_ne!(s1, s2);
+        d.pop_level();
+        // Stamps are monotone (never rewound); generation covers the pop.
+        assert_eq!(d.task_stamp(t), s2);
+        // Untouched tasks keep their stamp.
+        assert_eq!(d.task_stamp(TaskRef(1)), 0);
+    }
+
+    #[test]
+    fn applied_cut_is_trailed() {
+        let m = model();
+        let mut d = Domains::new(&m);
+        assert_eq!(d.applied_cut(), u32::MAX);
+        d.push_level();
+        d.note_applied_cut(3);
+        assert_eq!(d.applied_cut(), 3);
+        d.note_applied_cut(5); // looser: ignored
+        assert_eq!(d.applied_cut(), 3);
+        d.push_level();
+        d.note_applied_cut(1);
+        assert_eq!(d.applied_cut(), 1);
+        d.pop_level();
+        assert_eq!(d.applied_cut(), 3);
+        d.pop_level();
+        assert_eq!(d.applied_cut(), u32::MAX);
+    }
+
+    #[test]
+    fn task_weights_bump_decay_and_rescale() {
+        let mut w = TaskWeights::new(3, 0.5);
+        w.bump(TaskRef(0));
+        w.bump(TaskRef(1));
+        w.bump(TaskRef(1));
+        // Recency bias: two later bumps dwarf one early bump.
+        assert!(w.weight(TaskRef(1)) > w.weight(TaskRef(0)));
+        assert_eq!(w.weight(TaskRef(2)), 0.0);
+        // Drive the increment past the rescale threshold; order survives.
+        let mut big = TaskWeights::new(2, 0.5);
+        big.bump(TaskRef(0));
+        for _ in 0..400 {
+            big.bump(TaskRef(1));
+        }
+        assert!(big.weight(TaskRef(1)) > big.weight(TaskRef(0)));
+        assert!(big.weight(TaskRef(1)).is_finite());
     }
 
     #[test]

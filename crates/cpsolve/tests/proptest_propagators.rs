@@ -54,8 +54,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Pinning domains to a greedy (feasible, verified) schedule and
-    /// propagating everything — including the energetic check — never
-    /// conflicts: no propagator is unsound on feasible assignments.
+    /// propagating everything — including the energetic check and Θ-tree
+    /// edge-finding — never conflicts: no propagator is unsound on feasible
+    /// assignments.
     #[test]
     fn propagation_accepts_feasible_placements(i in inst()) {
         let model = build(&i);
@@ -68,7 +69,10 @@ proptest! {
             dom.assign_res(tr, sol.resource[t]).expect("resource in domain");
             dom.fix_start(tr, sol.starts[t]).expect("start in domain");
         }
-        let mut eng = Engine::with_options(&model, EngineOptions { energetic: true });
+        let mut eng = Engine::with_options(&model, EngineOptions {
+            energetic: true,
+            edge_finding: true,
+        });
         prop_assert!(eng.propagate_all(&model, &mut dom).is_ok(),
             "feasible placement rejected by propagation");
         // All lateness flags decided, consistent with the schedule.
