@@ -1,0 +1,149 @@
+//! Federation scale sweep: runs the same open workload through
+//! [`cluster::simulate_cluster`] for cells ∈ {1, 2, 4, 8} and writes a
+//! machine-readable `BENCH_cluster.json`.
+//!
+//! The sweep holds job density fixed — every cell count sees the *same*
+//! resources and the same job stream per `(size, rep)` pair (common
+//! random numbers) — so the only variable is how the resource pool is
+//! sharded. Reported per cell count and workload size:
+//!
+//! * `p50_us` / `p95_us` — per-invocation solve latency pooled over reps
+//!   (each sample is one federation round: the concurrent solve of every
+//!   dirty cell, so sharding shows up as smaller models per solve),
+//! * `p_late_mean` — mean missed-deadline proportion `P` over reps,
+//! * routing/rebalancing counters (spills, migrations, rounds).
+//!
+//! Usage: `cargo run --release -p bench --bin bench_cluster -- [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks the sweep for CI; timings are then meaningless but
+//! the JSON shape is identical (checked by CI's key probe).
+
+use cluster::{simulate_cluster, ClusterConfig, ClusterSimConfig, RebalanceConfig};
+use desim::RngStreams;
+use mrcp::SimConfig;
+use serde_json::Value;
+use workload::{CellCount, Job, Resource, SyntheticConfig, SyntheticGenerator};
+
+/// The sweep's fixed cluster and job shape: 16 resources (so even 8 cells
+/// keep 2 nodes each and narrow jobs parallelize inside any cell — wider
+/// jobs would penalize sharded cells on raw minimum execution time and
+/// confound the latency comparison), driven as a sharp transient backlog
+/// (λ well above the drain rate for the arrival window). The backlog is
+/// what separates the cell counts: the single cell plans one large,
+/// deadline-tight model per round while each of K cells plans ~1/K of it.
+fn scenario(cells: u32, n_jobs: usize, rep: u64) -> (Vec<Resource>, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 4),
+        reduces_per_job: (1, 2),
+        e_max: 20,
+        p_future_start: 0.0,
+        s_max: 1,
+        deadline_multiplier: 4.0,
+        lambda: 2.0,
+        resources: 16,
+        map_capacity: 2,
+        reduce_capacity: 2,
+        cells: CellCount(cells),
+        ..Default::default()
+    };
+    cfg.validate();
+    // Seed by (size, rep) only: every cell count replays the same jobs.
+    let rng = RngStreams::new(1000 * n_jobs as u64 + rep).stream("bench-cluster");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n_jobs);
+    (cfg.cluster(), jobs)
+}
+
+/// Sorted-sample quantile (nearest-rank); `q` in [0, 1].
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn sweep_cell_count(cells: u32, sizes: &[usize], reps: u64) -> Value {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut lat_us: Vec<u64> = Vec::new();
+        let mut p_late_sum = 0.0;
+        let mut completed = 0u64;
+        let mut invocations = 0u64;
+        let mut rounds = 0u64;
+        let mut spills = 0u64;
+        let mut migrations = 0u64;
+        for rep in 0..reps {
+            let (resources, jobs) = scenario(cells, n, rep);
+            let cfg = ClusterSimConfig {
+                sim: SimConfig::default(),
+                cluster: ClusterConfig {
+                    cells: cells as usize,
+                    rebalance: RebalanceConfig::default(),
+                },
+            };
+            let (m, cm) = simulate_cluster(&cfg, &resources, jobs);
+            lat_us.extend(cm.round_latencies_us.iter().copied());
+            p_late_sum += m.p_late;
+            completed += m.completed as u64;
+            invocations += m.invocations;
+            rounds += cm.rounds;
+            spills += cm.spills;
+            migrations += cm.migrations;
+        }
+        lat_us.sort_unstable();
+        rows.push(Value::Map(vec![
+            ("n_jobs".into(), Value::UInt(n as u64)),
+            ("reps".into(), Value::UInt(reps)),
+            ("p50_us".into(), Value::UInt(quantile(&lat_us, 0.5))),
+            ("p95_us".into(), Value::UInt(quantile(&lat_us, 0.95))),
+            ("p_late_mean".into(), Value::Float(p_late_sum / reps as f64)),
+            ("completed".into(), Value::UInt(completed)),
+            ("invocations".into(), Value::UInt(invocations)),
+            ("rounds".into(), Value::UInt(rounds)),
+            ("spills".into(), Value::UInt(spills)),
+            ("migrations".into(), Value::UInt(migrations)),
+        ]));
+    }
+    Value::Map(vec![
+        ("cells".into(), Value::UInt(cells as u64)),
+        ("per_size".into(), Value::Seq(rows)),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_cluster.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (use --smoke / --out PATH)"),
+        }
+    }
+
+    let (cell_counts, sizes, reps): (&[u32], &[usize], u64) = if smoke {
+        (&[1, 2], &[10], 2)
+    } else {
+        (&[1, 2, 4, 8], &[20, 40, 80], 5)
+    };
+    eprintln!(
+        "bench_cluster: cells {cell_counts:?}, sizes {sizes:?}, {reps} reps{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let sweep: Vec<Value> = cell_counts
+        .iter()
+        .map(|&k| sweep_cell_count(k, sizes, reps))
+        .collect();
+    let doc = Value::Map(vec![
+        ("schema".into(), Value::Str("bench_cluster/v1".into())),
+        ("smoke".into(), Value::Bool(smoke)),
+        ("resources".into(), Value::UInt(16)),
+        ("sweep".into(), Value::Seq(sweep)),
+    ]);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
+    // Self-check: the file we are about to write must re-parse.
+    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
+    std::fs::write(&out_path, json + "\n").expect("write output file");
+    eprintln!("bench_cluster: wrote {out_path}");
+}

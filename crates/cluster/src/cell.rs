@@ -1,0 +1,47 @@
+//! One federation cell: a full MRCP-RM instance over its shard of the
+//! resource pool, plus the load estimate the router compares cells by.
+
+use mrcp::MrcpRm;
+
+/// A cell of the federation. The embedded manager is public: the
+/// federation routes lifecycle events to it directly, and tests inspect
+/// per-cell state through it.
+#[derive(Debug)]
+pub struct Cell {
+    /// Stable cell index (also the deterministic routing tie-break).
+    pub id: usize,
+    /// The cell's own resource manager.
+    pub rm: MrcpRm,
+    /// Set when the cell's state changed since its last solve; only dirty
+    /// cells participate in the next scheduling round.
+    pub(crate) dirty: bool,
+}
+
+impl Cell {
+    pub(crate) fn new(id: usize, rm: MrcpRm) -> Self {
+        Cell {
+            id,
+            rm,
+            dirty: false,
+        }
+    }
+
+    /// The router's load estimate: outstanding execution time (seconds)
+    /// per currently-up slot. A cell whose every resource is down reports
+    /// infinite load and attracts no traffic.
+    pub fn load(&self) -> f64 {
+        let down = self.rm.down_resources();
+        let slots: u32 = self
+            .rm
+            .resources()
+            .iter()
+            .filter(|r| !down.contains(&r.id))
+            .map(|r| r.map_capacity + r.reduce_capacity)
+            .sum();
+        if slots == 0 {
+            f64::INFINITY
+        } else {
+            self.rm.outstanding_work().as_secs_f64() / f64::from(slots)
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The federation: K cells behind one [`ResourceManager`] facade.
+//!
+//! The simulation driver sees a single manager; internally each call is
+//! routed to the owning cell (tasks and resources are mapped at
+//! submission / construction time), arrivals are placed by
+//! power-of-two-choices over the cells' load and admission estimators,
+//! and [`Federation::reschedule`] solves every *dirty* cell concurrently
+//! on scoped threads before running the cross-cell rebalancer.
+//!
+//! With `cells = 1` every mechanism degenerates to the single-manager
+//! behavior exactly: routing has one choice, the rebalancer is skipped,
+//! the worker split hands the whole portfolio budget to the only cell,
+//! and a round solves iff the single cell was touched by an event — which
+//! is precisely when the plain driver would have called
+//! [`MrcpRm::reschedule`]. The determinism tests hold the repo to that.
+
+use crate::cell::Cell;
+use crate::metrics::ClusterMetrics;
+use crate::rebalance::RebalanceConfig;
+use crate::router::two_choices;
+use desim::SimTime;
+use mrcp::manager::{
+    AbandonedJob, AdmissionOutcome, FailureAction, JobCompletion, ManagerError, ManagerStats,
+    MrcpConfig, MrcpRm, ScheduleEntry,
+};
+use mrcp::sim_driver::{simulate_with, JobOutcome, ResourceManager, RunMetrics, SimConfig};
+use mrcp::AdmissionPolicy;
+use std::collections::HashMap;
+use std::time::Instant;
+use workload::{Job, JobId, Resource, ResourceId, TaskId};
+
+/// Federation shape: how many cells and how eagerly to rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of cells to shard the resource pool into (clamped to
+    /// `[1, resources]`; resources are dealt round-robin).
+    pub cells: usize,
+    /// Cross-cell rebalancing knobs.
+    pub rebalance: RebalanceConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            cells: 1,
+            rebalance: RebalanceConfig::default(),
+        }
+    }
+}
+
+/// K sharded [`MrcpRm`]s behind the driver's [`ResourceManager`] surface.
+#[derive(Debug)]
+pub struct Federation {
+    cells: Vec<Cell>,
+    rebalance: RebalanceConfig,
+    /// The undivided portfolio worker budget ([`mrcp::SolveBudget`]
+    /// `workers`), split across the cells active in each round.
+    base_workers: usize,
+    res_cell: HashMap<ResourceId, usize>,
+    task_cell: HashMap<TaskId, usize>,
+    job_cell: HashMap<JobId, usize>,
+    metrics: ClusterMetrics,
+    /// Fleet-wide high-water mark of jobs in the system (the per-cell
+    /// `max_queue_depth` watermarks do not sum to this).
+    max_fleet_depth: usize,
+}
+
+impl Federation {
+    /// Shard `resources` round-robin into `cfg.cells` cells, each running
+    /// its own manager with the shared `mgr` configuration. Panics when
+    /// `resources` is empty (mirroring [`MrcpRm::new`]).
+    pub fn new(cfg: &ClusterConfig, mgr: MrcpConfig, resources: Vec<Resource>) -> Self {
+        assert!(
+            !resources.is_empty(),
+            "federation needs at least one resource"
+        );
+        let k = cfg.cells.clamp(1, resources.len());
+        let mut pools: Vec<Vec<Resource>> = vec![Vec::new(); k];
+        let mut res_cell = HashMap::new();
+        for (i, r) in resources.into_iter().enumerate() {
+            res_cell.insert(r.id, i % k);
+            pools[i % k].push(r);
+        }
+        let cells: Vec<Cell> = pools
+            .into_iter()
+            .enumerate()
+            .map(|(id, pool)| Cell::new(id, MrcpRm::new(mgr, pool)))
+            .collect();
+        let base_workers = mgr.budget.workers.max(1);
+        Federation {
+            cells,
+            rebalance: cfg.rebalance,
+            base_workers,
+            res_cell,
+            task_cell: HashMap::new(),
+            job_cell: HashMap::new(),
+            metrics: ClusterMetrics::new(k),
+            max_fleet_depth: 0,
+        }
+    }
+
+    /// The cells (read-only; tests and reports inspect per-cell state).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The federation-level counters accumulated so far.
+    pub fn cluster_metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Consume the federation, returning its metrics.
+    pub fn into_cluster_metrics(self) -> ClusterMetrics {
+        self.metrics
+    }
+
+    fn loads(&self) -> Vec<f64> {
+        self.cells.iter().map(Cell::load).collect()
+    }
+
+    fn cell_of_task(&self, task: TaskId) -> Result<usize, ManagerError> {
+        self.task_cell
+            .get(&task)
+            .copied()
+            .ok_or(ManagerError::UnknownTask(task))
+    }
+
+    /// Pick the destination cell for an arrival: the less loaded of the
+    /// two least-loaded cells, refined by their admission probes — the
+    /// job spills to the alternate when the primary's probe rejects and
+    /// the alternate's admits. Returns `(cell, spilled)`.
+    fn route(&self, job: &Job, now: SimTime) -> (usize, bool) {
+        let (primary, alternate) = two_choices(&self.loads());
+        let Some(alt) = alternate else {
+            return (primary, false);
+        };
+        // Best-effort admission has no probe to consult: the load
+        // estimate alone is the "better" judgment.
+        if self.cells[primary].rm.config().admission.policy == AdmissionPolicy::BestEffort {
+            return (primary, false);
+        }
+        if self.cells[primary].rm.probe_admission(job, now).is_ok() {
+            (primary, false)
+        } else if self.cells[alt].rm.probe_admission(job, now).is_ok() {
+            (alt, true)
+        } else {
+            // Both probes reject: let the primary apply its configured
+            // policy (reject / renegotiate) and count it exactly once.
+            (primary, false)
+        }
+    }
+
+    fn forget(&mut self, ab: &AbandonedJob) {
+        self.job_cell.remove(&ab.job);
+        for t in &ab.tasks {
+            self.task_cell.remove(t);
+        }
+    }
+
+    fn note_fleet_depth(&mut self) {
+        let depth: usize = self.cells.iter().map(|c| c.rm.jobs_in_system()).sum();
+        self.max_fleet_depth = self.max_fleet_depth.max(depth);
+    }
+
+    /// Solve every dirty cell's round concurrently, splitting the
+    /// portfolio worker budget across the cells that actually hold work.
+    fn solve_dirty(&mut self, now: SimTime) {
+        let active = self
+            .cells
+            .iter()
+            .filter(|c| c.dirty && c.rm.jobs_in_system() > 0)
+            .count();
+        let dirty = self.cells.iter().filter(|c| c.dirty).count();
+        if dirty == 0 {
+            return;
+        }
+        let per_cell = (self.base_workers / active.max(1)).max(1);
+        let t0 = Instant::now();
+        if dirty == 1 {
+            // Hot path (and the cells=1 identity path): no thread setup.
+            let c = self
+                .cells
+                .iter_mut()
+                .find(|c| c.dirty)
+                .expect("counted above");
+            c.rm.set_portfolio_workers(per_cell);
+            c.rm.reschedule(now);
+            c.dirty = false;
+        } else {
+            std::thread::scope(|s| {
+                for c in self.cells.iter_mut().filter(|c| c.dirty) {
+                    c.rm.set_portfolio_workers(per_cell);
+                    s.spawn(move || {
+                        c.rm.reschedule(now);
+                        c.dirty = false;
+                    });
+                }
+            });
+        }
+        if active > 0 {
+            self.metrics.rounds += 1;
+            self.metrics
+                .round_latencies_us
+                .push(t0.elapsed().as_micros() as u64);
+            self.metrics.max_cells_active = self.metrics.max_cells_active.max(active);
+        }
+    }
+
+    /// Offer each cell's planned-late, fully-unstarted jobs to the cells
+    /// with the most slack, bounded by the per-round migration budget.
+    /// Returns how many jobs moved.
+    fn run_rebalance(&mut self, now: SimTime) -> usize {
+        let budget = self.rebalance.max_migrations_per_round;
+        if budget == 0 || self.cells.len() < 2 {
+            return 0;
+        }
+        // Candidates: late by the cell's own incumbent (or unplanned
+        // entirely, deficit = MAX), already releasable so the migrated
+        // submit re-enters as Active — the driver holds no activation
+        // event for a job it believes is already in a scheduling set.
+        let mut cands: Vec<(i64, usize, JobId)> = Vec::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            for p in c.rm.planned_unstarted_jobs() {
+                if p.planned_completion > p.deadline && p.earliest_start <= now {
+                    let deficit = if p.planned_completion == SimTime::MAX {
+                        i64::MAX
+                    } else {
+                        (p.planned_completion - p.deadline).as_millis()
+                    };
+                    cands.push((deficit, i, p.job));
+                }
+            }
+        }
+        // Largest deficit first; ties deterministic on (cell, job).
+        cands.sort_unstable_by_key(|&(d, i, j)| (std::cmp::Reverse(d), i, j));
+
+        let mut moved = 0usize;
+        for (_, src, job_id) in cands {
+            if moved >= budget {
+                break;
+            }
+            let Some(job) = self.cells[src].rm.job(job_id).cloned() else {
+                continue; // already migrated away this pass
+            };
+            let loads = self.loads();
+            let mut dests: Vec<usize> = (0..self.cells.len()).filter(|&i| i != src).collect();
+            dests.sort_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)));
+            for &d in dests.iter().take(self.rebalance.probe_fanout.max(1)) {
+                self.metrics.migration_probes += 1;
+                if self.cells[d].rm.probe_admission(&job, now).is_err() {
+                    continue;
+                }
+                let Ok(owned) = self.cells[src].rm.take_unstarted_job(job_id) else {
+                    break;
+                };
+                let tasks: Vec<TaskId> = owned.tasks().map(|t| t.id).collect();
+                match self.cells[d].rm.submit(owned, now) {
+                    Ok(_) => {
+                        self.job_cell.insert(job_id, d);
+                        for t in tasks {
+                            self.task_cell.insert(t, d);
+                        }
+                        self.cells[src].dirty = true;
+                        self.cells[d].dirty = true;
+                        self.metrics.migrations += 1;
+                        moved += 1;
+                    }
+                    // Unreachable — the ids were just removed from `src`
+                    // and are foreign to `d` — but a lost job must not
+                    // take the run down with it.
+                    Err(e) => debug_assert!(false, "migration resubmit failed: {e}"),
+                }
+                break;
+            }
+        }
+        moved
+    }
+}
+
+impl ResourceManager for Federation {
+    fn submit_with_admission(
+        &mut self,
+        job: Job,
+        now: SimTime,
+    ) -> Result<AdmissionOutcome, ManagerError> {
+        // Fleet-wide duplicate checks: per-cell checks cannot see a twin
+        // living in another cell.
+        if self.job_cell.contains_key(&job.id) {
+            return Err(ManagerError::DuplicateJob(job.id));
+        }
+        if let Some(t) = job.tasks().find(|t| self.task_cell.contains_key(&t.id)) {
+            return Err(ManagerError::DuplicateTask(t.id));
+        }
+        let (target, spilled) = self.route(&job, now);
+        let id = job.id;
+        let tasks: Vec<TaskId> = job.tasks().map(|t| t.id).collect();
+        let out = self.cells[target].rm.submit_with_admission(job, now)?;
+        let shed = out.shed.clone();
+        for ab in &shed {
+            self.forget(ab);
+        }
+        if out.submitted.is_some() {
+            self.job_cell.insert(id, target);
+            for t in tasks {
+                self.task_cell.insert(t, target);
+            }
+            self.metrics.jobs_routed[target] += 1;
+            if spilled {
+                self.metrics.spills += 1;
+            }
+            self.cells[target].dirty = true;
+            self.note_fleet_depth();
+        } else if !shed.is_empty() {
+            self.cells[target].dirty = true;
+        }
+        Ok(out)
+    }
+
+    fn activate_due(&mut self, now: SimTime) -> usize {
+        let mut total = 0;
+        for c in &mut self.cells {
+            let n = c.rm.activate_due(now);
+            if n > 0 {
+                c.dirty = true;
+            }
+            total += n;
+        }
+        total
+    }
+
+    fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry> {
+        self.solve_dirty(now);
+        if self.run_rebalance(now) > 0 {
+            // One follow-up pass replans the cells the migrations touched;
+            // no second rebalance, so a round cannot ping-pong jobs.
+            self.solve_dirty(now);
+        }
+        let mut entries: Vec<ScheduleEntry> = self
+            .cells
+            .iter()
+            .flat_map(|c| c.rm.current_schedule())
+            .collect();
+        entries.sort_by_key(|e| (e.start, e.task));
+        entries
+    }
+
+    fn task_started(&mut self, task: TaskId, now: SimTime) -> Result<ResourceId, ManagerError> {
+        let cell = self.cell_of_task(task)?;
+        self.cells[cell].rm.task_started(task, now)
+    }
+
+    fn task_completed(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+    ) -> Result<Option<JobCompletion>, ManagerError> {
+        let cell = self.cell_of_task(task)?;
+        let done = self.cells[cell].rm.task_completed(task, now)?;
+        // A completion frees capacity the next round can use even when
+        // the driver does not replan for it immediately.
+        self.cells[cell].dirty = true;
+        self.task_cell.remove(&task);
+        if let Some(c) = &done {
+            self.job_cell.remove(&c.job);
+        }
+        Ok(done)
+    }
+
+    fn task_duration_revised(
+        &mut self,
+        task: TaskId,
+        new_exec: SimTime,
+    ) -> Result<(), ManagerError> {
+        let cell = self.cell_of_task(task)?;
+        self.cells[cell].rm.task_duration_revised(task, new_exec)?;
+        self.cells[cell].dirty = true;
+        Ok(())
+    }
+
+    fn task_failed(&mut self, task: TaskId, now: SimTime) -> Result<FailureAction, ManagerError> {
+        let cell = self.cell_of_task(task)?;
+        let action = self.cells[cell].rm.task_failed(task, now)?;
+        self.cells[cell].dirty = true;
+        if let FailureAction::JobAbandoned(ab) = &action {
+            let ab = ab.clone();
+            self.forget(&ab);
+        }
+        Ok(action)
+    }
+
+    fn resource_down(
+        &mut self,
+        rid: ResourceId,
+        now: SimTime,
+    ) -> Result<Vec<TaskId>, ManagerError> {
+        let cell = *self
+            .res_cell
+            .get(&rid)
+            .ok_or(ManagerError::UnknownResource(rid))?;
+        let interrupted = self.cells[cell].rm.resource_down(rid, now)?;
+        self.cells[cell].dirty = true;
+        Ok(interrupted)
+    }
+
+    fn resource_up(&mut self, rid: ResourceId, now: SimTime) -> Result<(), ManagerError> {
+        let cell = *self
+            .res_cell
+            .get(&rid)
+            .ok_or(ManagerError::UnknownResource(rid))?;
+        self.cells[cell].rm.resource_up(rid, now)?;
+        self.cells[cell].dirty = true;
+        Ok(())
+    }
+
+    fn jobs_in_system(&self) -> usize {
+        self.cells.iter().map(|c| c.rm.jobs_in_system()).sum()
+    }
+
+    fn stats(&self) -> ManagerStats {
+        let mut agg = ManagerStats::default();
+        for c in &self.cells {
+            agg.absorb(&c.rm.stats());
+        }
+        // Counters sum across cells, but queue depth is a fleet-wide
+        // high-water mark the federation tracks itself.
+        agg.max_queue_depth = self.max_fleet_depth;
+        agg
+    }
+}
+
+/// Simulation inputs for a federated run: the per-cell manager/driver
+/// configuration plus the federation shape.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSimConfig {
+    /// Driver + per-cell manager configuration (identical for all cells).
+    pub sim: SimConfig,
+    /// Federation shape.
+    pub cluster: ClusterConfig,
+}
+
+/// Run the full simulation (arrivals, task lifecycle, faults) against a
+/// federated cluster and collect both the paper's metrics and the
+/// federation-level counters.
+pub fn simulate_cluster(
+    cfg: &ClusterSimConfig,
+    resources: &[Resource],
+    jobs: Vec<Job>,
+) -> (RunMetrics, ClusterMetrics) {
+    let (metrics, _outcomes, fed) = simulate_cluster_detailed(cfg, resources, jobs);
+    (metrics, fed.into_cluster_metrics())
+}
+
+/// Like [`simulate_cluster`] but also returns the per-job outcomes and
+/// the federation itself for post-run inspection.
+pub fn simulate_cluster_detailed(
+    cfg: &ClusterSimConfig,
+    resources: &[Resource],
+    jobs: Vec<Job>,
+) -> (RunMetrics, Vec<JobOutcome>, Federation) {
+    simulate_with(&cfg.sim, resources, jobs, |mgr_cfg| {
+        Federation::new(&cfg.cluster, mgr_cfg, resources.to_vec())
+    })
+}

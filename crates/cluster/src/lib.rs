@@ -1,0 +1,40 @@
+//! # cluster — multi-cell federation over MRCP-RM
+//!
+//! The paper's MRCP-RM is a single scheduler: every arrival triggers a
+//! round over the whole resource pool, so matchmaking-and-scheduling
+//! overhead `O` grows superlinearly with the number of jobs in flight
+//! (Fig. 4, Table 4) and caps the cluster size one manager can serve.
+//! This crate is the scale-out answer: the pool is sharded into K
+//! **cells**, each running its own full [`mrcp::MrcpRm`] (admission probe,
+//! round cache, budget controller and all), behind
+//!
+//! * a **router** ([`router`]) that places each arriving job with
+//!   power-of-two-choices: probe the two least-loaded cells' admission
+//!   estimators and send the job to the better one, spilling to the
+//!   alternative when the first probe rejects;
+//! * **concurrent rounds** ([`federation`]): cells dirtied since the last
+//!   round solve simultaneously on scoped threads, splitting the
+//!   [`mrcp::SolveBudget`] `workers` portfolio budget between them;
+//! * a **rebalancer** ([`rebalance`]): after each round, jobs a cell's
+//!   incumbent schedule leaves late are offered, under a bounded
+//!   migration budget, to the cell whose probe reports the most slack.
+//!
+//! [`Federation`] implements [`mrcp::ResourceManager`], so the existing
+//! simulation driver (arrivals, deferrals, task lifecycle, fault
+//! injection) drives a federated cluster unchanged — [`simulate_cluster`]
+//! is [`mrcp::sim_driver::simulate_with`] plugged with a federation. With
+//! `cells = 1` the federation is behaviorally identical to the plain
+//! single-manager driver (proved by the determinism regression tests).
+
+pub mod cell;
+pub mod federation;
+pub mod metrics;
+pub mod rebalance;
+pub mod router;
+
+pub use cell::Cell;
+pub use federation::{
+    simulate_cluster, simulate_cluster_detailed, ClusterConfig, ClusterSimConfig, Federation,
+};
+pub use metrics::ClusterMetrics;
+pub use rebalance::RebalanceConfig;

@@ -1,0 +1,52 @@
+//! Federation-level observability: what the router, the concurrent solve
+//! rounds, and the rebalancer did over a run. Per-cell scheduling stats
+//! stay in each cell's [`mrcp::ManagerStats`]; this struct covers only
+//! what exists *between* cells.
+
+use std::time::Duration;
+
+/// Counters and latency samples accumulated by a [`crate::Federation`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterMetrics {
+    /// Number of cells.
+    pub cells: usize,
+    /// Jobs the router placed in each cell (admitted submissions only).
+    pub jobs_routed: Vec<u64>,
+    /// Jobs placed in the alternate cell because the primary's admission
+    /// probe rejected while the alternate's admitted.
+    pub spills: u64,
+    /// Jobs moved between cells by the rebalancer.
+    pub migrations: u64,
+    /// Destination probes the rebalancer ran (successful or not).
+    pub migration_probes: u64,
+    /// Scheduling rounds in which at least one non-empty cell solved.
+    pub rounds: u64,
+    /// Wall-clock latency of each such round — the concurrent solve of
+    /// every dirty cell, so with K cells active this is the max of K
+    /// parallel solves, not their sum.
+    pub round_latencies_us: Vec<u64>,
+    /// Most cells solving concurrently in a single round.
+    pub max_cells_active: usize,
+}
+
+impl ClusterMetrics {
+    pub(crate) fn new(cells: usize) -> Self {
+        ClusterMetrics {
+            cells,
+            jobs_routed: vec![0; cells],
+            ..Default::default()
+        }
+    }
+
+    /// Nearest-rank quantile of the per-round solve latency, `q` in
+    /// [0, 1]; `None` before any round has run.
+    pub fn round_latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.round_latencies_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.round_latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_micros(sorted[idx]))
+    }
+}

@@ -1,0 +1,67 @@
+//! Power-of-two-choices placement over cell loads.
+//!
+//! The classic result (Mitzenmacher; Azar et al.) is that sampling two
+//! queues and joining the shorter one drops the maximum load from
+//! `Θ(log n / log log n)` to `Θ(log log n)`. Here the "two sampled
+//! queues" are the two least-loaded cells by the slack estimate of
+//! [`crate::Cell::load`], and the choice between them is refined by each
+//! cell's admission probe: the primary gets the job unless its probe
+//! rejects while the alternate's admits (a **spill**). Selection is fully
+//! deterministic — ties break on the lower cell index — so federated runs
+//! stay reproducible under the workspace's common-random-numbers
+//! discipline (no RNG anywhere in the routing path).
+
+/// The two least-loaded cells, primary first. `None` alternate iff there
+/// is only one cell. Ties break on the lower index.
+pub fn two_choices(loads: &[f64]) -> (usize, Option<usize>) {
+    assert!(!loads.is_empty(), "router needs at least one cell");
+    let mut primary = 0usize;
+    for (i, &l) in loads.iter().enumerate().skip(1) {
+        if l < loads[primary] {
+            primary = i;
+        }
+    }
+    let mut alternate: Option<usize> = None;
+    for (i, &l) in loads.iter().enumerate() {
+        if i == primary {
+            continue;
+        }
+        match alternate {
+            None => alternate = Some(i),
+            Some(a) if l < loads[a] => alternate = Some(i),
+            Some(_) => {}
+        }
+    }
+    (primary, alternate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_two_least_loaded() {
+        let (p, a) = two_choices(&[3.0, 1.0, 2.0, 5.0]);
+        assert_eq!(p, 1);
+        assert_eq!(a, Some(2));
+    }
+
+    #[test]
+    fn ties_break_on_lower_index() {
+        let (p, a) = two_choices(&[2.0, 2.0, 2.0]);
+        assert_eq!(p, 0);
+        assert_eq!(a, Some(1));
+    }
+
+    #[test]
+    fn single_cell_has_no_alternate() {
+        assert_eq!(two_choices(&[7.0]), (0, None));
+    }
+
+    #[test]
+    fn infinite_load_repels() {
+        let (p, a) = two_choices(&[f64::INFINITY, 4.0, 9.0]);
+        assert_eq!(p, 1);
+        assert_eq!(a, Some(2));
+    }
+}

@@ -1,0 +1,278 @@
+//! End-to-end federation tests: determinism, the cells=1 identity with
+//! the plain single-manager driver, multi-cell draining, worker-budget
+//! splitting, and the cross-cell rebalancer.
+
+use cluster::{simulate_cluster, ClusterConfig, ClusterSimConfig, Federation, RebalanceConfig};
+use desim::SimTime;
+use mrcp::{simulate, AdmissionPolicy, MrcpConfig, ResourceManager, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::model::homogeneous_cluster;
+use workload::{Job, JobId, Resource, SyntheticConfig, SyntheticGenerator, Task, TaskId, TaskKind};
+
+/// A small open workload on `m` resources.
+fn small_workload(n: usize, m: u32, lambda: f64, seed: u64) -> (Vec<Resource>, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 6),
+        reduces_per_job: (1, 3),
+        e_max: 10,
+        lambda,
+        resources: m,
+        map_capacity: 2,
+        reduce_capacity: 2,
+        s_max: 100,
+        ..Default::default()
+    };
+    let cluster = cfg.cluster();
+    let mut gen = SyntheticGenerator::new(cfg, StdRng::seed_from_u64(seed));
+    (cluster, gen.take_jobs(n))
+}
+
+fn cluster_cfg(cells: usize) -> ClusterSimConfig {
+    ClusterSimConfig {
+        sim: SimConfig::default(),
+        cluster: ClusterConfig {
+            cells,
+            rebalance: RebalanceConfig::default(),
+        },
+    }
+}
+
+/// One hand-built job: `maps` map tasks and one reduce, all `exec` long.
+fn job(id: u32, maps: u32, exec: SimTime, deadline: SimTime) -> Job {
+    let map_tasks: Vec<Task> = (0..maps)
+        .map(|i| Task {
+            id: TaskId(id * 100 + i),
+            job: JobId(id),
+            kind: TaskKind::Map,
+            exec_time: exec,
+            req: 1,
+        })
+        .collect();
+    let reduce_tasks = vec![Task {
+        id: TaskId(id * 100 + 99),
+        job: JobId(id),
+        kind: TaskKind::Reduce,
+        exec_time: exec,
+        req: 1,
+    }];
+    Job {
+        id: JobId(id),
+        arrival: SimTime::ZERO,
+        earliest_start: SimTime::ZERO,
+        deadline,
+        map_tasks,
+        reduce_tasks,
+        precedences: Vec::new(),
+    }
+}
+
+#[test]
+fn same_seed_federated_run_is_bit_identical() {
+    let cfg = cluster_cfg(2);
+    let (resources, jobs) = small_workload(30, 4, 0.05, 11);
+    let (m1, c1) = simulate_cluster(&cfg, &resources, jobs.clone());
+    let (m2, c2) = simulate_cluster(&cfg, &resources, jobs);
+    assert_eq!(m1.deterministic_signature(), m2.deterministic_signature());
+    // Federation counters must agree too (latency samples are wall-clock
+    // and excluded, but their count is deterministic).
+    assert_eq!(c1.jobs_routed, c2.jobs_routed);
+    assert_eq!(c1.spills, c2.spills);
+    assert_eq!(c1.migrations, c2.migrations);
+    assert_eq!(c1.migration_probes, c2.migration_probes);
+    assert_eq!(c1.rounds, c2.rounds);
+    assert_eq!(c1.round_latencies_us.len(), c2.round_latencies_us.len());
+}
+
+#[test]
+fn single_cell_federation_matches_plain_driver() {
+    let (resources, jobs) = small_workload(30, 4, 0.05, 17);
+    let plain = simulate(&SimConfig::default(), &resources, jobs.clone());
+    let (fed, cm) = simulate_cluster(&cluster_cfg(1), &resources, jobs);
+    assert_eq!(
+        plain.deterministic_signature(),
+        fed.deterministic_signature(),
+        "cells=1 federation must be metric-identical to the single manager"
+    );
+    assert_eq!(cm.cells, 1);
+    assert_eq!(cm.migrations, 0, "one cell has nowhere to migrate to");
+    assert_eq!(cm.spills, 0, "one cell has nowhere to spill to");
+}
+
+#[test]
+fn multi_cell_run_drains_and_conserves_jobs() {
+    let (resources, jobs) = small_workload(40, 8, 0.05, 23);
+    let n = jobs.len();
+    let (m, cm) = simulate_cluster(&cluster_cfg(4), &resources, jobs);
+    assert_eq!(m.arrived, n);
+    assert_eq!(
+        m.completed + m.jobs_rejected as usize + m.jobs_shed as usize + m.jobs_abandoned,
+        m.arrived,
+        "every arrival must complete, be rejected, be shed, or be abandoned"
+    );
+    assert_eq!(cm.jobs_routed.len(), 4);
+    assert_eq!(
+        cm.jobs_routed.iter().sum::<u64>() as usize,
+        n,
+        "best-effort admission routes every arrival somewhere"
+    );
+    // Load-aware routing should not starve whole cells on 40 jobs.
+    assert!(
+        cm.jobs_routed.iter().all(|&r| r > 0),
+        "{:?}",
+        cm.jobs_routed
+    );
+    assert!(cm.rounds > 0);
+    assert!(cm.max_cells_active >= 1);
+}
+
+#[test]
+fn worker_budget_splits_across_active_cells() {
+    let resources = homogeneous_cluster(2, 2, 2);
+    let mut mgr = MrcpConfig::default();
+    mgr.budget.workers = 4;
+    let cfg = ClusterConfig {
+        cells: 2,
+        rebalance: RebalanceConfig::default(),
+    };
+    let mut fed = Federation::new(&cfg, mgr, resources);
+    // First arrival lands in cell 0 (tie on empty loads), second in the
+    // now-less-loaded cell 1.
+    fed.submit_with_admission(
+        job(
+            1,
+            2,
+            SimTime::from_millis(10_000),
+            SimTime::from_millis(500_000),
+        ),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    fed.submit_with_admission(
+        job(
+            2,
+            2,
+            SimTime::from_millis(10_000),
+            SimTime::from_millis(500_000),
+        ),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    assert_eq!(fed.cluster_metrics().jobs_routed, vec![1, 1]);
+    let entries = fed.reschedule(SimTime::ZERO);
+    assert!(!entries.is_empty());
+    for c in fed.cells() {
+        assert_eq!(
+            c.rm.config().budget.workers,
+            2,
+            "two active cells split the 4-worker portfolio budget"
+        );
+    }
+}
+
+#[test]
+fn rebalancer_moves_planned_late_job_off_downed_cell() {
+    let resources = homogeneous_cluster(2, 1, 1);
+    let rids: Vec<_> = resources.iter().map(|r| r.id).collect();
+    let cfg = ClusterConfig {
+        cells: 2,
+        rebalance: RebalanceConfig::default(),
+    };
+    let mut fed = Federation::new(&cfg, MrcpConfig::default(), resources);
+    // The only arrival lands in cell 0 and gets planned there.
+    let j = job(
+        1,
+        1,
+        SimTime::from_millis(10_000),
+        SimTime::from_millis(400_000),
+    );
+    fed.submit_with_admission(j, SimTime::ZERO).unwrap();
+    assert_eq!(fed.cluster_metrics().jobs_routed, vec![1, 0]);
+    let entries = fed.reschedule(SimTime::ZERO);
+    assert!(entries.iter().all(|e| e.resource == rids[0]));
+    // Cell 0's only resource crashes before anything starts: the job is
+    // unplannable there and the rebalancer must move it to cell 1.
+    let interrupted = fed
+        .resource_down(rids[0], SimTime::from_millis(1_000))
+        .unwrap();
+    assert!(interrupted.is_empty(), "nothing had started yet");
+    let entries = fed.reschedule(SimTime::from_millis(1_000));
+    assert_eq!(fed.cluster_metrics().migrations, 1);
+    assert_eq!(fed.cells()[0].rm.jobs_in_system(), 0);
+    assert_eq!(fed.cells()[1].rm.jobs_in_system(), 1);
+    assert!(!entries.is_empty(), "the migrated job must be replanned");
+    assert!(entries.iter().all(|e| e.resource == rids[1]));
+}
+
+#[test]
+fn arrival_spills_when_primary_probe_rejects_and_alternate_admits() {
+    use workload::ResourceId;
+    // Cell 0: one narrow node (1 map slot). Cell 1: one wide node (4 map
+    // slots). A wide, tight job sees cell 0 as primary (it is idle) but
+    // only cell 1 can parallelize it inside the deadline.
+    let resources = vec![
+        Resource {
+            id: ResourceId(0),
+            map_capacity: 1,
+            reduce_capacity: 1,
+        },
+        Resource {
+            id: ResourceId(1),
+            map_capacity: 4,
+            reduce_capacity: 4,
+        },
+    ];
+    let mut mgr = MrcpConfig::default();
+    mgr.admission.policy = AdmissionPolicy::Strict;
+    let cfg = ClusterConfig {
+        cells: 2,
+        rebalance: RebalanceConfig::default(),
+    };
+    let mut fed = Federation::new(&cfg, mgr, resources);
+    // 4 maps of 10s + one 10s reduce, due in 30s: serial maps need 50s.
+    let wide = job(
+        1,
+        4,
+        SimTime::from_millis(10_000),
+        SimTime::from_millis(30_000),
+    );
+    let out = fed.submit_with_admission(wide, SimTime::ZERO).unwrap();
+    assert!(out.submitted.is_some(), "the wide cell admits the job");
+    assert_eq!(fed.cluster_metrics().spills, 1);
+    assert_eq!(fed.cluster_metrics().jobs_routed, vec![0, 1]);
+    assert_eq!(fed.cells()[1].rm.jobs_in_system(), 1);
+}
+
+#[test]
+fn strict_both_cells_rejecting_counts_the_job_once() {
+    let resources = homogeneous_cluster(2, 1, 1);
+    let mut sim = SimConfig::default();
+    sim.manager.admission.policy = AdmissionPolicy::Strict;
+    let cfg = ClusterSimConfig {
+        sim,
+        cluster: ClusterConfig {
+            cells: 2,
+            rebalance: RebalanceConfig::default(),
+        },
+    };
+    // One feasible job plus one whose deadline no cell can meet.
+    let feasible = job(
+        1,
+        1,
+        SimTime::from_millis(10_000),
+        SimTime::from_millis(400_000),
+    );
+    let hopeless = job(
+        2,
+        4,
+        SimTime::from_millis(50_000),
+        SimTime::from_millis(60_000),
+    );
+    let (m, _cm) = simulate_cluster(&cfg, &resources, vec![feasible, hopeless]);
+    assert_eq!(m.arrived, 2);
+    assert_eq!(
+        m.jobs_rejected, 1,
+        "the hopeless job is rejected exactly once"
+    );
+    assert_eq!(m.completed, 1);
+}

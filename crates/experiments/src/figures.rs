@@ -12,6 +12,7 @@
 use crate::report::{FigureResult, PointResult};
 use crate::runner::{replicate, MetricAgg, Sample, Scale};
 use baselines::{run_slot_sim, DispatchPolicy, Edf, Fcfs, MinEdf, MinEdfWc};
+use cluster::{simulate_cluster, ClusterConfig, ClusterSimConfig};
 use desim::RngStreams;
 use mrcp::{simulate, MrcpConfig, RunMetrics, SimConfig, SolveBudget};
 use workload::{
@@ -110,6 +111,12 @@ pub fn all_figures() -> Vec<Figure> {
             title: "Extra: portfolio workers sweep — per-round parallel CP search (K = 1, 2, 4)",
             expectation: "not in the paper — more workers never worsen P at equal budget; O stays near-flat (workers share one wall-clock budget)",
             run: run_workers_sweep,
+        },
+        Figure {
+            name: "cells",
+            title: "Extra: federation cell-count sweep — sharded MRCP-RM with load-aware routing (cells = 1, 2, 4)",
+            expectation: "not in the paper — cells=1 reproduces the single manager exactly; sharding keeps P close while each round solves a fraction of the model",
+            run: run_cells_sweep,
         },
         Figure {
             name: "ablations",
@@ -373,6 +380,47 @@ fn run_workers_sweep(scale: &Scale, seed: u64) -> FigureResult {
         name: "workers".into(),
         title: "Portfolio workers sweep".into(),
         expectation: "more workers never worsen P at equal budget".into(),
+        points,
+    }
+}
+
+/// Federation cell-count sweep: the same Table 3 workload run through
+/// [`cluster::simulate_cluster`] with the resource pool sharded into
+/// K ∈ {1, 2, 4} cells (power-of-two-choices routing, cross-cell
+/// rebalancing). K is clamped to the scaled cluster size.
+fn run_cells_sweep(scale: &Scale, seed: u64) -> FigureResult {
+    let cfg = capped(SyntheticConfig::default(), scale);
+    let mut points = Vec::new();
+    for &k in &[1usize, 2, 4] {
+        let agg: MetricAgg = replicate(scale, |rep| {
+            let jobs = synth_jobs(&cfg, scale, seed, rep);
+            let cluster = cfg.cluster();
+            let ccfg = ClusterSimConfig {
+                sim: mrcp_sim_config(scale, jobs.len()),
+                cluster: ClusterConfig {
+                    cells: k,
+                    ..Default::default()
+                },
+            };
+            let (m, _cm) = simulate_cluster(&ccfg, &cluster, jobs);
+            Sample {
+                p_late: m.p_late,
+                n_late: m.late as f64,
+                turnaround_s: m.mean_turnaround_s,
+                overhead_s: m.o_per_job_s,
+                rejected_frac: turned_away(&m),
+            }
+        });
+        points.push(PointResult {
+            label: format!("cells={k}"),
+            series: "MRCP-RM federated".into(),
+            agg,
+        });
+    }
+    FigureResult {
+        name: "cells".into(),
+        title: "Federation cell-count sweep".into(),
+        expectation: "cells=1 matches the single manager; sharded cells keep P close".into(),
         points,
     }
 }
@@ -881,6 +929,7 @@ mod tests {
         }
         assert!(names.contains(&"faults"), "failure sweep registered");
         assert!(names.contains(&"overload"), "overload sweep registered");
+        assert!(names.contains(&"cells"), "federation sweep registered");
         assert!(figure_by_name("fig7").is_some());
         assert!(figure_by_name("nope").is_none());
     }

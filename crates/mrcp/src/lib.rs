@@ -43,10 +43,11 @@ pub mod split;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionPolicy, RejectReason};
 pub use manager::{
-    AbandonedJob, AdmissionOutcome, BudgetController, FailureAction, ManagerError, MrcpConfig,
-    MrcpRm, ScheduleEntry, SchedulingError, SolveBudget,
+    AbandonedJob, AdmissionOutcome, BudgetController, FailureAction, JobCompletion, ManagerError,
+    ManagerStats, MrcpConfig, MrcpRm, PlannedJob, ScheduleEntry, SchedulingError, SolveBudget,
 };
 pub use ordering::JobOrdering;
 pub use sim_driver::{
-    simulate, simulate_detailed, soak, RunMetrics, SimConfig, SoakLimits, SoakReport,
+    simulate, simulate_detailed, simulate_with, soak, JobOutcome, ResourceManager, RunMetrics,
+    SimConfig, SoakLimits, SoakReport,
 };

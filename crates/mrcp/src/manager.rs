@@ -56,6 +56,11 @@ pub enum ManagerError {
     DuplicateTask(TaskId),
     /// The task id is not in the system.
     UnknownTask(TaskId),
+    /// The job id is not in the system.
+    UnknownJob(JobId),
+    /// `take_unstarted_job` for a job with started or completed tasks —
+    /// partially-executed jobs cannot migrate between managers.
+    JobNotMigratable(JobId),
     /// `task_started` for a task with no current schedule entry.
     TaskNotScheduled(TaskId),
     /// A lifecycle notification that does not match the task's state
@@ -85,6 +90,10 @@ impl fmt::Display for ManagerError {
             ManagerError::DuplicateJob(j) => write!(f, "job {j} submitted twice"),
             ManagerError::DuplicateTask(t) => write!(f, "task {t} already known"),
             ManagerError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            ManagerError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            ManagerError::JobNotMigratable(j) => {
+                write!(f, "job {j} has started tasks and cannot migrate")
+            }
             ManagerError::TaskNotScheduled(t) => {
                 write!(f, "task {t} has no schedule entry")
             }
@@ -118,6 +127,10 @@ pub enum SchedulingError {
     NoSolution(String),
     /// The last-resort schedule failed the independent audit.
     AuditFailed(String),
+    /// A solved round's placements referenced tasks or jobs the manager
+    /// does not hold — an internal inconsistency surfaced as a failed
+    /// round instead of a panic (PR-2 no-panic convention).
+    Inconsistent(String),
 }
 
 impl fmt::Display for SchedulingError {
@@ -126,6 +139,7 @@ impl fmt::Display for SchedulingError {
             SchedulingError::ModelBuild(e) => write!(f, "model build failed: {e}"),
             SchedulingError::NoSolution(e) => write!(f, "no schedule found: {e}"),
             SchedulingError::AuditFailed(e) => write!(f, "schedule audit failed: {e}"),
+            SchedulingError::Inconsistent(e) => write!(f, "inconsistent round: {e}"),
         }
     }
 }
@@ -432,6 +446,49 @@ pub struct ManagerStats {
     pub cache_invalidations: u64,
 }
 
+impl ManagerStats {
+    /// Fold another manager's statistics into this one (the federation
+    /// layer aggregates per-cell stats into fleet totals): counters and
+    /// durations add, high-water marks take the max.
+    pub fn absorb(&mut self, other: &ManagerStats) {
+        self.invocations += other.invocations;
+        self.total_solve += other.total_solve;
+        self.total_nodes += other.total_nodes;
+        self.optimal_rounds += other.optimal_rounds;
+        self.feasible_rounds += other.feasible_rounds;
+        self.degraded_rounds += other.degraded_rounds;
+        self.failed_rounds += other.failed_rounds;
+        self.tasks_failed += other.tasks_failed;
+        self.tasks_requeued += other.tasks_requeued;
+        self.jobs_abandoned += other.jobs_abandoned;
+        self.max_tasks_in_model = self.max_tasks_in_model.max(other.max_tasks_in_model);
+        self.jobs_rejected += other.jobs_rejected;
+        self.jobs_renegotiated += other.jobs_renegotiated;
+        self.jobs_shed += other.jobs_shed;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.budget_adaptations += other.budget_adaptations;
+        self.max_round_solve = self.max_round_solve.max(other.max_round_solve);
+        self.warm_rounds += other.warm_rounds;
+        self.cache_invalidations += other.cache_invalidations;
+    }
+}
+
+/// A fully-unstarted job's standing in the current plan, as reported by
+/// [`MrcpRm::planned_unstarted_jobs`] for the federation rebalancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedJob {
+    /// The job.
+    pub job: JobId,
+    /// Its earliest start `s_j` (migration is only safe once this has
+    /// passed — a migrated submit must come back `Active`, not deferred).
+    pub earliest_start: SimTime,
+    /// Its SLA deadline.
+    pub deadline: SimTime,
+    /// Planned completion per the current schedule; [`SimTime::MAX`] when
+    /// at least one task has no schedule entry (unplanned work).
+    pub planned_completion: SimTime,
+}
+
 /// Completion record returned when a job's last task finishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobCompletion {
@@ -506,6 +563,7 @@ pub enum FailureAction {
 /// use workload::model::homogeneous_cluster;
 /// use workload::{Job, JobId, Task, TaskId, TaskKind};
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let job = Job {
 ///     id: JobId(0),
 ///     arrival: SimTime::ZERO,
@@ -520,15 +578,20 @@ pub enum FailureAction {
 /// };
 ///
 /// let mut rm = MrcpRm::new(MrcpConfig::default(), homogeneous_cluster(2, 1, 1));
-/// rm.submit(job, SimTime::ZERO).unwrap();
+/// rm.submit(job, SimTime::ZERO)?;
 /// let plan = rm.reschedule(SimTime::ZERO);   // Table 2 algorithm
+/// let first = *plan.first().ok_or("round produced no plan")?;
 /// assert_eq!(plan.len(), 1);
-/// assert_eq!(plan[0].start, SimTime::ZERO);
+/// assert_eq!(first.start, SimTime::ZERO);
 ///
 /// // Drive execution like the simulator would:
-/// rm.task_started(plan[0].task, plan[0].start).unwrap();
-/// let done = rm.task_completed(plan[0].task, plan[0].end).unwrap().unwrap();
+/// rm.task_started(first.task, first.start)?;
+/// let done = rm
+///     .task_completed(first.task, first.end)?
+///     .ok_or("job still has tasks outstanding")?;
 /// assert!(!done.late);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug)]
 pub struct MrcpRm {
@@ -619,6 +682,93 @@ impl MrcpRm {
         let mut ids: Vec<ResourceId> = self.down.iter().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Total remaining execution time across live jobs' non-completed
+    /// tasks — the load estimate the federation router compares cells by.
+    pub fn outstanding_work(&self) -> SimTime {
+        let mut total = SimTime::ZERO;
+        for state in self.jobs.values() {
+            for t in &state.tasks {
+                if t.status != TaskStatus::Completed {
+                    total += t.exec_time;
+                }
+            }
+        }
+        total
+    }
+
+    /// The stored job, if it is in the system (active or deferred).
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id).map(|s| &s.job)
+    }
+
+    /// Override the per-round portfolio worker count. The federation layer
+    /// splits one [`SolveBudget::workers`] budget across the cells solving
+    /// concurrently in a round; clamped to at least one worker.
+    pub fn set_portfolio_workers(&mut self, workers: usize) {
+        self.cfg.budget.workers = workers.max(1);
+    }
+
+    /// Run the two-stage admission probe (DESIGN.md §5c) against this
+    /// manager's live state without submitting anything. The federation
+    /// router and rebalancer use this as the per-cell slack estimator:
+    /// `Err` carries the reject reason and the earliest deadline this cell
+    /// could have promised.
+    pub fn probe_admission(&self, job: &Job, now: SimTime) -> Result<(), (RejectReason, SimTime)> {
+        self.admission_probe(job, now)
+    }
+
+    /// Every fully-unstarted, non-completed job with its planned completion
+    /// per the current schedule (sorted by job id). Jobs with unplanned
+    /// tasks report [`SimTime::MAX`]. The federation rebalancer offers the
+    /// late ones to cells with more slack.
+    pub fn planned_unstarted_jobs(&self) -> Vec<PlannedJob> {
+        let mut out: Vec<PlannedJob> = self
+            .jobs
+            .iter()
+            .filter(|(_, s)| s.tasks.iter().all(|t| t.status == TaskStatus::Waiting))
+            .map(|(&id, s)| {
+                let mut completion = SimTime::ZERO;
+                for t in &s.tasks {
+                    match self.schedule.get(&t.id) {
+                        Some(e) => completion = completion.max(e.end),
+                        None => {
+                            completion = SimTime::MAX;
+                            break;
+                        }
+                    }
+                }
+                PlannedJob {
+                    job: id,
+                    earliest_start: s.job.earliest_start,
+                    deadline: s.job.deadline,
+                    planned_completion: completion,
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|p| p.job);
+        out
+    }
+
+    /// Remove a fully-unstarted job and hand it back for migration to
+    /// another manager. Its plan entries, task ownership, and any deferral
+    /// are dropped; accumulated retry history does not migrate. Errors
+    /// leave the manager unchanged.
+    pub fn take_unstarted_job(&mut self, id: JobId) -> Result<Job, ManagerError> {
+        let Some(state) = self.jobs.remove(&id) else {
+            return Err(ManagerError::UnknownJob(id));
+        };
+        if state.tasks.iter().any(|t| t.status != TaskStatus::Waiting) {
+            self.jobs.insert(id, state);
+            return Err(ManagerError::JobNotMigratable(id));
+        }
+        for t in &state.tasks {
+            self.task_owner.remove(&t.id);
+            self.schedule.remove(&t.id);
+        }
+        self.deferred.retain(|&(_, j)| j != id);
+        Ok(state.job)
     }
 
     /// Submit an arriving job. Returns whether it joined the scheduling set
@@ -923,13 +1073,19 @@ impl MrcpRm {
             .remove(&task)
             .ok_or(ManagerError::TaskNotScheduled(task))?;
         debug_assert_eq!(entry.start, now, "start time drifted from plan");
-        let job = self.task_owner[&task];
-        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let job = *self
+            .task_owner
+            .get(&task)
+            .ok_or(ManagerError::UnknownTask(task))?;
+        let state = self
+            .jobs
+            .get_mut(&job)
+            .ok_or(ManagerError::UnknownJob(job))?;
         let t = state
             .tasks
             .iter_mut()
             .find(|t| t.id == task)
-            .expect("task in owner");
+            .ok_or(ManagerError::UnknownTask(task))?;
         debug_assert_eq!(t.status, TaskStatus::Waiting);
         t.status = TaskStatus::Started {
             resource: entry.resource,
@@ -950,12 +1106,15 @@ impl MrcpRm {
             .task_owner
             .get(&task)
             .ok_or(ManagerError::UnknownTask(task))?;
-        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let state = self
+            .jobs
+            .get_mut(&job)
+            .ok_or(ManagerError::UnknownJob(job))?;
         let t = state
             .tasks
             .iter_mut()
             .find(|t| t.id == task)
-            .expect("task in owner");
+            .ok_or(ManagerError::UnknownTask(task))?;
         match t.status {
             TaskStatus::Started { start, .. } => {
                 // Stragglers finish after start + e_t; completion can never
@@ -967,7 +1126,10 @@ impl MrcpRm {
         t.status = TaskStatus::Completed;
         state.remaining -= 1;
         if state.remaining == 0 {
-            let state = self.jobs.remove(&job).expect("present");
+            let state = self
+                .jobs
+                .remove(&job)
+                .ok_or(ManagerError::UnknownJob(job))?;
             for t in &state.tasks {
                 self.task_owner.remove(&t.id);
             }
@@ -996,12 +1158,15 @@ impl MrcpRm {
             .task_owner
             .get(&task)
             .ok_or(ManagerError::UnknownTask(task))?;
-        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let state = self
+            .jobs
+            .get_mut(&job)
+            .ok_or(ManagerError::UnknownJob(job))?;
         let t = state
             .tasks
             .iter_mut()
             .find(|t| t.id == task)
-            .expect("task in owner");
+            .ok_or(ManagerError::UnknownTask(task))?;
         match t.status {
             TaskStatus::Started { .. } => {
                 t.exec_time = new_exec;
@@ -1025,12 +1190,15 @@ impl MrcpRm {
             .task_owner
             .get(&task)
             .ok_or(ManagerError::UnknownTask(task))?;
-        let state = self.jobs.get_mut(&job).expect("owner exists");
+        let state = self
+            .jobs
+            .get_mut(&job)
+            .ok_or(ManagerError::UnknownJob(job))?;
         let t = state
             .tasks
             .iter_mut()
             .find(|t| t.id == task)
-            .expect("task in owner");
+            .ok_or(ManagerError::UnknownTask(task))?;
         if !matches!(t.status, TaskStatus::Started { .. }) {
             return Err(ManagerError::TaskNotRunning(task));
         }
@@ -1038,7 +1206,10 @@ impl MrcpRm {
         t.failed_attempts += 1;
         if t.failed_attempts > self.cfg.retry_budget {
             self.stats.jobs_abandoned += 1;
-            let state = self.jobs.remove(&job).expect("present");
+            let state = self
+                .jobs
+                .remove(&job)
+                .ok_or(ManagerError::UnknownJob(job))?;
             let tasks: Vec<TaskId> = state.tasks.iter().map(|t| t.id).collect();
             for id in &tasks {
                 self.task_owner.remove(id);
@@ -1223,25 +1394,22 @@ impl MrcpRm {
             self.stats.warm_rounds += 1;
         }
 
-        // Install: entries for unstarted tasks only.
+        // Install: entries for unstarted tasks only. A placement that
+        // refers to state the manager does not hold fails the round (no
+        // panic) and leaves the work queued for the next round.
         drop(inputs);
-        self.schedule.clear();
-        for (tid, rid, start) in placements {
-            let job = self.task_owner[&tid];
-            let state = &self.jobs[&job];
-            let t = state.tasks.iter().find(|t| t.id == tid).expect("task");
-            if t.status == TaskStatus::Waiting {
-                debug_assert!(start >= now, "new start {start} in the past (now {now})");
-                self.schedule.insert(
-                    tid,
-                    ScheduleEntry {
-                        task: tid,
-                        job,
-                        resource: rid,
-                        start,
-                        end: start + t.exec_time,
-                    },
-                );
+        match self.planned_entries(&placements, now) {
+            Ok(plan) => self.schedule = plan,
+            Err(err) => {
+                self.stats.invocations += 1;
+                self.stats.failed_rounds += 1;
+                let elapsed = t0.elapsed();
+                self.stats.total_solve += elapsed;
+                self.observe_round_latency(elapsed);
+                self.last_error = Some(err);
+                self.schedule.clear();
+                self.cache = None;
+                return Vec::new();
             }
         }
 
@@ -1268,6 +1436,44 @@ impl MrcpRm {
         let mut entries: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
         entries.sort_by_key(|e| (e.start, e.task));
         entries
+    }
+
+    /// Translate a round's placements into schedule entries for the
+    /// still-waiting tasks. A placement that refers to a task the manager
+    /// does not own surfaces as a typed [`SchedulingError`] (recorded as a
+    /// failed round by the caller) rather than a panic.
+    fn planned_entries(
+        &self,
+        placements: &[(TaskId, ResourceId, SimTime)],
+        now: SimTime,
+    ) -> Result<HashMap<TaskId, ScheduleEntry>, SchedulingError> {
+        let _ = now; // only read by the debug assertion below
+        let mut plan = HashMap::with_capacity(placements.len());
+        for &(tid, rid, start) in placements {
+            let job = *self.task_owner.get(&tid).ok_or_else(|| {
+                SchedulingError::Inconsistent(format!("placement for unowned task {tid}"))
+            })?;
+            let state = self.jobs.get(&job).ok_or_else(|| {
+                SchedulingError::Inconsistent(format!("task {tid} owned by missing job {job}"))
+            })?;
+            let t = state.tasks.iter().find(|t| t.id == tid).ok_or_else(|| {
+                SchedulingError::Inconsistent(format!("task {tid} not in job {job}"))
+            })?;
+            if t.status == TaskStatus::Waiting {
+                debug_assert!(start >= now, "new start {start} in the past (now {now})");
+                plan.insert(
+                    tid,
+                    ScheduleEntry {
+                        task: tid,
+                        job,
+                        resource: rid,
+                        start,
+                        end: start + t.exec_time,
+                    },
+                );
+            }
+        }
+        Ok(plan)
     }
 
     /// Model inputs for the active (or, for the admission probe, all) jobs

@@ -15,7 +15,10 @@
 //! ignored — mirroring how the Java implementation rewrites the dispatch
 //! plan on each round.
 
-use crate::manager::{AbandonedJob, FailureAction, MrcpConfig, MrcpRm, Submitted};
+use crate::manager::{
+    AbandonedJob, AdmissionOutcome, FailureAction, JobCompletion, ManagerError, ManagerStats,
+    MrcpConfig, MrcpRm, ScheduleEntry, Submitted,
+};
 use desim::engine::Flow;
 use desim::{Engine, EventQueue, RngStreams, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -167,6 +170,120 @@ pub struct RunMetrics {
     pub cache_invalidations: u64,
 }
 
+impl RunMetrics {
+    /// This run with every wall-clock-derived field zeroed, for bit-exact
+    /// comparison: the simulation itself is deterministic given the same
+    /// seed/workload, but `o_per_job_s`, `max_round_latency_s`, the
+    /// latency-EWMA-driven `budget_adaptations`, and (under a solver time
+    /// limit) `mean_nodes_per_round` measure host wall time and may differ
+    /// between two otherwise-identical runs. Everything else — counts,
+    /// simulated times, turnarounds — must match exactly.
+    pub fn deterministic_signature(&self) -> RunMetrics {
+        RunMetrics {
+            o_per_job_s: 0.0,
+            max_round_latency_s: 0.0,
+            budget_adaptations: 0,
+            mean_nodes_per_round: 0.0,
+            ..*self
+        }
+    }
+}
+
+/// The manager call surface the simulation driver runs against. The
+/// single-cell [`MrcpRm`] implements it by delegation; the federation
+/// layer (`crates/cluster`) implements it over K sharded managers, so the
+/// same event loop — arrivals, deferral activations, task lifecycle,
+/// faults — drives either topology with identical semantics.
+pub trait ResourceManager {
+    /// See [`MrcpRm::submit_with_admission`].
+    fn submit_with_admission(
+        &mut self,
+        job: Job,
+        now: SimTime,
+    ) -> Result<AdmissionOutcome, ManagerError>;
+    /// See [`MrcpRm::activate_due`].
+    fn activate_due(&mut self, now: SimTime) -> usize;
+    /// See [`MrcpRm::reschedule`].
+    fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry>;
+    /// See [`MrcpRm::task_started`].
+    fn task_started(&mut self, task: TaskId, now: SimTime) -> Result<ResourceId, ManagerError>;
+    /// See [`MrcpRm::task_completed`].
+    fn task_completed(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+    ) -> Result<Option<JobCompletion>, ManagerError>;
+    /// See [`MrcpRm::task_duration_revised`].
+    fn task_duration_revised(
+        &mut self,
+        task: TaskId,
+        new_exec: SimTime,
+    ) -> Result<(), ManagerError>;
+    /// See [`MrcpRm::task_failed`].
+    fn task_failed(&mut self, task: TaskId, now: SimTime) -> Result<FailureAction, ManagerError>;
+    /// See [`MrcpRm::resource_down`].
+    fn resource_down(&mut self, rid: ResourceId, now: SimTime)
+        -> Result<Vec<TaskId>, ManagerError>;
+    /// See [`MrcpRm::resource_up`].
+    fn resource_up(&mut self, rid: ResourceId, now: SimTime) -> Result<(), ManagerError>;
+    /// See [`MrcpRm::jobs_in_system`].
+    fn jobs_in_system(&self) -> usize;
+    /// See [`MrcpRm::stats`] — fleet-aggregated for multi-cell managers.
+    fn stats(&self) -> ManagerStats;
+}
+
+impl ResourceManager for MrcpRm {
+    fn submit_with_admission(
+        &mut self,
+        job: Job,
+        now: SimTime,
+    ) -> Result<AdmissionOutcome, ManagerError> {
+        MrcpRm::submit_with_admission(self, job, now)
+    }
+    fn activate_due(&mut self, now: SimTime) -> usize {
+        MrcpRm::activate_due(self, now)
+    }
+    fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry> {
+        MrcpRm::reschedule(self, now)
+    }
+    fn task_started(&mut self, task: TaskId, now: SimTime) -> Result<ResourceId, ManagerError> {
+        MrcpRm::task_started(self, task, now)
+    }
+    fn task_completed(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+    ) -> Result<Option<JobCompletion>, ManagerError> {
+        MrcpRm::task_completed(self, task, now)
+    }
+    fn task_duration_revised(
+        &mut self,
+        task: TaskId,
+        new_exec: SimTime,
+    ) -> Result<(), ManagerError> {
+        MrcpRm::task_duration_revised(self, task, new_exec)
+    }
+    fn task_failed(&mut self, task: TaskId, now: SimTime) -> Result<FailureAction, ManagerError> {
+        MrcpRm::task_failed(self, task, now)
+    }
+    fn resource_down(
+        &mut self,
+        rid: ResourceId,
+        now: SimTime,
+    ) -> Result<Vec<TaskId>, ManagerError> {
+        MrcpRm::resource_down(self, rid, now)
+    }
+    fn resource_up(&mut self, rid: ResourceId, now: SimTime) -> Result<(), ManagerError> {
+        MrcpRm::resource_up(self, rid, now)
+    }
+    fn jobs_in_system(&self) -> usize {
+        MrcpRm::jobs_in_system(self)
+    }
+    fn stats(&self) -> ManagerStats {
+        MrcpRm::stats(self)
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     Arrival(usize),
@@ -199,8 +316,8 @@ enum Ev {
     },
 }
 
-struct Driver {
-    rm: MrcpRm,
+struct Driver<M: ResourceManager> {
+    rm: M,
     jobs: Vec<Option<Job>>,
     total_jobs: usize,
     version: u64,
@@ -230,7 +347,7 @@ struct Driver {
     reschedule_on_completion: bool,
 }
 
-impl Driver {
+impl<M: ResourceManager> Driver<M> {
     fn install(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
         let plan = self.rm.reschedule(now);
         self.version += 1;
@@ -291,7 +408,7 @@ impl Driver {
     }
 }
 
-impl desim::Process<Ev> for Driver {
+impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
     fn handle(&mut self, now: SimTime, ev: Ev, queue: &mut EventQueue<Ev>) -> Flow {
         match ev {
             Ev::Arrival(idx) => {
@@ -522,6 +639,28 @@ pub fn simulate_detailed(
     resources: &[Resource],
     jobs: Vec<Job>,
 ) -> (RunMetrics, Vec<JobOutcome>) {
+    let (metrics, outcomes, _) = simulate_with(cfg, resources, jobs, |mgr_cfg| {
+        MrcpRm::new(mgr_cfg, resources.to_vec())
+    });
+    (metrics, outcomes)
+}
+
+/// Run the simulation against any [`ResourceManager`] — the federation
+/// layer plugs in here. `build` receives the effective manager
+/// configuration (with the fault-injection retry budget already applied)
+/// and constructs the manager over its own view of `resources`; the
+/// manager is handed back after the run so callers can read
+/// implementation-specific metrics off it.
+pub fn simulate_with<M, F>(
+    cfg: &SimConfig,
+    resources: &[Resource],
+    jobs: Vec<Job>,
+    build: F,
+) -> (RunMetrics, Vec<JobOutcome>, M)
+where
+    M: ResourceManager,
+    F: FnOnce(MrcpConfig) -> M,
+{
     cfg.faults.validate().expect("invalid fault config");
     let n = jobs.len();
     let mut engine: Engine<Ev> = Engine::new();
@@ -537,7 +676,7 @@ pub fn simulate_detailed(
         None
     };
     let mut driver = Driver {
-        rm: MrcpRm::new(mgr_cfg, resources.to_vec()),
+        rm: build(mgr_cfg),
         jobs: jobs.into_iter().map(Some).collect(),
         total_jobs: n,
         version: 0,
@@ -641,7 +780,7 @@ pub fn simulate_detailed(
         budget_adaptations: stats.budget_adaptations,
         max_round_latency_s: stats.max_round_solve.as_secs_f64(),
     };
-    (metrics, driver.completions)
+    (metrics, driver.completions, driver.rm)
 }
 
 /// Invariants the long-horizon soak run must keep (the overload-hardening
@@ -817,6 +956,17 @@ mod tests {
         assert_eq!(a.late, b.late);
         assert_eq!(a.mean_turnaround_s, b.mean_turnaround_s);
         assert_eq!(a.invocations, b.invocations);
+    }
+
+    #[test]
+    fn same_seed_gives_bit_identical_metrics() {
+        // The full struct, not selected fields: every deterministic field
+        // must agree bit-for-bit across two runs on the same inputs
+        // (wall-clock-derived fields are zeroed by the signature).
+        let (cluster, jobs) = small_workload(25, 0.05, 8);
+        let a = simulate(&SimConfig::default(), &cluster, jobs.clone());
+        let b = simulate(&SimConfig::default(), &cluster, jobs);
+        assert_eq!(a.deterministic_signature(), b.deterministic_signature());
     }
 
     #[test]
@@ -1038,6 +1188,7 @@ mod tests {
                 s_max: 1,
                 deadline_multiplier: 2.0,
                 arrival: ArrivalConfig::mmpp(0.5, 120.0, 20.0),
+                cells: Default::default(),
             };
             let cluster = cfg.cluster();
             let mut gen = SyntheticGenerator::new(cfg, StdRng::seed_from_u64(27));

@@ -29,6 +29,7 @@ fn workload(n: usize, lambda: f64, arrival: ArrivalConfig, seed: u64) -> (Vec<Re
         s_max: 1,
         deadline_multiplier: 2.0,
         arrival,
+        cells: Default::default(),
     };
     let cluster = cfg.cluster();
     let mut gen = SyntheticGenerator::new(cfg, StdRng::seed_from_u64(seed));

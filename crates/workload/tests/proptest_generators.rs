@@ -35,6 +35,7 @@ fn synth_config() -> impl Strategy<Value = SyntheticConfig> {
                 map_capacity: cm,
                 reduce_capacity: cr,
                 arrival: Default::default(),
+                cells: Default::default(),
             },
         )
 }

@@ -15,6 +15,8 @@
 //! * [`desim`] — the discrete event simulation kernel,
 //! * [`workload`] — job/task/resource model and workload generators,
 //! * [`mrcp`] — the MRCP-RM resource manager (the paper's contribution),
+//! * [`cluster`] — the multi-cell federation sharding the pool across
+//!   several MRCP-RM instances (extension),
 //! * [`baselines`] — MinEDF-WC, MinEDF, EDF, FCFS, and the LP-based
 //!   comparator of the paper's preliminary work,
 //! * [`lpsolve`] — a from-scratch two-phase simplex LP solver,
@@ -44,6 +46,7 @@
 //! ```
 
 pub use baselines;
+pub use cluster;
 pub use cpsolve;
 pub use desim;
 pub use experiments;
