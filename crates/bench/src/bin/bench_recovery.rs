@@ -1,0 +1,215 @@
+//! Durability overhead and recovery-latency sweep: answers the three
+//! questions the durability layer raises and writes a machine-readable
+//! `BENCH_recovery.json`.
+//!
+//! * `append` — nanoseconds to WAL-append one typical manager event, per
+//!   fsync batch size (`sync_every`): the per-command tax of durability.
+//! * `rounds` — p50/p95 federation round latency with the WAL on vs off
+//!   over the same workload (common random numbers): the end-to-end tax.
+//!   The acceptance bar is WAL-on p95 within 10% of WAL-off — appends
+//!   happen on the event path, not inside the solve, so round latency
+//!   should barely move.
+//! * `recovery` — microseconds to rebuild a manager from snapshot +
+//!   replay, as a function of the WAL length since the last snapshot:
+//!   the knob `snapshot_every` trades write amplification against.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_recovery -- [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks everything for CI; timings are then meaningless but
+//! the JSON shape is identical (checked by CI's key probe).
+
+use cluster::{simulate_cluster, simulate_cluster_durable, ClusterConfig, ClusterSimConfig};
+use desim::{RngStreams, SimTime};
+use durability::{
+    scratch_dir, DurabilityConfig, DurableRm, ManagerEvent, StoreConfig, Wal, WalConfig,
+};
+use mrcp::sim_driver::ResourceManager;
+use mrcp::SimConfig;
+use serde_json::Value;
+use std::time::Instant;
+use workload::{Job, Resource, SyntheticConfig, SyntheticGenerator};
+
+fn scenario(n_jobs: usize, rep: u64) -> (Vec<Resource>, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 4),
+        reduces_per_job: (1, 2),
+        e_max: 20,
+        p_future_start: 0.0,
+        s_max: 1,
+        deadline_multiplier: 4.0,
+        lambda: 2.0,
+        resources: 8,
+        map_capacity: 2,
+        reduce_capacity: 2,
+        ..Default::default()
+    };
+    cfg.validate();
+    let rng = RngStreams::new(7_000 + 1000 * n_jobs as u64 + rep).stream("bench-recovery");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n_jobs);
+    (cfg.cluster(), jobs)
+}
+
+/// Sorted-sample quantile (nearest-rank); `q` in [0, 1].
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// A typical WAL payload: one mid-size job submission, pre-encoded.
+fn typical_payload() -> Vec<u8> {
+    let (_, jobs) = scenario(4, 0);
+    ManagerEvent::SubmitWithAdmission {
+        job: jobs.into_iter().next().expect("generator yields jobs"),
+        now: SimTime::from_secs(1),
+    }
+    .to_bytes()
+}
+
+fn bench_append(sync_every: u64, events: u64) -> Value {
+    let dir = scratch_dir("bench-append");
+    let payload = typical_payload();
+    let mut wal = Wal::create(&dir.join("wal.log"), WalConfig { sync_every }).expect("create WAL");
+    let t0 = Instant::now();
+    for _ in 0..events {
+        wal.append(&payload).expect("append");
+    }
+    wal.sync().expect("final sync");
+    let ns = t0.elapsed().as_nanos() as u64 / events.max(1);
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    Value::Map(vec![
+        ("sync_every".into(), Value::UInt(sync_every)),
+        ("events".into(), Value::UInt(events)),
+        ("payload_bytes".into(), Value::UInt(payload.len() as u64)),
+        ("ns_per_append".into(), Value::UInt(ns)),
+    ])
+}
+
+/// p50/p95 round latency over `reps` runs of the same workload, with and
+/// without the durability layer underneath the federation.
+fn bench_rounds(n_jobs: usize, reps: u64) -> Value {
+    let cfg = ClusterSimConfig {
+        sim: SimConfig::default(),
+        cluster: ClusterConfig {
+            cells: 2,
+            ..Default::default()
+        },
+    };
+    let mut off_us: Vec<u64> = Vec::new();
+    let mut on_us: Vec<u64> = Vec::new();
+    for rep in 0..reps {
+        let (resources, jobs) = scenario(n_jobs, rep);
+        let (_, cm) = simulate_cluster(&cfg, &resources, jobs.clone());
+        off_us.extend(cm.round_latencies_us.iter().copied());
+
+        let dir = scratch_dir("bench-rounds");
+        let (_, _, fed) =
+            simulate_cluster_durable(&cfg, &resources, jobs, &dir, DurabilityConfig::default());
+        on_us.extend(fed.federation().cluster_metrics().round_latencies_us.iter());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    off_us.sort_unstable();
+    on_us.sort_unstable();
+    let p95_off = quantile(&off_us, 0.95);
+    let p95_on = quantile(&on_us, 0.95);
+    Value::Map(vec![
+        ("n_jobs".into(), Value::UInt(n_jobs as u64)),
+        ("reps".into(), Value::UInt(reps)),
+        ("p50_us_wal_off".into(), Value::UInt(quantile(&off_us, 0.5))),
+        ("p50_us_wal_on".into(), Value::UInt(quantile(&on_us, 0.5))),
+        ("p95_us_wal_off".into(), Value::UInt(p95_off)),
+        ("p95_us_wal_on".into(), Value::UInt(p95_on)),
+        (
+            "p95_ratio".into(),
+            Value::Float(p95_on as f64 / p95_off.max(1) as f64),
+        ),
+    ])
+}
+
+/// Time a full crash + rebuild with `events` commands in the WAL since
+/// the last snapshot (snapshot_every is set above `events` so the replay
+/// length is exactly the event count).
+fn bench_recovery(events: u64) -> Value {
+    let (resources, jobs) = scenario(events as usize, 1);
+    let dir = scratch_dir("bench-recover");
+    let durability = DurabilityConfig {
+        store: StoreConfig {
+            snapshot_every: events + 1,
+            wal: WalConfig::default(),
+        },
+        ..Default::default()
+    };
+    let sim = SimConfig::default();
+    let mut rm = DurableRm::new(sim.manager, resources.clone(), &dir, durability);
+    let mut now = SimTime::ZERO;
+    let mut applied = 0u64;
+    for job in jobs {
+        if applied + 2 > events {
+            break;
+        }
+        now = now.max(job.arrival);
+        let _ = rm.submit_with_admission(job, now);
+        rm.reschedule(now);
+        applied += 2;
+    }
+    let t0 = Instant::now();
+    assert!(rm.crash_and_recover(now), "durable manager must recover");
+    let us = t0.elapsed().as_micros() as u64;
+    drop(rm);
+    let _ = std::fs::remove_dir_all(&dir);
+    Value::Map(vec![
+        ("events_since_snapshot".into(), Value::UInt(applied)),
+        ("recover_us".into(), Value::UInt(us)),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_recovery.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (use --smoke / --out PATH)"),
+        }
+    }
+
+    let (batched_events, synced_events, round_jobs, round_reps, recover_sizes): (
+        u64,
+        u64,
+        usize,
+        u64,
+        &[u64],
+    ) = if smoke {
+        (2_000, 50, 10, 2, &[8, 32])
+    } else {
+        (50_000, 500, 30, 5, &[16, 64, 256])
+    };
+    eprintln!(
+        "bench_recovery: append {batched_events}/{synced_events} events, rounds {round_jobs} jobs x {round_reps} reps, recovery {recover_sizes:?}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let append = vec![
+        bench_append(1, synced_events), // fsync every record: the safe extreme
+        bench_append(16, batched_events),
+        bench_append(256, batched_events),
+    ];
+    let rounds = bench_rounds(round_jobs, round_reps);
+    let recovery: Vec<Value> = recover_sizes.iter().map(|&e| bench_recovery(e)).collect();
+
+    let doc = Value::Map(vec![
+        ("schema".into(), Value::Str("bench_recovery/v1".into())),
+        ("smoke".into(), Value::Bool(smoke)),
+        ("append".into(), Value::Seq(append)),
+        ("rounds".into(), rounds),
+        ("recovery".into(), Value::Seq(recovery)),
+    ]);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
+    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
+    std::fs::write(&out_path, json + "\n").expect("write output file");
+    eprintln!("bench_recovery: wrote {out_path}");
+}

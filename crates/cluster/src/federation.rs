@@ -19,6 +19,7 @@ use crate::metrics::ClusterMetrics;
 use crate::rebalance::RebalanceConfig;
 use crate::router::two_choices;
 use desim::SimTime;
+use durability::ManagerEvent;
 use mrcp::manager::{
     AbandonedJob, AdmissionOutcome, FailureAction, JobCompletion, ManagerError, ManagerStats,
     MrcpConfig, MrcpRm, ScheduleEntry,
@@ -51,18 +52,25 @@ impl Default for ClusterConfig {
 /// K sharded [`MrcpRm`]s behind the driver's [`ResourceManager`] surface.
 #[derive(Debug)]
 pub struct Federation {
-    cells: Vec<Cell>,
-    rebalance: RebalanceConfig,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) rebalance: RebalanceConfig,
     /// The undivided portfolio worker budget ([`mrcp::SolveBudget`]
     /// `workers`), split across the cells active in each round.
-    base_workers: usize,
-    res_cell: HashMap<ResourceId, usize>,
-    task_cell: HashMap<TaskId, usize>,
-    job_cell: HashMap<JobId, usize>,
-    metrics: ClusterMetrics,
+    pub(crate) base_workers: usize,
+    pub(crate) res_cell: HashMap<ResourceId, usize>,
+    pub(crate) task_cell: HashMap<TaskId, usize>,
+    pub(crate) job_cell: HashMap<JobId, usize>,
+    pub(crate) metrics: ClusterMetrics,
     /// Fleet-wide high-water mark of jobs in the system (the per-cell
     /// `max_queue_depth` watermarks do not sum to this).
-    max_fleet_depth: usize,
+    pub(crate) max_fleet_depth: usize,
+    /// Durable journal hooks (per-cell WALs + the routing/rebalance
+    /// manifest), attached by [`crate::durable::DurableFederation`].
+    /// `None` runs the federation memory-only.
+    pub(crate) journal: Option<crate::durable::FedJournal>,
+    /// The last internal-inconsistency error a round swallowed (the
+    /// scheduling surface cannot propagate it); `None` when healthy.
+    pub(crate) last_error: Option<ManagerError>,
 }
 
 impl Federation {
@@ -96,7 +104,16 @@ impl Federation {
             job_cell: HashMap::new(),
             metrics: ClusterMetrics::new(k),
             max_fleet_depth: 0,
+            journal: None,
+            last_error: None,
         }
+    }
+
+    /// The last internal-inconsistency error a scheduling round had to
+    /// swallow (the [`ResourceManager`] surface cannot propagate it);
+    /// `None` when no round has ever gone inconsistent.
+    pub fn last_error(&self) -> Option<&ManagerError> {
+        self.last_error.as_ref()
     }
 
     /// The cells (read-only; tests and reports inspect per-cell state).
@@ -164,7 +181,10 @@ impl Federation {
 
     /// Solve every dirty cell's round concurrently, splitting the
     /// portfolio worker budget across the cells that actually hold work.
-    fn solve_dirty(&mut self, now: SimTime) {
+    /// The internal-inconsistency arm (a dirty cell vanishing between
+    /// count and solve) is unreachable, but it is reported as a typed
+    /// [`ManagerError::Inconsistent`] rather than a panic.
+    fn solve_dirty(&mut self, now: SimTime) -> Result<(), ManagerError> {
         let active = self
             .cells
             .iter()
@@ -172,17 +192,27 @@ impl Federation {
             .count();
         let dirty = self.cells.iter().filter(|c| c.dirty).count();
         if dirty == 0 {
-            return;
+            return Ok(());
         }
         let per_cell = (self.base_workers / active.max(1)).max(1);
+        if let Some(j) = self.journal.as_mut() {
+            // Write-ahead: the cell WAL records the round before the
+            // solve mutates the cell.
+            for (i, c) in self.cells.iter().enumerate() {
+                if c.dirty {
+                    j.cell_event(i, &ManagerEvent::SetWorkers { workers: per_cell });
+                    j.cell_event(i, &ManagerEvent::Reschedule { now });
+                }
+            }
+        }
         let t0 = Instant::now();
         if dirty == 1 {
             // Hot path (and the cells=1 identity path): no thread setup.
-            let c = self
-                .cells
-                .iter_mut()
-                .find(|c| c.dirty)
-                .expect("counted above");
+            let Some(c) = self.cells.iter_mut().find(|c| c.dirty) else {
+                return Err(ManagerError::Inconsistent(
+                    "dirty cell vanished between count and solve",
+                ));
+            };
             c.rm.set_portfolio_workers(per_cell);
             c.rm.reschedule(now);
             c.dirty = false;
@@ -204,6 +234,7 @@ impl Federation {
                 .push(t0.elapsed().as_micros() as u64);
             self.metrics.max_cells_active = self.metrics.max_cells_active.max(active);
         }
+        Ok(())
     }
 
     /// Offer each cell's planned-late, fully-unstarted jobs to the cells
@@ -250,12 +281,27 @@ impl Federation {
                 if self.cells[d].rm.probe_admission(&job, now).is_err() {
                     continue;
                 }
+                if let Some(j) = self.journal.as_mut() {
+                    j.cell_event(src, &ManagerEvent::TakeUnstartedJob { job: job_id });
+                }
                 let Ok(owned) = self.cells[src].rm.take_unstarted_job(job_id) else {
                     break;
                 };
                 let tasks: Vec<TaskId> = owned.tasks().map(|t| t.id).collect();
+                if let Some(j) = self.journal.as_mut() {
+                    j.cell_event(
+                        d,
+                        &ManagerEvent::Submit {
+                            job: owned.clone(),
+                            now,
+                        },
+                    );
+                }
                 match self.cells[d].rm.submit(owned, now) {
                     Ok(_) => {
+                        if let Some(j) = self.journal.as_mut() {
+                            j.migrated(job_id, src, d);
+                        }
                         self.job_cell.insert(job_id, d);
                         for t in tasks {
                             self.task_cell.insert(t, d);
@@ -294,6 +340,16 @@ impl ResourceManager for Federation {
         let (target, spilled) = self.route(&job, now);
         let id = job.id;
         let tasks: Vec<TaskId> = job.tasks().map(|t| t.id).collect();
+        if let Some(j) = self.journal.as_mut() {
+            j.routed(id, target, spilled);
+            j.cell_event(
+                target,
+                &ManagerEvent::SubmitWithAdmission {
+                    job: job.clone(),
+                    now,
+                },
+            );
+        }
         let out = self.cells[target].rm.submit_with_admission(job, now)?;
         let shed = out.shed.clone();
         for ab in &shed {
@@ -317,6 +373,13 @@ impl ResourceManager for Federation {
     }
 
     fn activate_due(&mut self, now: SimTime) -> usize {
+        if let Some(j) = self.journal.as_mut() {
+            // Every cell sweeps its deferral queue; replaying the sweep
+            // on a cell with nothing due is a harmless no-op.
+            for i in 0..self.cells.len() {
+                j.cell_event(i, &ManagerEvent::ActivateDue { now });
+            }
+        }
         let mut total = 0;
         for c in &mut self.cells {
             let n = c.rm.activate_due(now);
@@ -329,11 +392,17 @@ impl ResourceManager for Federation {
     }
 
     fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry> {
-        self.solve_dirty(now);
+        if let Err(e) = self.solve_dirty(now) {
+            debug_assert!(false, "solve_dirty went inconsistent: {e}");
+            self.last_error = Some(e);
+        }
         if self.run_rebalance(now) > 0 {
             // One follow-up pass replans the cells the migrations touched;
             // no second rebalance, so a round cannot ping-pong jobs.
-            self.solve_dirty(now);
+            if let Err(e) = self.solve_dirty(now) {
+                debug_assert!(false, "solve_dirty went inconsistent: {e}");
+                self.last_error = Some(e);
+            }
         }
         let mut entries: Vec<ScheduleEntry> = self
             .cells
@@ -346,6 +415,9 @@ impl ResourceManager for Federation {
 
     fn task_started(&mut self, task: TaskId, now: SimTime) -> Result<ResourceId, ManagerError> {
         let cell = self.cell_of_task(task)?;
+        if let Some(j) = self.journal.as_mut() {
+            j.cell_event(cell, &ManagerEvent::TaskStarted { task, now });
+        }
         self.cells[cell].rm.task_started(task, now)
     }
 
@@ -355,6 +427,9 @@ impl ResourceManager for Federation {
         now: SimTime,
     ) -> Result<Option<JobCompletion>, ManagerError> {
         let cell = self.cell_of_task(task)?;
+        if let Some(j) = self.journal.as_mut() {
+            j.cell_event(cell, &ManagerEvent::TaskCompleted { task, now });
+        }
         let done = self.cells[cell].rm.task_completed(task, now)?;
         // A completion frees capacity the next round can use even when
         // the driver does not replan for it immediately.
@@ -372,6 +447,9 @@ impl ResourceManager for Federation {
         new_exec: SimTime,
     ) -> Result<(), ManagerError> {
         let cell = self.cell_of_task(task)?;
+        if let Some(j) = self.journal.as_mut() {
+            j.cell_event(cell, &ManagerEvent::TaskDurationRevised { task, new_exec });
+        }
         self.cells[cell].rm.task_duration_revised(task, new_exec)?;
         self.cells[cell].dirty = true;
         Ok(())
@@ -379,6 +457,9 @@ impl ResourceManager for Federation {
 
     fn task_failed(&mut self, task: TaskId, now: SimTime) -> Result<FailureAction, ManagerError> {
         let cell = self.cell_of_task(task)?;
+        if let Some(j) = self.journal.as_mut() {
+            j.cell_event(cell, &ManagerEvent::TaskFailed { task, now });
+        }
         let action = self.cells[cell].rm.task_failed(task, now)?;
         self.cells[cell].dirty = true;
         if let FailureAction::JobAbandoned(ab) = &action {
@@ -397,6 +478,9 @@ impl ResourceManager for Federation {
             .res_cell
             .get(&rid)
             .ok_or(ManagerError::UnknownResource(rid))?;
+        if let Some(j) = self.journal.as_mut() {
+            j.cell_event(cell, &ManagerEvent::ResourceDown { resource: rid, now });
+        }
         let interrupted = self.cells[cell].rm.resource_down(rid, now)?;
         self.cells[cell].dirty = true;
         Ok(interrupted)
@@ -407,6 +491,9 @@ impl ResourceManager for Federation {
             .res_cell
             .get(&rid)
             .ok_or(ManagerError::UnknownResource(rid))?;
+        if let Some(j) = self.journal.as_mut() {
+            j.cell_event(cell, &ManagerEvent::ResourceUp { resource: rid, now });
+        }
         self.cells[cell].rm.resource_up(rid, now)?;
         self.cells[cell].dirty = true;
         Ok(())

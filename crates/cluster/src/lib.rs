@@ -27,12 +27,14 @@
 //! single-manager driver (proved by the determinism regression tests).
 
 pub mod cell;
+pub mod durable;
 pub mod federation;
 pub mod metrics;
 pub mod rebalance;
 pub mod router;
 
 pub use cell::Cell;
+pub use durable::{recover_cell, simulate_cluster_durable, DurableFederation, FedJournal};
 pub use federation::{
     simulate_cluster, simulate_cluster_detailed, ClusterConfig, ClusterSimConfig, Federation,
 };

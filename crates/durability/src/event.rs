@@ -1,0 +1,413 @@
+//! The logged command vocabulary: every state-mutating call on a manager
+//! becomes one [`ManagerEvent`] record.
+//!
+//! Two replay surfaces share the vocabulary:
+//!
+//! * **Surface commands** — the nine [`ResourceManager`] methods the
+//!   simulation driver invokes. [`apply_surface`] re-executes them
+//!   against any manager, which is how a whole fleet (or a single
+//!   manager) is rebuilt from its command log.
+//! * **Cell events** — the same calls *plus* the federation-internal
+//!   operations a cell observes after routing ([`ManagerEvent::Submit`],
+//!   [`ManagerEvent::TakeUnstartedJob`], [`ManagerEvent::SetWorkers`]).
+//!   [`apply_cell`] re-executes them against a bare [`MrcpRm`], which is
+//!   how one federation cell recovers independently of the others.
+//!
+//! Replay ignores the `Result` of each re-executed call on purpose: the
+//! live system also left state unchanged when a call errored (a duplicate
+//! submit, an unknown task), so ignoring the error reproduces the live
+//! state *and* the live error-counting side effects exactly.
+
+use crate::codec::{Dec, DecodeError, Enc};
+use desim::SimTime;
+use mrcp::sim_driver::ResourceManager;
+use mrcp::MrcpRm;
+use workload::{Job, JobId, ResourceId, TaskId};
+
+/// One logged state-mutating operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerEvent {
+    /// [`ResourceManager::submit_with_admission`].
+    SubmitWithAdmission {
+        /// The arriving job, exactly as submitted.
+        job: Job,
+        /// Submission time.
+        now: SimTime,
+    },
+    /// [`ResourceManager::activate_due`].
+    ActivateDue {
+        /// Activation sweep time.
+        now: SimTime,
+    },
+    /// [`ResourceManager::reschedule`].
+    Reschedule {
+        /// Round time.
+        now: SimTime,
+    },
+    /// [`ResourceManager::task_started`].
+    TaskStarted {
+        /// The starting task.
+        task: TaskId,
+        /// Start time.
+        now: SimTime,
+    },
+    /// [`ResourceManager::task_completed`].
+    TaskCompleted {
+        /// The finished task.
+        task: TaskId,
+        /// Completion time.
+        now: SimTime,
+    },
+    /// [`ResourceManager::task_duration_revised`].
+    TaskDurationRevised {
+        /// The straggling task.
+        task: TaskId,
+        /// Revised execution-time estimate.
+        new_exec: SimTime,
+    },
+    /// [`ResourceManager::task_failed`].
+    TaskFailed {
+        /// The failed task.
+        task: TaskId,
+        /// Failure time.
+        now: SimTime,
+    },
+    /// [`ResourceManager::resource_down`].
+    ResourceDown {
+        /// The failing resource.
+        resource: ResourceId,
+        /// Failure time.
+        now: SimTime,
+    },
+    /// [`ResourceManager::resource_up`].
+    ResourceUp {
+        /// The repaired resource.
+        resource: ResourceId,
+        /// Repair time.
+        now: SimTime,
+    },
+    /// Cell event: [`MrcpRm::take_unstarted_job`] — the rebalancer pulled
+    /// this job out of the cell for migration.
+    TakeUnstartedJob {
+        /// The migrating job.
+        job: JobId,
+    },
+    /// Cell event: [`MrcpRm::submit`] — the rebalancer (or router)
+    /// dropped a job into the cell bypassing admission.
+    Submit {
+        /// The incoming job.
+        job: Job,
+        /// Submission time.
+        now: SimTime,
+    },
+    /// Cell event: [`MrcpRm::set_portfolio_workers`] — the federation's
+    /// per-round worker split for this cell.
+    SetWorkers {
+        /// Portfolio worker count for the next round.
+        workers: usize,
+    },
+}
+
+const TAG_SUBMIT_ADM: u8 = 0;
+const TAG_ACTIVATE: u8 = 1;
+const TAG_RESCHEDULE: u8 = 2;
+const TAG_TASK_STARTED: u8 = 3;
+const TAG_TASK_COMPLETED: u8 = 4;
+const TAG_TASK_REVISED: u8 = 5;
+const TAG_TASK_FAILED: u8 = 6;
+const TAG_RES_DOWN: u8 = 7;
+const TAG_RES_UP: u8 = 8;
+const TAG_TAKE_JOB: u8 = 9;
+const TAG_SUBMIT: u8 = 10;
+const TAG_SET_WORKERS: u8 = 11;
+
+impl ManagerEvent {
+    /// Append this event's encoding to `e`.
+    pub fn encode(&self, e: &mut Enc) {
+        match self {
+            ManagerEvent::SubmitWithAdmission { job, now } => {
+                e.u8(TAG_SUBMIT_ADM);
+                e.time(*now);
+                e.job(job);
+            }
+            ManagerEvent::ActivateDue { now } => {
+                e.u8(TAG_ACTIVATE);
+                e.time(*now);
+            }
+            ManagerEvent::Reschedule { now } => {
+                e.u8(TAG_RESCHEDULE);
+                e.time(*now);
+            }
+            ManagerEvent::TaskStarted { task, now } => {
+                e.u8(TAG_TASK_STARTED);
+                e.u32(task.0);
+                e.time(*now);
+            }
+            ManagerEvent::TaskCompleted { task, now } => {
+                e.u8(TAG_TASK_COMPLETED);
+                e.u32(task.0);
+                e.time(*now);
+            }
+            ManagerEvent::TaskDurationRevised { task, new_exec } => {
+                e.u8(TAG_TASK_REVISED);
+                e.u32(task.0);
+                e.time(*new_exec);
+            }
+            ManagerEvent::TaskFailed { task, now } => {
+                e.u8(TAG_TASK_FAILED);
+                e.u32(task.0);
+                e.time(*now);
+            }
+            ManagerEvent::ResourceDown { resource, now } => {
+                e.u8(TAG_RES_DOWN);
+                e.u32(resource.0);
+                e.time(*now);
+            }
+            ManagerEvent::ResourceUp { resource, now } => {
+                e.u8(TAG_RES_UP);
+                e.u32(resource.0);
+                e.time(*now);
+            }
+            ManagerEvent::TakeUnstartedJob { job } => {
+                e.u8(TAG_TAKE_JOB);
+                e.u32(job.0);
+            }
+            ManagerEvent::Submit { job, now } => {
+                e.u8(TAG_SUBMIT);
+                e.time(*now);
+                e.job(job);
+            }
+            ManagerEvent::SetWorkers { workers } => {
+                e.u8(TAG_SET_WORKERS);
+                e.usize(*workers);
+            }
+        }
+    }
+
+    /// Decode one event from `d`.
+    pub fn decode(d: &mut Dec<'_>) -> Result<ManagerEvent, DecodeError> {
+        Ok(match d.u8()? {
+            TAG_SUBMIT_ADM => {
+                let now = d.time()?;
+                let job = d.job()?;
+                ManagerEvent::SubmitWithAdmission { job, now }
+            }
+            TAG_ACTIVATE => ManagerEvent::ActivateDue { now: d.time()? },
+            TAG_RESCHEDULE => ManagerEvent::Reschedule { now: d.time()? },
+            TAG_TASK_STARTED => ManagerEvent::TaskStarted {
+                task: TaskId(d.u32()?),
+                now: d.time()?,
+            },
+            TAG_TASK_COMPLETED => ManagerEvent::TaskCompleted {
+                task: TaskId(d.u32()?),
+                now: d.time()?,
+            },
+            TAG_TASK_REVISED => ManagerEvent::TaskDurationRevised {
+                task: TaskId(d.u32()?),
+                new_exec: d.time()?,
+            },
+            TAG_TASK_FAILED => ManagerEvent::TaskFailed {
+                task: TaskId(d.u32()?),
+                now: d.time()?,
+            },
+            TAG_RES_DOWN => ManagerEvent::ResourceDown {
+                resource: ResourceId(d.u32()?),
+                now: d.time()?,
+            },
+            TAG_RES_UP => ManagerEvent::ResourceUp {
+                resource: ResourceId(d.u32()?),
+                now: d.time()?,
+            },
+            TAG_TAKE_JOB => ManagerEvent::TakeUnstartedJob {
+                job: JobId(d.u32()?),
+            },
+            TAG_SUBMIT => {
+                let now = d.time()?;
+                let job = d.job()?;
+                ManagerEvent::Submit { job, now }
+            }
+            TAG_SET_WORKERS => ManagerEvent::SetWorkers {
+                workers: d.usize()?,
+            },
+            _ => return Err(DecodeError("unknown event tag")),
+        })
+    }
+
+    /// Encode to a standalone byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.encode(&mut e);
+        e.finish()
+    }
+}
+
+/// Re-execute a surface command against any manager, discarding the
+/// call's result (see the module docs for why that is correct).
+/// Cell-only events are ignored: the fleet-level command log never
+/// contains them.
+pub fn apply_surface<R: ResourceManager>(rm: &mut R, ev: &ManagerEvent) {
+    match ev {
+        ManagerEvent::SubmitWithAdmission { job, now } => {
+            let _ = rm.submit_with_admission(job.clone(), *now);
+        }
+        ManagerEvent::ActivateDue { now } => {
+            let _ = rm.activate_due(*now);
+        }
+        ManagerEvent::Reschedule { now } => {
+            let _ = rm.reschedule(*now);
+        }
+        ManagerEvent::TaskStarted { task, now } => {
+            let _ = rm.task_started(*task, *now);
+        }
+        ManagerEvent::TaskCompleted { task, now } => {
+            let _ = rm.task_completed(*task, *now);
+        }
+        ManagerEvent::TaskDurationRevised { task, new_exec } => {
+            let _ = rm.task_duration_revised(*task, *new_exec);
+        }
+        ManagerEvent::TaskFailed { task, now } => {
+            let _ = rm.task_failed(*task, *now);
+        }
+        ManagerEvent::ResourceDown { resource, now } => {
+            let _ = rm.resource_down(*resource, *now);
+        }
+        ManagerEvent::ResourceUp { resource, now } => {
+            let _ = rm.resource_up(*resource, *now);
+        }
+        ManagerEvent::TakeUnstartedJob { .. }
+        | ManagerEvent::Submit { .. }
+        | ManagerEvent::SetWorkers { .. } => {
+            debug_assert!(false, "cell-only event in a surface command log");
+        }
+    }
+}
+
+/// Re-execute a cell event against a bare [`MrcpRm`], discarding the
+/// call's result. Handles the full vocabulary, so one cell's WAL replays
+/// without the rest of the federation.
+pub fn apply_cell(rm: &mut MrcpRm, ev: &ManagerEvent) {
+    match ev {
+        ManagerEvent::SubmitWithAdmission { job, now } => {
+            let _ = rm.submit_with_admission(job.clone(), *now);
+        }
+        ManagerEvent::ActivateDue { now } => {
+            let _ = rm.activate_due(*now);
+        }
+        ManagerEvent::Reschedule { now } => {
+            let _ = rm.reschedule(*now);
+        }
+        ManagerEvent::TaskStarted { task, now } => {
+            let _ = rm.task_started(*task, *now);
+        }
+        ManagerEvent::TaskCompleted { task, now } => {
+            let _ = rm.task_completed(*task, *now);
+        }
+        ManagerEvent::TaskDurationRevised { task, new_exec } => {
+            let _ = rm.task_duration_revised(*task, *new_exec);
+        }
+        ManagerEvent::TaskFailed { task, now } => {
+            let _ = rm.task_failed(*task, *now);
+        }
+        ManagerEvent::ResourceDown { resource, now } => {
+            let _ = rm.resource_down(*resource, *now);
+        }
+        ManagerEvent::ResourceUp { resource, now } => {
+            let _ = rm.resource_up(*resource, *now);
+        }
+        ManagerEvent::TakeUnstartedJob { job } => {
+            let _ = rm.take_unstarted_job(*job);
+        }
+        ManagerEvent::Submit { job, now } => {
+            let _ = rm.submit(job.clone(), *now);
+        }
+        ManagerEvent::SetWorkers { workers } => {
+            rm.set_portfolio_workers(*workers);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::TaskKind;
+
+    fn sample_job() -> Job {
+        Job {
+            id: JobId(7),
+            arrival: SimTime::from_millis(100),
+            earliest_start: SimTime::from_millis(100),
+            deadline: SimTime::from_millis(60_000),
+            map_tasks: vec![workload::Task {
+                id: TaskId(70),
+                job: JobId(7),
+                kind: TaskKind::Map,
+                exec_time: SimTime::from_millis(5_000),
+                req: 1,
+            }],
+            reduce_tasks: vec![],
+            precedences: vec![],
+        }
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let t = SimTime::from_millis(42);
+        let events = vec![
+            ManagerEvent::SubmitWithAdmission {
+                job: sample_job(),
+                now: t,
+            },
+            ManagerEvent::ActivateDue { now: t },
+            ManagerEvent::Reschedule { now: t },
+            ManagerEvent::TaskStarted {
+                task: TaskId(1),
+                now: t,
+            },
+            ManagerEvent::TaskCompleted {
+                task: TaskId(2),
+                now: t,
+            },
+            ManagerEvent::TaskDurationRevised {
+                task: TaskId(3),
+                new_exec: SimTime::from_millis(9_000),
+            },
+            ManagerEvent::TaskFailed {
+                task: TaskId(4),
+                now: t,
+            },
+            ManagerEvent::ResourceDown {
+                resource: ResourceId(5),
+                now: t,
+            },
+            ManagerEvent::ResourceUp {
+                resource: ResourceId(5),
+                now: t,
+            },
+            ManagerEvent::TakeUnstartedJob { job: JobId(7) },
+            ManagerEvent::Submit {
+                job: sample_job(),
+                now: t,
+            },
+            ManagerEvent::SetWorkers { workers: 3 },
+        ];
+        for ev in &events {
+            let bytes = ev.to_bytes();
+            let mut d = Dec::new(&bytes);
+            let back = ManagerEvent::decode(&mut d).unwrap();
+            d.expect_end().unwrap();
+            assert_eq!(&back, ev);
+        }
+    }
+
+    #[test]
+    fn truncated_events_error_cleanly() {
+        let ev = ManagerEvent::SubmitWithAdmission {
+            job: sample_job(),
+            now: SimTime::ZERO,
+        };
+        let bytes = ev.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(ManagerEvent::decode(&mut Dec::new(&bytes[..cut])).is_err());
+        }
+    }
+}

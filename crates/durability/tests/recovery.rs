@@ -1,0 +1,143 @@
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+//! The headline durability property: a run whose manager is killed and
+//! rebuilt from disk — at arbitrary points, any number of times, with or
+//! without losing the unsynced WAL tail — produces the *bit-identical*
+//! [`RunMetrics::deterministic_signature`] of the uninterrupted run.
+//!
+//! The manager is configured deterministically (single portfolio worker,
+//! no wall-clock budget), so the only thing a crash may change is solve
+//! wall time, which the signature already excludes.
+
+use desim::SimTime;
+use durability::{simulate_durable, DurabilityConfig, StoreConfig, WalConfig};
+use mrcp::sim_driver::simulate;
+use mrcp::{ManagerCrashConfig, MrcpConfig, SimConfig, SolveBudget};
+use proptest::prelude::*;
+use workload::model::homogeneous_cluster;
+use workload::{Job, JobId, Resource, Task, TaskId, TaskKind};
+
+#[derive(Debug, Clone)]
+struct W {
+    cluster: Vec<Resource>,
+    jobs: Vec<(i64, i64, i64, Vec<i64>, Vec<i64>)>,
+}
+
+fn workload() -> impl Strategy<Value = W> {
+    let cluster =
+        (1u32..=3, 1u32..=2, 1u32..=2).prop_map(|(m, cm, cr)| homogeneous_cluster(m, cm, cr));
+    let job = (
+        0i64..=40,
+        0i64..=15,
+        5i64..=80,
+        prop::collection::vec(1i64..=6, 1..=3),
+        prop::collection::vec(1i64..=4, 0..=2),
+    );
+    (cluster, prop::collection::vec(job, 1..=6)).prop_map(|(cluster, jobs)| W { cluster, jobs })
+}
+
+fn jobs_of(w: &W) -> Vec<Job> {
+    let mut next_task = 0u32;
+    let mut jobs: Vec<Job> = w
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (arr, s_off, window, maps, reduces))| {
+            let mut mk = |kind, secs: i64| {
+                let t = Task {
+                    id: TaskId(next_task),
+                    job: JobId(i as u32),
+                    kind,
+                    exec_time: SimTime::from_secs(secs),
+                    req: 1,
+                };
+                next_task += 1;
+                t
+            };
+            let arrival = SimTime::from_secs(*arr);
+            let start = arrival + SimTime::from_secs(*s_off);
+            Job {
+                id: JobId(i as u32),
+                arrival,
+                earliest_start: start,
+                deadline: start + SimTime::from_secs(*window),
+                map_tasks: maps.iter().map(|&s| mk(TaskKind::Map, s)).collect(),
+                reduce_tasks: reduces.iter().map(|&s| mk(TaskKind::Reduce, s)).collect(),
+                precedences: vec![],
+            }
+        })
+        .collect();
+    jobs.sort_by_key(|j| j.arrival);
+    jobs
+}
+
+/// A fully deterministic manager: one portfolio worker, no wall-clock
+/// budget, no adaptive controller — replay must retrace every solve.
+fn det_config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.manager = MrcpConfig {
+        budget: SolveBudget {
+            node_limit: 2_000,
+            fail_limit: 2_000,
+            time_limit_ms: None,
+            adaptive: None,
+            warm_start: true,
+            workers: 1,
+        },
+        ..Default::default()
+    };
+    cfg
+}
+
+/// Crash schedules: explicit command indices, a renewal process, or both.
+fn crashes() -> impl Strategy<Value = ManagerCrashConfig> {
+    (
+        prop::collection::vec(0u64..=60, 0..=4),
+        any::<bool>(),
+        1i64..=50,
+        0u64..=u64::MAX,
+    )
+        .prop_map(|(at_commands, renewal, mttf, seed)| ManagerCrashConfig {
+            at_commands,
+            mttf: renewal.then(|| SimTime::from_secs(mttf)),
+            seed,
+        })
+}
+
+fn durability() -> impl Strategy<Value = DurabilityConfig> {
+    (1u64..=8, 1u64..=4, any::<bool>()).prop_map(|(snapshot_every, sync_every, lose)| {
+        DurabilityConfig {
+            store: StoreConfig {
+                snapshot_every,
+                wal: WalConfig { sync_every },
+            },
+            lose_unsynced_on_crash: lose,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash-interrupted == uninterrupted, bit for bit.
+    #[test]
+    fn crashed_run_signature_matches_crash_free_run(
+        w in workload(),
+        crash in crashes(),
+        d in durability(),
+    ) {
+        let jobs = jobs_of(&w);
+        let baseline = simulate(&det_config(), &w.cluster, jobs.clone());
+
+        let mut cfg = det_config();
+        cfg.manager_crashes = crash;
+        let dir = durability::scratch_dir("pt-recovery");
+        let interrupted = simulate_durable(&cfg, &w.cluster, jobs, &dir, d);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(
+            baseline.deterministic_signature(),
+            interrupted.deterministic_signature(),
+            "{} crashes changed the outcome", interrupted.manager_crashes
+        );
+    }
+}

@@ -43,11 +43,12 @@ pub mod split;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionPolicy, RejectReason};
 pub use manager::{
-    AbandonedJob, AdmissionOutcome, BudgetController, FailureAction, JobCompletion, ManagerError,
-    ManagerStats, MrcpConfig, MrcpRm, PlannedJob, ScheduleEntry, SchedulingError, SolveBudget,
+    AbandonedJob, AdmissionOutcome, BudgetController, FailureAction, JobCompletion, JobImage,
+    ManagerError, ManagerImage, ManagerStats, MrcpConfig, MrcpRm, PlannedJob, RoundCacheImage,
+    ScheduleEntry, SchedulingError, SolveBudget, TaskImage, TaskStatusImage,
 };
 pub use ordering::JobOrdering;
 pub use sim_driver::{
-    simulate, simulate_detailed, simulate_with, soak, JobOutcome, ResourceManager, RunMetrics,
-    SimConfig, SoakLimits, SoakReport,
+    simulate, simulate_detailed, simulate_with, soak, JobOutcome, ManagerCrashConfig,
+    ResourceManager, RunMetrics, SimConfig, SoakLimits, SoakReport,
 };

@@ -82,6 +82,11 @@ pub enum ManagerError {
     /// Gantt rendering: concurrent schedule entries exceed a resource's
     /// slot capacity, so the task cannot be placed in any lane.
     ScheduleOverCapacity(TaskId),
+    /// An internal invariant was violated (e.g. a shedding victim vanished
+    /// between selection and eviction, or a restored snapshot references
+    /// ids twice). Surfaced as a typed error instead of a panic so a
+    /// corrupted manager degrades a call, not the whole process.
+    Inconsistent(&'static str),
 }
 
 impl fmt::Display for ManagerError {
@@ -108,6 +113,9 @@ impl fmt::Display for ManagerError {
             }
             ManagerError::ScheduleOverCapacity(t) => {
                 write!(f, "task {t} does not fit any capacity lane")
+            }
+            ManagerError::Inconsistent(what) => {
+                write!(f, "internal inconsistency: {what}")
             }
         }
     }
@@ -401,7 +409,7 @@ fn job_fingerprint(input: &JobInput<'_>) -> u64 {
 }
 
 /// Aggregate manager statistics (drives the paper's `O` metric).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
     /// Scheduling rounds executed.
     pub invocations: u64,
@@ -471,6 +479,93 @@ impl ManagerStats {
         self.warm_rounds += other.warm_rounds;
         self.cache_invalidations += other.cache_invalidations;
     }
+}
+
+/// A task's lifecycle state inside a [`ManagerImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatusImage {
+    /// Queued (or requeued after a failure), awaiting a plan slot.
+    Waiting,
+    /// Running on `resource` since `start`.
+    Started {
+        /// The resource executing the attempt.
+        resource: ResourceId,
+        /// When the attempt began.
+        start: SimTime,
+    },
+    /// Finished.
+    Completed,
+}
+
+/// One task's durable state inside a [`ManagerImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskImage {
+    /// The task.
+    pub id: TaskId,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Current execution-time estimate (revised for stragglers).
+    pub exec_time: SimTime,
+    /// The declared `e_t`, restored when a failed attempt requeues.
+    pub nominal_exec: SimTime,
+    /// Slots required.
+    pub req: u32,
+    /// Lifecycle state.
+    pub status: TaskStatusImage,
+    /// Failed attempts accumulated so far.
+    pub failed_attempts: u32,
+}
+
+/// One live job and its task states inside a [`ManagerImage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobImage {
+    /// The job as submitted (deadline may have been renegotiated).
+    pub job: Job,
+    /// Its tasks, in submission order.
+    pub tasks: Vec<TaskImage>,
+}
+
+/// The cross-round reuse cache inside a [`ManagerImage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundCacheImage {
+    /// Fingerprint of the up-resource pool the placements assume.
+    pub pool_fp: u64,
+    /// Per-job fingerprints at solve time, sorted by job.
+    pub jobs: Vec<(JobId, u64)>,
+    /// The previous round's installed placements, sorted by task.
+    pub placements: Vec<(TaskId, ResourceId, SimTime)>,
+}
+
+/// A complete, plain-data snapshot of an [`MrcpRm`]'s mutable state, as
+/// produced by [`MrcpRm::image`] and consumed by [`MrcpRm::restore`].
+///
+/// Everything a recovered manager needs to continue bit-exactly is here:
+/// live jobs with task lifecycle states, the deferral queue, the current
+/// plan, downed resources, the budget-controller state, the round cache,
+/// and the accumulated statistics. Collections are sorted so two managers
+/// in the same logical state produce identical images (`HashMap` iteration
+/// order never leaks). The configuration and the resource pool are *not*
+/// part of the image — they are construction inputs the durability layer
+/// persists separately (they never change mid-run, except the portfolio
+/// worker override, which the federation re-asserts every round).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerImage {
+    /// Live jobs (active + deferred), sorted by job id.
+    pub jobs: Vec<JobImage>,
+    /// Deferred activations `(activation, job)`, sorted.
+    pub deferred: Vec<(SimTime, JobId)>,
+    /// Planned entries for unstarted tasks, sorted by task.
+    pub schedule: Vec<ScheduleEntry>,
+    /// Resources currently down, sorted.
+    pub down: Vec<ResourceId>,
+    /// Budget-controller scale, `(min_scale, 1]`.
+    pub budget_scale: f64,
+    /// Round-latency EWMA, `None` before the first round.
+    pub latency_ewma_s: Option<f64>,
+    /// Cross-round reuse cache, `None` when cold.
+    pub cache: Option<RoundCacheImage>,
+    /// Accumulated statistics.
+    pub stats: ManagerStats,
 }
 
 /// A fully-unstarted job's standing in the current plan, as reported by
@@ -852,7 +947,7 @@ impl MrcpRm {
                 match self.shed_victim() {
                     Some((victim, victim_deadline)) if victim_deadline > job.deadline => {
                         self.stats.jobs_shed += 1;
-                        shed.push(self.evict(victim));
+                        shed.push(self.evict(victim)?);
                     }
                     _ => {
                         self.stats.jobs_rejected += 1;
@@ -1032,21 +1127,27 @@ impl MrcpRm {
     }
 
     /// Force a job out of the system (shedding); mirrors the abandonment
-    /// path of [`task_failed`](Self::task_failed).
-    fn evict(&mut self, id: JobId) -> AbandonedJob {
-        let state = self.jobs.remove(&id).expect("victim exists");
+    /// path of [`task_failed`](Self::task_failed). A victim that is no
+    /// longer in the job table is an internal invariant breach, reported
+    /// as [`ManagerError::Inconsistent`] rather than a panic.
+    fn evict(&mut self, id: JobId) -> Result<AbandonedJob, ManagerError> {
+        let Some(state) = self.jobs.remove(&id) else {
+            return Err(ManagerError::Inconsistent(
+                "shed victim vanished from the job table",
+            ));
+        };
         let tasks: Vec<TaskId> = state.tasks.iter().map(|t| t.id).collect();
         for t in &tasks {
             self.task_owner.remove(t);
             self.schedule.remove(t);
         }
         self.deferred.retain(|&(_, j)| j != id);
-        AbandonedJob {
+        Ok(AbandonedJob {
             job: id,
             tasks,
             deadline: state.job.deadline,
             earliest_start: state.job.earliest_start,
-        }
+        })
     }
 
     /// Admit deferred jobs whose activation time has arrived. Returns how
@@ -1684,6 +1785,173 @@ impl MrcpRm {
         let mut entries: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
         entries.sort_by_key(|e| (e.start, e.task));
         entries
+    }
+
+    /// Capture a plain-data snapshot of the manager's mutable state (see
+    /// [`ManagerImage`]). Two managers in the same logical state produce
+    /// identical images. [`last_scheduling_error`](Self::last_scheduling_error)
+    /// is diagnostic-only and deliberately not captured; a restored
+    /// manager starts with none.
+    pub fn image(&self) -> ManagerImage {
+        let mut jobs: Vec<JobImage> = self
+            .jobs
+            .values()
+            .map(|s| JobImage {
+                job: s.job.clone(),
+                tasks: s
+                    .tasks
+                    .iter()
+                    .map(|t| TaskImage {
+                        id: t.id,
+                        kind: t.kind,
+                        exec_time: t.exec_time,
+                        nominal_exec: t.nominal_exec,
+                        req: t.req,
+                        status: match t.status {
+                            TaskStatus::Waiting => TaskStatusImage::Waiting,
+                            TaskStatus::Started { resource, start } => {
+                                TaskStatusImage::Started { resource, start }
+                            }
+                            TaskStatus::Completed => TaskStatusImage::Completed,
+                        },
+                        failed_attempts: t.failed_attempts,
+                    })
+                    .collect(),
+            })
+            .collect();
+        jobs.sort_by_key(|j| j.job.id);
+        let mut deferred = self.deferred.clone();
+        deferred.sort_unstable();
+        let mut schedule: Vec<ScheduleEntry> = self.schedule.values().copied().collect();
+        schedule.sort_by_key(|e| e.task);
+        let mut down: Vec<ResourceId> = self.down.iter().copied().collect();
+        down.sort_unstable();
+        let cache = self.cache.as_ref().map(|c| {
+            let mut fps: Vec<(JobId, u64)> = c.jobs.iter().map(|(&j, &fp)| (j, fp)).collect();
+            fps.sort_unstable_by_key(|&(j, _)| j);
+            let mut placements: Vec<(TaskId, ResourceId, SimTime)> =
+                c.placements.iter().map(|(&t, &(r, s))| (t, r, s)).collect();
+            placements.sort_unstable_by_key(|&(t, _, _)| t);
+            RoundCacheImage {
+                pool_fp: c.pool_fp,
+                jobs: fps,
+                placements,
+            }
+        });
+        ManagerImage {
+            jobs,
+            deferred,
+            schedule,
+            down,
+            budget_scale: self.budget_scale,
+            latency_ewma_s: self.latency_ewma_s,
+            cache,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a manager from a [`ManagerImage`] over the original
+    /// configuration and resource pool. Derived indices (task ownership,
+    /// per-job remaining counts) are reconstructed from the image; an
+    /// image that references a job, task, or resource inconsistently is
+    /// rejected as [`ManagerError::Inconsistent`] without leaving a
+    /// partial manager behind.
+    pub fn restore(
+        cfg: MrcpConfig,
+        resources: Vec<Resource>,
+        image: ManagerImage,
+    ) -> Result<MrcpRm, ManagerError> {
+        let mut rm = MrcpRm::new(cfg, resources);
+        let mut jobs = HashMap::with_capacity(image.jobs.len());
+        let mut task_owner = HashMap::new();
+        for ji in image.jobs {
+            let id = ji.job.id;
+            let tasks: Vec<TaskState> = ji
+                .tasks
+                .iter()
+                .map(|t| TaskState {
+                    id: t.id,
+                    kind: t.kind,
+                    exec_time: t.exec_time,
+                    nominal_exec: t.nominal_exec,
+                    req: t.req,
+                    status: match t.status {
+                        TaskStatusImage::Waiting => TaskStatus::Waiting,
+                        TaskStatusImage::Started { resource, start } => {
+                            TaskStatus::Started { resource, start }
+                        }
+                        TaskStatusImage::Completed => TaskStatus::Completed,
+                    },
+                    failed_attempts: t.failed_attempts,
+                })
+                .collect();
+            for t in &tasks {
+                if task_owner.insert(t.id, id).is_some() {
+                    return Err(ManagerError::Inconsistent("snapshot lists a task twice"));
+                }
+            }
+            let remaining = tasks
+                .iter()
+                .filter(|t| t.status != TaskStatus::Completed)
+                .count();
+            let state = JobState {
+                job: ji.job,
+                tasks,
+                remaining,
+            };
+            if jobs.insert(id, state).is_some() {
+                return Err(ManagerError::Inconsistent("snapshot lists a job twice"));
+            }
+        }
+        for &(_, j) in &image.deferred {
+            if !jobs.contains_key(&j) {
+                return Err(ManagerError::Inconsistent("snapshot defers an unknown job"));
+            }
+        }
+        let mut schedule = HashMap::with_capacity(image.schedule.len());
+        for e in image.schedule {
+            if !task_owner.contains_key(&e.task) {
+                return Err(ManagerError::Inconsistent(
+                    "snapshot schedules an unknown task",
+                ));
+            }
+            if schedule.insert(e.task, e).is_some() {
+                return Err(ManagerError::Inconsistent(
+                    "snapshot schedules a task twice",
+                ));
+            }
+        }
+        let mut down = HashSet::with_capacity(image.down.len());
+        for r in image.down {
+            if !rm.resources.iter().any(|x| x.id == r) {
+                return Err(ManagerError::Inconsistent(
+                    "snapshot downs an unknown resource",
+                ));
+            }
+            if !down.insert(r) {
+                return Err(ManagerError::Inconsistent(
+                    "snapshot downs a resource twice",
+                ));
+            }
+        }
+        rm.jobs = jobs;
+        rm.task_owner = task_owner;
+        rm.schedule = schedule;
+        rm.down = down;
+        rm.deferred = image.deferred;
+        rm.budget_scale = image.budget_scale;
+        rm.latency_ewma_s = image.latency_ewma_s;
+        rm.cache = image.cache.map(|c| RoundCache {
+            pool_fp: c.pool_fp,
+            jobs: c.jobs.into_iter().collect(),
+            placements: c
+                .placements
+                .into_iter()
+                .map(|(t, r, s)| (t, (r, s)))
+                .collect(),
+        });
+        rm.stats = image.stats;
+        Ok(rm)
     }
 }
 
@@ -2368,6 +2636,7 @@ mod tests {
             Box::new(ManagerError::ResourceNotDown(ResourceId(8))),
             Box::new(ManagerError::ChartTooNarrow { width: 5, min: 20 }),
             Box::new(ManagerError::ScheduleOverCapacity(TaskId(9))),
+            Box::new(ManagerError::Inconsistent("invariant breach")),
             Box::new(SchedulingError::ModelBuild("bad model".into())),
             Box::new(SchedulingError::NoSolution("no rung".into())),
             Box::new(SchedulingError::AuditFailed("overlap".into())),
@@ -2387,5 +2656,77 @@ mod tests {
         assert_eq!(s.invocations, 1);
         assert_eq!(s.max_tasks_in_model, 4);
         assert_eq!(s.optimal_rounds + s.feasible_rounds, 1);
+    }
+
+    /// A restored manager is indistinguishable from the original: its
+    /// image matches bit-for-bit, and it continues the run identically.
+    #[test]
+    fn image_restore_roundtrip_mid_run() {
+        let mut rm = manager();
+        rm.submit(mk_job(0, 0, 0, 200, &[10, 8], &[5]), SimTime::ZERO)
+            .unwrap();
+        rm.submit(mk_job(1, 0, 50, 400, &[6], &[]), SimTime::ZERO)
+            .unwrap(); // deferred
+        let plan = rm.reschedule(SimTime::ZERO);
+        let first = plan[0];
+        rm.task_started(first.task, first.start).unwrap();
+
+        let image = rm.image();
+        let mut restored =
+            MrcpRm::restore(*rm.config(), rm.resources().to_vec(), image.clone()).unwrap();
+        assert_eq!(restored.image(), image, "image survives a roundtrip");
+        assert_eq!(restored.jobs_in_system(), rm.jobs_in_system());
+        assert_eq!(restored.next_activation(), rm.next_activation());
+        assert_eq!(restored.current_schedule(), rm.current_schedule());
+
+        // Both managers continue the run in lockstep. Wall-clock stats
+        // (solve durations) are re-measured by the live solves and differ
+        // between the two; everything else must stay identical.
+        let t = SimTime::from_secs(60);
+        assert_eq!(restored.activate_due(t), rm.activate_due(t));
+        assert_eq!(restored.reschedule(t), rm.reschedule(t));
+        let mut a = restored.image();
+        let mut b = rm.image();
+        a.stats.total_solve = Duration::ZERO;
+        a.stats.max_round_solve = Duration::ZERO;
+        b.stats.total_solve = Duration::ZERO;
+        b.stats.max_round_solve = Duration::ZERO;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_images() {
+        let mut rm = manager();
+        rm.submit(mk_job(0, 0, 0, 200, &[10], &[]), SimTime::ZERO)
+            .unwrap();
+        rm.reschedule(SimTime::ZERO);
+        let image = rm.image();
+
+        let mut twice = image.clone();
+        twice.jobs.push(twice.jobs[0].clone());
+        assert!(matches!(
+            MrcpRm::restore(*rm.config(), rm.resources().to_vec(), twice),
+            Err(ManagerError::Inconsistent(_))
+        ));
+
+        let mut bad_down = image.clone();
+        bad_down.down.push(ResourceId(999));
+        assert!(matches!(
+            MrcpRm::restore(*rm.config(), rm.resources().to_vec(), bad_down),
+            Err(ManagerError::Inconsistent(_))
+        ));
+
+        let mut bad_sched = image;
+        bad_sched.schedule.push(ScheduleEntry {
+            task: TaskId(777),
+            job: JobId(0),
+            resource: ResourceId(0),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+        });
+        assert!(matches!(
+            MrcpRm::restore(*rm.config(), rm.resources().to_vec(), bad_sched),
+            Err(ManagerError::Inconsistent(_))
+        ));
     }
 }

@@ -87,6 +87,12 @@ pub struct SimConfig {
     pub faults: FaultConfig,
     /// Seed for the fault processes (independent of the workload's RNG).
     pub fault_seed: u64,
+    /// Manager-crash injection: kill the manager at chosen points and ask
+    /// it to rebuild itself from durable state (see
+    /// [`ResourceManager::crash_and_recover`]). The default injects
+    /// nothing; against a non-durable manager every injected crash is a
+    /// no-op.
+    pub manager_crashes: ManagerCrashConfig,
 }
 
 impl Default for SimConfig {
@@ -98,7 +104,37 @@ impl Default for SimConfig {
             reschedule_on_completion: false,
             faults: FaultConfig::default(),
             fault_seed: 0,
+            manager_crashes: ManagerCrashConfig::default(),
         }
+    }
+}
+
+/// Manager-crash fault knob (`FaultConfig`-style, but aimed at the
+/// manager process itself): the driver calls
+/// [`ResourceManager::crash_and_recover`] immediately before a
+/// state-mutating manager command, either at fixed command indices or on
+/// an MTTF renewal process over simulated time. A durable manager drops
+/// its in-memory state and rebuilds from disk; the recovery-equivalence
+/// property tests assert the run's [`RunMetrics::deterministic_signature`]
+/// is unchanged by any such interruption.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManagerCrashConfig {
+    /// Crash immediately before the k-th (0-based) state-mutating manager
+    /// command, for each listed index — deterministic crash points for
+    /// the equivalence proptests. Order and duplicates do not matter.
+    pub at_commands: Vec<u64>,
+    /// Renewal process: mean simulated time between manager crashes
+    /// (exponential inter-crash times). `None` disables the process.
+    pub mttf: Option<SimTime>,
+    /// Seed for the renewal process (independent of workload and fault
+    /// RNGs).
+    pub seed: u64,
+}
+
+impl ManagerCrashConfig {
+    /// True when any crash source is configured.
+    pub fn is_active(&self) -> bool {
+        !self.at_commands.is_empty() || self.mttf.is_some()
     }
 }
 
@@ -168,23 +204,94 @@ pub struct RunMetrics {
     pub warm_rounds: u64,
     /// Round-cache invalidations (resource availability changes).
     pub cache_invalidations: u64,
+    /// Injected manager crashes the manager recovered from (see
+    /// [`ManagerCrashConfig`]; 0 unless crash injection is configured and
+    /// the manager is durable).
+    pub manager_crashes: u64,
 }
 
 impl RunMetrics {
-    /// This run with every wall-clock-derived field zeroed, for bit-exact
-    /// comparison: the simulation itself is deterministic given the same
-    /// seed/workload, but `o_per_job_s`, `max_round_latency_s`, the
-    /// latency-EWMA-driven `budget_adaptations`, and (under a solver time
-    /// limit) `mean_nodes_per_round` measure host wall time and may differ
-    /// between two otherwise-identical runs. Everything else — counts,
-    /// simulated times, turnarounds — must match exactly.
+    /// This run with every field zeroed that may legitimately differ
+    /// between two runs of the same workload and seed; the rest must
+    /// match bit-for-bit. Two classes are zeroed:
+    ///
+    /// * **wall-clock observations** — `o_per_job_s`,
+    ///   `max_round_latency_s`, the latency-EWMA-driven
+    ///   `budget_adaptations`, and (under a solver time limit)
+    ///   `mean_nodes_per_round` measure host wall time;
+    /// * **injected perturbations** — `manager_crashes` counts recoveries
+    ///   the run was *subjected to*, and durable recovery must make a
+    ///   crashed run indistinguishable from a clean one, so the count
+    ///   itself cannot be part of the comparison.
+    ///
+    /// The struct is destructured exhaustively on purpose: adding a field
+    /// to [`RunMetrics`] without classifying it here — deterministic, or
+    /// zeroed with a reason — is a compile error, not a silent hole in
+    /// the determinism and recovery-equivalence tests.
     pub fn deterministic_signature(&self) -> RunMetrics {
+        let RunMetrics {
+            arrived,
+            completed,
+            measured,
+            late,
+            p_late,
+            mean_turnaround_s,
+            p95_turnaround_s,
+            max_turnaround_s,
+            o_per_job_s: _,
+            invocations,
+            mean_nodes_per_round: _,
+            max_tasks_in_model,
+            end_time_s,
+            tasks_failed,
+            tasks_requeued,
+            stragglers,
+            resource_crashes,
+            jobs_abandoned,
+            late_due_to_faults,
+            degraded_rounds,
+            failed_rounds,
+            jobs_rejected,
+            jobs_renegotiated,
+            jobs_shed,
+            max_queue_depth,
+            budget_adaptations: _,
+            max_round_latency_s: _,
+            warm_rounds,
+            cache_invalidations,
+            manager_crashes: _,
+        } = *self;
         RunMetrics {
+            arrived,
+            completed,
+            measured,
+            late,
+            p_late,
+            mean_turnaround_s,
+            p95_turnaround_s,
+            max_turnaround_s,
             o_per_job_s: 0.0,
-            max_round_latency_s: 0.0,
-            budget_adaptations: 0,
+            invocations,
             mean_nodes_per_round: 0.0,
-            ..*self
+            max_tasks_in_model,
+            end_time_s,
+            tasks_failed,
+            tasks_requeued,
+            stragglers,
+            resource_crashes,
+            jobs_abandoned,
+            late_due_to_faults,
+            degraded_rounds,
+            failed_rounds,
+            jobs_rejected,
+            jobs_renegotiated,
+            jobs_shed,
+            max_queue_depth,
+            budget_adaptations: 0,
+            max_round_latency_s: 0.0,
+            warm_rounds,
+            cache_invalidations,
+            manager_crashes: 0,
         }
     }
 }
@@ -230,6 +337,16 @@ pub trait ResourceManager {
     fn jobs_in_system(&self) -> usize;
     /// See [`MrcpRm::stats`] — fleet-aggregated for multi-cell managers.
     fn stats(&self) -> ManagerStats;
+    /// Simulate a manager-process crash at `now`: drop all in-memory
+    /// state and rebuild from durable storage. Returns `true` when a
+    /// recovery actually happened; the default is a no-op `false` for
+    /// managers with no durability layer (their state would simply be
+    /// lost, which is exactly the failure mode `crates/durability`
+    /// exists to remove).
+    fn crash_and_recover(&mut self, now: SimTime) -> bool {
+        let _ = now;
+        false
+    }
 }
 
 impl ResourceManager for MrcpRm {
@@ -338,6 +455,15 @@ struct Driver<M: ResourceManager> {
     stragglers: u64,
     resource_crashes: u64,
     jobs_abandoned: usize,
+    /// Manager-crash injection: pending fixed crash points (sorted
+    /// descending; consumed from the back as the command counter passes
+    /// them), the renewal-process state, and performed recoveries.
+    crash_at: Vec<u64>,
+    commands: u64,
+    crash_next: Option<SimTime>,
+    crash_rng: Option<rand::rngs::StdRng>,
+    crash_mttf_s: f64,
+    manager_crashes: u64,
     completions: Vec<JobOutcome>,
     arrived: usize,
     overhead: OverheadModel,
@@ -348,7 +474,32 @@ struct Driver<M: ResourceManager> {
 }
 
 impl<M: ResourceManager> Driver<M> {
+    /// Manager-crash gate, run immediately before every state-mutating
+    /// manager command. A crash between two commands is fully general:
+    /// commands are atomic with respect to the manager's durable state,
+    /// so "after command k" and "before command k+1" are the same point.
+    fn pre_command(&mut self, now: SimTime) {
+        let mut due = false;
+        while self.crash_at.last() == Some(&self.commands) {
+            self.crash_at.pop();
+            due = true;
+        }
+        if let (Some(next), Some(rng)) = (self.crash_next, self.crash_rng.as_mut()) {
+            if now >= next {
+                due = true;
+                let gap = workload::dist::Exponential::new(1.0 / self.crash_mttf_s).sample(rng);
+                self.crash_next =
+                    Some(now + SimTime::from_secs_f64(gap).max(SimTime::from_millis(1)));
+            }
+        }
+        self.commands += 1;
+        if due && self.rm.crash_and_recover(now) {
+            self.manager_crashes += 1;
+        }
+    }
+
     fn install(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        self.pre_command(now);
         let plan = self.rm.reschedule(now);
         self.version += 1;
         self.armed.clear();
@@ -417,6 +568,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                 let job_id = job.id;
                 let tasks: Vec<(TaskId, SimTime)> =
                     job.tasks().map(|t| (t.id, t.exec_time)).collect();
+                self.pre_command(now);
                 let out = self
                     .rm
                     .submit_with_admission(job, now)
@@ -453,6 +605,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                 }
             }
             Ev::Activate => {
+                self.pre_command(now);
                 if self.rm.activate_due(now) > 0 {
                     self.request_install(now, queue);
                 }
@@ -466,6 +619,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                     return Flow::Continue; // superseded plan
                 }
                 self.armed.remove(&task);
+                self.pre_command(now);
                 self.rm
                     .task_started(task, now)
                     .expect("armed starts are valid");
@@ -493,6 +647,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                             self.fault_jobs.insert(job);
                         }
                         // The manager plans around the stretched occupancy.
+                        self.pre_command(now);
                         self.rm
                             .task_duration_revised(task, stretched)
                             .expect("task just started");
@@ -509,6 +664,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                 self.exec_time.remove(&task);
                 self.task_job.remove(&task);
                 self.attempts.remove(&task);
+                self.pre_command(now);
                 if let Some(done) = self
                     .rm
                     .task_completed(task, now)
@@ -534,6 +690,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                 if let Some(&job) = self.task_job.get(&task) {
                     self.fault_jobs.insert(job);
                 }
+                self.pre_command(now);
                 match self
                     .rm
                     .task_failed(task, now)
@@ -557,6 +714,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                     // and re-arming the renewal would keep the run alive.
                     return Flow::Continue;
                 }
+                self.pre_command(now);
                 match self.rm.resource_down(resource, now) {
                     Ok(interrupted) => {
                         self.resource_crashes += 1;
@@ -582,6 +740,7 @@ impl<M: ResourceManager> desim::Process<Ev> for Driver<M> {
                 }
             }
             Ev::ResourceUp { resource } => {
+                self.pre_command(now);
                 self.rm
                     .resource_up(resource, now)
                     .expect("resource was marked down by the matching crash");
@@ -675,6 +834,28 @@ where
     } else {
         None
     };
+    // Manager-crash injection state: fixed points sorted descending so
+    // the smallest pending index sits at the back, plus the renewal
+    // process armed from its own RNG stream.
+    let mut crash_at = cfg.manager_crashes.at_commands.clone();
+    crash_at.sort_unstable_by(|a, b| b.cmp(a));
+    crash_at.dedup();
+    let crash_mttf_s = cfg
+        .manager_crashes
+        .mttf
+        .map(|t| t.as_secs_f64().max(1e-3))
+        .unwrap_or(0.0);
+    let (crash_next, crash_rng) = match cfg.manager_crashes.mttf {
+        Some(_) => {
+            let mut rng = RngStreams::new(cfg.manager_crashes.seed).stream("manager-crashes");
+            let gap = workload::dist::Exponential::new(1.0 / crash_mttf_s).sample(&mut rng);
+            (
+                Some(SimTime::from_secs_f64(gap).max(SimTime::from_millis(1))),
+                Some(rng),
+            )
+        }
+        None => (None, None),
+    };
     let mut driver = Driver {
         rm: build(mgr_cfg),
         jobs: jobs.into_iter().map(Some).collect(),
@@ -690,6 +871,12 @@ where
         stragglers: 0,
         resource_crashes: 0,
         jobs_abandoned: 0,
+        crash_at,
+        commands: 0,
+        crash_next,
+        crash_rng,
+        crash_mttf_s,
+        manager_crashes: 0,
         completions: Vec::with_capacity(n),
         arrived: 0,
         overhead: cfg.overhead,
@@ -779,6 +966,7 @@ where
         max_queue_depth: stats.max_queue_depth,
         budget_adaptations: stats.budget_adaptations,
         max_round_latency_s: stats.max_round_solve.as_secs_f64(),
+        manager_crashes: driver.manager_crashes,
     };
     (metrics, driver.completions, driver.rm)
 }
@@ -1051,6 +1239,85 @@ mod tests {
         let split = simulate(&SimConfig::default(), &cluster, jobs);
         assert_eq!(full.completed, 15);
         assert_eq!(split.completed, 15);
+    }
+
+    /// The [`RunMetrics::deterministic_signature`] contract: exactly the
+    /// wall-clock observations (`o_per_job_s`, `mean_nodes_per_round`,
+    /// `budget_adaptations`, `max_round_latency_s`) and the injected-
+    /// perturbation count (`manager_crashes`) are zeroed; every other
+    /// field passes through bit-for-bit. The signature body destructures
+    /// `RunMetrics` exhaustively, so a new field cannot be added without
+    /// extending this classification.
+    #[test]
+    fn deterministic_signature_zeroes_exactly_the_nondeterministic_fields() {
+        // Every field nonzero, so an unintended zeroing (or passthrough)
+        // cannot hide.
+        let m = RunMetrics {
+            arrived: 1,
+            completed: 2,
+            measured: 3,
+            late: 4,
+            p_late: 0.5,
+            mean_turnaround_s: 6.0,
+            p95_turnaround_s: 7.0,
+            max_turnaround_s: 8.0,
+            o_per_job_s: 9.0,
+            invocations: 10,
+            mean_nodes_per_round: 11.0,
+            max_tasks_in_model: 12,
+            end_time_s: 13.0,
+            tasks_failed: 14,
+            tasks_requeued: 15,
+            stragglers: 16,
+            resource_crashes: 17,
+            jobs_abandoned: 18,
+            late_due_to_faults: 19,
+            degraded_rounds: 20,
+            failed_rounds: 21,
+            jobs_rejected: 22,
+            jobs_renegotiated: 23,
+            jobs_shed: 24,
+            max_queue_depth: 25,
+            budget_adaptations: 26,
+            max_round_latency_s: 27.0,
+            warm_rounds: 28,
+            cache_invalidations: 29,
+            manager_crashes: 30,
+        };
+        let expected = RunMetrics {
+            o_per_job_s: 0.0,
+            mean_nodes_per_round: 0.0,
+            budget_adaptations: 0,
+            max_round_latency_s: 0.0,
+            manager_crashes: 0,
+            ..m
+        };
+        assert_eq!(m.deterministic_signature(), expected);
+        // Idempotent: a signature is its own signature.
+        assert_eq!(expected.deterministic_signature(), expected);
+    }
+
+    /// Against a manager with no durability layer, injected crashes are
+    /// no-ops: nothing is recovered (there is nothing to recover from)
+    /// and the run is untouched.
+    #[test]
+    fn crash_injection_is_noop_for_non_durable_managers() {
+        let (cluster, jobs) = small_workload(10, 0.05, 9);
+        let clean = simulate(&SimConfig::default(), &cluster, jobs.clone());
+        let cfg = SimConfig {
+            manager_crashes: ManagerCrashConfig {
+                at_commands: vec![0, 3, 10],
+                mttf: Some(SimTime::from_secs(30)),
+                seed: 5,
+            },
+            ..Default::default()
+        };
+        let crashed = simulate(&cfg, &cluster, jobs);
+        assert_eq!(crashed.manager_crashes, 0);
+        assert_eq!(
+            clean.deterministic_signature(),
+            crashed.deterministic_signature()
+        );
     }
 
     mod overload {
