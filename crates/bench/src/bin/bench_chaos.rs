@@ -1,0 +1,210 @@
+//! Chaos sweep: runs the same open workload through
+//! [`cluster::simulate_cluster_chaos`] at increasing boundary fault
+//! rates and writes a machine-readable `BENCH_chaos.json`.
+//!
+//! The sweep holds the workload fixed — every fault rate sees the *same*
+//! resources and job stream per rep (common random numbers) — so the
+//! only variable is how hostile the router→cell boundary is. Per fault
+//! rate, reported over reps:
+//!
+//! * `p_late_mean` — mean missed-deadline proportion `P`,
+//! * `goodput` — completed ÷ arrived (a silently lost job would show up
+//!   here; the invariant checker aborts the bench on any violation),
+//! * `retry_amplification` — delivery attempts per logical command,
+//! * `failover_p50_ms` / `failover_p95_ms` — simulated crash→re-plan
+//!   latency quantiles, pooled over reps (`null` when nothing failed
+//!   over at that fault rate),
+//! * crash/restore/reroute counters.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_chaos -- [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks the sweep for CI; the JSON shape is identical
+//! (checked by CI's key probe).
+
+use cluster::{
+    simulate_cluster_chaos, ChaosConfig, ChaosSimConfig, ClusterConfig, ClusterSimConfig,
+    HealthConfig, RebalanceConfig, RetryPolicy,
+};
+use desim::{RngStreams, SimTime};
+use mrcp::SimConfig;
+use serde_json::Value;
+use workload::{CellCount, Job, Resource, SyntheticConfig, SyntheticGenerator};
+
+/// Fixed federation shape for the sweep: 12 resources in 3 cells driven
+/// by a sharp transient backlog (λ well above the drain rate), so cells
+/// hold queued-but-unstarted work for most of the run — exactly the
+/// state a crash must fail over. Deadlines are tight enough that the
+/// fault injection, not raw capacity, is what moves `P`.
+fn scenario(n_jobs: usize, rep: u64) -> (Vec<Resource>, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 4),
+        reduces_per_job: (1, 2),
+        e_max: 20,
+        p_future_start: 0.0,
+        s_max: 1,
+        deadline_multiplier: 2.5,
+        lambda: 2.0,
+        resources: 12,
+        map_capacity: 2,
+        reduce_capacity: 2,
+        cells: CellCount(3),
+        ..Default::default()
+    };
+    cfg.validate();
+    // Seed by rep only: every fault rate replays the same jobs.
+    let rng = RngStreams::new(7_000 + rep).stream("bench-chaos");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n_jobs);
+    (cfg.cluster(), jobs)
+}
+
+/// The boundary at fault level `rate`: drops and duplicates at `rate`,
+/// hangs at a fifth of it, and cell crashes (MTTF shrinking as the rate
+/// grows) once the rate is nonzero. The MTTF is sized to the backlog's
+/// drain time so each cell sees on the order of one crash per run.
+fn chaos_at(rate: f64, rep: u64) -> ChaosConfig {
+    ChaosConfig {
+        drop_prob: rate,
+        dup_prob: rate,
+        hang_prob: rate / 5.0,
+        mean_latency: (rate > 0.0).then(|| SimTime::from_millis(10)),
+        call_deadline: SimTime::from_millis(200),
+        cell_mttf: (rate > 0.0).then(|| SimTime::from_secs_f64(60.0 * (1.0 - rate).max(0.2))),
+        cell_mttr: (rate > 0.0).then(|| SimTime::from_secs(20)),
+        seed: 0xC4A0_5000 + rep,
+    }
+}
+
+/// Sorted-sample quantile (nearest-rank); `q` in [0, 1].
+fn quantile(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[idx])
+}
+
+fn opt_uint(v: Option<u64>) -> Value {
+    match v {
+        Some(u) => Value::UInt(u),
+        None => Value::Null,
+    }
+}
+
+fn sweep_rate(rate: f64, n_jobs: usize, reps: u64) -> Value {
+    let mut p_late_sum = 0.0;
+    let mut arrived = 0u64;
+    let mut completed = 0u64;
+    let mut commands = 0u64;
+    let mut attempts = 0u64;
+    let mut crashes = 0u64;
+    let mut restores = 0u64;
+    let mut failovers = 0u64;
+    let mut reroutes = 0u64;
+    let mut escalations = 0u64;
+    let mut failover_ms: Vec<u64> = Vec::new();
+    for rep in 0..reps {
+        let (resources, jobs) = scenario(n_jobs, rep);
+        let cfg = ChaosSimConfig {
+            base: ClusterSimConfig {
+                sim: SimConfig::default(),
+                cluster: ClusterConfig {
+                    cells: 3,
+                    rebalance: RebalanceConfig::default(),
+                },
+            },
+            chaos: chaos_at(rate, rep),
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
+        };
+        let run = simulate_cluster_chaos(&cfg, &resources, jobs);
+        assert!(
+            run.violations.is_empty(),
+            "invariants broken at rate {rate}: {:#?}",
+            run.violations
+        );
+        let cm = run.federation.cluster_metrics();
+        p_late_sum += run.metrics.p_late;
+        arrived += run.metrics.arrived as u64;
+        completed += run.metrics.completed as u64;
+        commands += cm.rpc_commands;
+        attempts += cm.rpc_attempts;
+        crashes += cm.cell_crashes;
+        restores += cm.cell_restores;
+        failovers += cm.failovers;
+        reroutes += cm.reroutes;
+        escalations += cm.rpc_escalations;
+        failover_ms.extend(cm.failover_latencies_ms.iter().copied());
+    }
+    failover_ms.sort_unstable();
+    let amplification = if commands == 0 {
+        1.0
+    } else {
+        attempts as f64 / commands as f64
+    };
+    Value::Map(vec![
+        ("fault_rate".into(), Value::Float(rate)),
+        ("n_jobs".into(), Value::UInt(n_jobs as u64)),
+        ("reps".into(), Value::UInt(reps)),
+        ("p_late_mean".into(), Value::Float(p_late_sum / reps as f64)),
+        (
+            "goodput".into(),
+            Value::Float(if arrived == 0 {
+                1.0
+            } else {
+                completed as f64 / arrived as f64
+            }),
+        ),
+        ("retry_amplification".into(), Value::Float(amplification)),
+        (
+            "failover_p50_ms".into(),
+            opt_uint(quantile(&failover_ms, 0.5)),
+        ),
+        (
+            "failover_p95_ms".into(),
+            opt_uint(quantile(&failover_ms, 0.95)),
+        ),
+        ("failovers".into(), Value::UInt(failovers)),
+        ("cell_crashes".into(), Value::UInt(crashes)),
+        ("cell_restores".into(), Value::UInt(restores)),
+        ("reroutes".into(), Value::UInt(reroutes)),
+        ("escalations".into(), Value::UInt(escalations)),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_chaos.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (use --smoke / --out PATH)"),
+        }
+    }
+
+    let (rates, n_jobs, reps): (&[f64], usize, u64) = if smoke {
+        (&[0.0, 0.2], 12, 2)
+    } else {
+        (&[0.0, 0.05, 0.1, 0.2, 0.3, 0.4], 40, 10)
+    };
+    eprintln!(
+        "bench_chaos: rates {rates:?}, {n_jobs} jobs, {reps} reps{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let sweep: Vec<Value> = rates.iter().map(|&r| sweep_rate(r, n_jobs, reps)).collect();
+    let doc = Value::Map(vec![
+        ("schema".into(), Value::Str("bench_chaos/v1".into())),
+        ("smoke".into(), Value::Bool(smoke)),
+        ("cells".into(), Value::UInt(3)),
+        ("resources".into(), Value::UInt(12)),
+        ("sweep".into(), Value::Seq(sweep)),
+    ]);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
+    // Self-check: the file we are about to write must re-parse.
+    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
+    std::fs::write(&out_path, json + "\n").expect("write output file");
+    eprintln!("bench_chaos: wrote {out_path}");
+}

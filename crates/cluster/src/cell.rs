@@ -1,11 +1,16 @@
 //! One federation cell: a full MRCP-RM instance over its shard of the
-//! resource pool, plus the load estimate the router compares cells by.
+//! resource pool, the load estimate the router compares cells by, and
+//! the (possibly fault-injecting) endpoint mutating commands travel
+//! through.
 
+use crate::endpoint::{CellEndpoint, InProcEndpoint};
 use mrcp::MrcpRm;
 
 /// A cell of the federation. The embedded manager is public: the
-/// federation routes lifecycle events to it directly, and tests inspect
-/// per-cell state through it.
+/// federation's read-side estimators (load, admission probes) consult it
+/// directly — modeling cheaply gossiped state — and tests inspect
+/// per-cell state through it. Mutating commands instead travel through
+/// the cell's [`CellEndpoint`], which may fail.
 #[derive(Debug)]
 pub struct Cell {
     /// Stable cell index (also the deterministic routing tie-break).
@@ -15,6 +20,13 @@ pub struct Cell {
     /// Set when the cell's state changed since its last solve; only dirty
     /// cells participate in the next scheduling round.
     pub(crate) dirty: bool,
+    /// The router's channel to this cell (reliable in-process by
+    /// default; a chaos wrapper under fault injection).
+    pub(crate) endpoint: Box<dyn CellEndpoint>,
+    /// Next sequence number the federation will stamp on a command to
+    /// this cell — the basis of at-most-once delivery. Session-scoped
+    /// (decoupled from the durable journal's event sequence).
+    pub(crate) next_seq: u64,
 }
 
 impl Cell {
@@ -23,6 +35,8 @@ impl Cell {
             id,
             rm,
             dirty: false,
+            endpoint: Box::new(InProcEndpoint::new()),
+            next_seq: 0,
         }
     }
 

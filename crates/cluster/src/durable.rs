@@ -153,6 +153,9 @@ impl FedRecord {
 #[derive(Debug)]
 pub struct FedJournal {
     cfg: StoreConfig,
+    /// Store directory — what [`recover_cell`] needs to rehydrate a
+    /// crashed cell mid-run.
+    dir: PathBuf,
     manifest: Wal,
     cells: Vec<Wal>,
     /// Per-cell event sequence numbers (monotonic over the fleet's
@@ -174,12 +177,23 @@ impl FedJournal {
         }
         Ok(FedJournal {
             cfg,
+            dir: dir.to_path_buf(),
             manifest,
             cells,
             cell_seq: vec![0; k],
             base_idx: 0,
             cmds_since_snapshot: 0,
         })
+    }
+
+    /// The store directory this journal writes under.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The store configuration (snapshot cadence + WAL settings).
+    pub(crate) fn store_cfg(&self) -> StoreConfig {
+        self.cfg
     }
 
     fn append_manifest(&mut self, rec: &FedRecord) {
@@ -259,6 +273,22 @@ struct FederationImage {
     max_fleet_depth: usize,
 }
 
+fn encode_u64s(e: &mut Enc, vs: &[u64]) {
+    e.u64(vs.len() as u64);
+    for &v in vs {
+        e.u64(v);
+    }
+}
+
+fn decode_u64s(d: &mut Dec<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = d.seq_len()?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(d.u64()?);
+    }
+    Ok(vs)
+}
+
 fn encode_metrics(e: &mut Enc, m: &ClusterMetrics) {
     let ClusterMetrics {
         cells,
@@ -269,40 +299,74 @@ fn encode_metrics(e: &mut Enc, m: &ClusterMetrics) {
         rounds,
         round_latencies_us,
         max_cells_active,
+        rpc_commands,
+        rpc_attempts,
+        rpc_retries,
+        rpc_drops,
+        rpc_timeouts,
+        rpc_dedup_hits,
+        rpc_escalations,
+        rpc_latency_ms_total,
+        reroutes,
+        cell_crashes,
+        cell_restores,
+        rehydrations,
+        rehydrate_mismatches,
+        failovers,
+        failover_latencies_ms,
+        restore_latencies_ms,
     } = m;
     e.usize(*cells);
-    e.u64(jobs_routed.len() as u64);
-    for &v in jobs_routed {
-        e.u64(v);
-    }
+    encode_u64s(e, jobs_routed);
     e.u64(*spills);
     e.u64(*migrations);
     e.u64(*migration_probes);
     e.u64(*rounds);
-    e.u64(round_latencies_us.len() as u64);
-    for &v in round_latencies_us {
-        e.u64(v);
-    }
+    encode_u64s(e, round_latencies_us);
     e.usize(*max_cells_active);
+    e.u64(*rpc_commands);
+    e.u64(*rpc_attempts);
+    e.u64(*rpc_retries);
+    e.u64(*rpc_drops);
+    e.u64(*rpc_timeouts);
+    e.u64(*rpc_dedup_hits);
+    e.u64(*rpc_escalations);
+    e.u64(*rpc_latency_ms_total);
+    e.u64(*reroutes);
+    e.u64(*cell_crashes);
+    e.u64(*cell_restores);
+    e.u64(*rehydrations);
+    e.u64(*rehydrate_mismatches);
+    e.u64(*failovers);
+    encode_u64s(e, failover_latencies_ms);
+    encode_u64s(e, restore_latencies_ms);
 }
 
 fn decode_metrics(d: &mut Dec<'_>) -> Result<ClusterMetrics, DecodeError> {
     let cells = d.usize()?;
-    let n = d.seq_len()?;
-    let mut jobs_routed = Vec::with_capacity(n);
-    for _ in 0..n {
-        jobs_routed.push(d.u64()?);
-    }
+    let jobs_routed = decode_u64s(d)?;
     let spills = d.u64()?;
     let migrations = d.u64()?;
     let migration_probes = d.u64()?;
     let rounds = d.u64()?;
-    let n = d.seq_len()?;
-    let mut round_latencies_us = Vec::with_capacity(n);
-    for _ in 0..n {
-        round_latencies_us.push(d.u64()?);
-    }
+    let round_latencies_us = decode_u64s(d)?;
     let max_cells_active = d.usize()?;
+    let rpc_commands = d.u64()?;
+    let rpc_attempts = d.u64()?;
+    let rpc_retries = d.u64()?;
+    let rpc_drops = d.u64()?;
+    let rpc_timeouts = d.u64()?;
+    let rpc_dedup_hits = d.u64()?;
+    let rpc_escalations = d.u64()?;
+    let rpc_latency_ms_total = d.u64()?;
+    let reroutes = d.u64()?;
+    let cell_crashes = d.u64()?;
+    let cell_restores = d.u64()?;
+    let rehydrations = d.u64()?;
+    let rehydrate_mismatches = d.u64()?;
+    let failovers = d.u64()?;
+    let failover_latencies_ms = decode_u64s(d)?;
+    let restore_latencies_ms = decode_u64s(d)?;
     Ok(ClusterMetrics {
         cells,
         jobs_routed,
@@ -312,6 +376,22 @@ fn decode_metrics(d: &mut Dec<'_>) -> Result<ClusterMetrics, DecodeError> {
         rounds,
         round_latencies_us,
         max_cells_active,
+        rpc_commands,
+        rpc_attempts,
+        rpc_retries,
+        rpc_drops,
+        rpc_timeouts,
+        rpc_dedup_hits,
+        rpc_escalations,
+        rpc_latency_ms_total,
+        reroutes,
+        cell_crashes,
+        cell_restores,
+        rehydrations,
+        rehydrate_mismatches,
+        failovers,
+        failover_latencies_ms,
+        restore_latencies_ms,
     })
 }
 
@@ -420,6 +500,8 @@ fn restore_federation(
         cell.dirty = *dirty;
         cells.push(cell);
     }
+    let health =
+        vec![crate::health::CellHealth::new(crate::health::HealthConfig::default()); cells.len()];
     Ok(Federation {
         cells,
         rebalance: cluster_cfg.rebalance,
@@ -431,6 +513,10 @@ fn restore_federation(
         max_fleet_depth: img.max_fleet_depth,
         journal: None,
         last_error: None,
+        resources: resources.to_vec(),
+        chaos_active: false,
+        retry: crate::endpoint::RetryPolicy::default(),
+        health,
     })
 }
 
@@ -548,25 +634,61 @@ impl DurableFederation {
         self.recovery_time
     }
 
-    fn journal_mut(&mut self) -> &mut FedJournal {
+    /// Inject fault injection at the cell boundary (no-op when `chaos`
+    /// is inactive). The dedup/WAL machinery underneath is unchanged:
+    /// chaos decides *whether* a delivery lands, durability records what
+    /// actually landed.
+    pub fn enable_chaos(
+        &mut self,
+        chaos: &crate::chaos::ChaosConfig,
+        retry: crate::endpoint::RetryPolicy,
+        health: crate::health::HealthConfig,
+    ) {
+        self.fed.enable_chaos(chaos, retry, health);
+    }
+
+    /// Unwrap the inner federation (detaching the durable shell) for
+    /// post-run inspection.
+    pub fn into_federation(self) -> Federation {
         self.fed
-            .journal
-            .as_mut()
-            .expect("durable federation always carries a journal")
+    }
+
+    /// The journal is invariantly present on a durable federation; its
+    /// absence is an internal inconsistency reported as a typed error
+    /// (recorded in the federation's `last_error`), not a panic.
+    fn journal_mut(&mut self) -> Result<&mut FedJournal, ManagerError> {
+        match self.fed.journal.as_mut() {
+            Some(j) => Ok(j),
+            None => Err(ManagerError::Inconsistent(
+                "durable federation lost its journal",
+            )),
+        }
     }
 
     /// Write-ahead log one surface command to the manifest.
     fn cmd(&mut self, ev: ManagerEvent) {
-        self.journal_mut().log_cmd(&ev);
+        match self.journal_mut() {
+            Ok(j) => {
+                j.log_cmd(&ev);
+            }
+            Err(e) => {
+                debug_assert!(false, "{e}");
+                self.fed.last_error = Some(e);
+            }
+        }
         self.client_log.push(ev);
     }
 
     /// Snapshot the fleet and reset every WAL once enough commands have
     /// accumulated.
     fn maybe_snapshot(&mut self) {
-        let due = {
-            let j = self.journal_mut();
-            j.cmds_since_snapshot() >= j.cfg.snapshot_every.max(1)
+        let due = match self.journal_mut() {
+            Ok(j) => j.cmds_since_snapshot() >= j.cfg.snapshot_every.max(1),
+            Err(e) => {
+                debug_assert!(false, "{e}");
+                self.fed.last_error = Some(e);
+                false
+            }
         };
         if due {
             self.checkpoint();
@@ -574,9 +696,13 @@ impl DurableFederation {
     }
 
     fn checkpoint(&mut self) {
-        let base = {
-            let j = self.journal_mut();
-            j.base_idx + j.cmds_since_snapshot
+        let (base, seq) = match self.journal_mut() {
+            Ok(j) => (j.base_idx + j.cmds_since_snapshot, j.cell_seq.clone()),
+            Err(e) => {
+                debug_assert!(false, "{e}");
+                self.fed.last_error = Some(e);
+                return;
+            }
         };
         write_blob(
             &snapshot_path(&self.dir),
@@ -585,7 +711,6 @@ impl DurableFederation {
         .unwrap_or_else(|e| panic!("durability: fleet snapshot failed: {e}"));
         let k = self.fed.cells.len();
         let cfg = self.d_cfg.store;
-        let seq = self.journal_mut().cell_seq.clone();
         let mut journal = FedJournal::create(&self.dir, cfg, k)
             .unwrap_or_else(|e| panic!("durability: WAL reset failed: {e}"));
         journal.base_idx = base;
@@ -690,12 +815,21 @@ impl ResourceManager for DurableFederation {
         // 1. Fail-stop: under power-loss semantics, unsynced log tails
         //    die with the process.
         if self.d_cfg.lose_unsynced_on_crash {
-            let (manifest_synced, cell_synced) = self.journal_mut().synced_lens();
-            Wal::drop_unsynced(&manifest_path(&self.dir), manifest_synced)
-                .unwrap_or_else(|e| panic!("durability: manifest truncation failed: {e}"));
-            for (i, synced) in cell_synced.iter().enumerate() {
-                Wal::drop_unsynced(&cell_wal_path(&self.dir, i), *synced)
-                    .unwrap_or_else(|e| panic!("durability: cell-{i} truncation failed: {e}"));
+            let lens = match self.journal_mut() {
+                Ok(j) => Some(j.synced_lens()),
+                Err(e) => {
+                    debug_assert!(false, "{e}");
+                    self.fed.last_error = Some(e);
+                    None
+                }
+            };
+            if let Some((manifest_synced, cell_synced)) = lens {
+                Wal::drop_unsynced(&manifest_path(&self.dir), manifest_synced)
+                    .unwrap_or_else(|e| panic!("durability: manifest truncation failed: {e}"));
+                for (i, synced) in cell_synced.iter().enumerate() {
+                    Wal::drop_unsynced(&cell_wal_path(&self.dir, i), *synced)
+                        .unwrap_or_else(|e| panic!("durability: cell-{i} truncation failed: {e}"));
+                }
             }
         }
         // 2. Restart: restore every cell from the snapshot, then replay

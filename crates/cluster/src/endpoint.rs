@@ -1,0 +1,603 @@
+//! The fallible message boundary between the federation router and its
+//! cells.
+//!
+//! Every *mutating* command the federation issues to a cell travels as a
+//! [`CellRequest`] through a [`CellEndpoint`], which may fail the way a
+//! real router→cell RPC fails: the request can be dropped before the
+//! cell sees it, the response can be lost after the cell applied it, the
+//! call can exceed its deadline, or the cell process can be down
+//! entirely. Read-side estimators (cell load, admission probes) stay
+//! direct — they model cheaply gossiped health/load state, not RPCs.
+//!
+//! Delivery is **at-most-once per sequence number**: the federation
+//! stamps each logical command with a per-cell sequence number, retries
+//! re-send the *same* number, and the cell-side endpoint deduplicates —
+//! a retried command that already applied returns its cached response
+//! instead of executing twice. Abandoned commands (best-effort calls
+//! that never reached the cell) leave a harmless gap in the sequence.
+//!
+//! [`InProcEndpoint`] is the reliable implementation (and the only code
+//! path when chaos is off — it injects nothing and draws no randomness);
+//! [`crate::chaos::ChaosEndpoint`] wraps it with fault injection.
+
+use desim::SimTime;
+use mrcp::manager::{
+    AdmissionOutcome, FailureAction, JobCompletion, ManagerError, MrcpRm, Submitted,
+};
+use std::collections::VecDeque;
+use std::fmt;
+use workload::{Job, JobId, ResourceId, TaskId};
+
+/// Transport-level failure of one router→cell delivery. Application
+/// errors ([`ManagerError`]) are *successful* deliveries whose outcome
+/// is [`CellResponse::Err`] — they are cached and deduplicated like any
+/// other response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The request was lost before the cell executed it.
+    Dropped,
+    /// The call exceeded its deadline or the response was lost; the
+    /// request may or may not have been applied (see
+    /// [`Delivery::applied`]).
+    Timeout,
+    /// The cell's manager process is down (crashed and not yet
+    /// restarted, or restarted but not yet rehydrated).
+    CellDown,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Dropped => write!(f, "request dropped"),
+            RpcError::Timeout => write!(f, "call deadline exceeded"),
+            RpcError::CellDown => write!(f, "cell process down"),
+        }
+    }
+}
+
+/// One mutating command addressed to a cell's manager.
+#[derive(Debug, Clone)]
+pub enum CellRequest {
+    /// [`MrcpRm::submit_with_admission`].
+    SubmitWithAdmission {
+        /// The arriving job.
+        job: Job,
+        /// Submission time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::submit`] (migration re-submits bypass admission).
+    Submit {
+        /// The migrated job.
+        job: Job,
+        /// Submission time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::activate_due`].
+    ActivateDue {
+        /// Sweep time.
+        now: SimTime,
+    },
+    /// One scheduling round: [`MrcpRm::set_portfolio_workers`] followed
+    /// by [`MrcpRm::reschedule`].
+    Solve {
+        /// This cell's share of the portfolio worker budget.
+        workers: usize,
+        /// Round time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::task_started`].
+    TaskStarted {
+        /// The task.
+        task: TaskId,
+        /// Start time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::task_completed`].
+    TaskCompleted {
+        /// The task.
+        task: TaskId,
+        /// Completion time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::task_duration_revised`].
+    TaskDurationRevised {
+        /// The task.
+        task: TaskId,
+        /// Its revised execution time.
+        new_exec: SimTime,
+    },
+    /// [`MrcpRm::task_failed`].
+    TaskFailed {
+        /// The task.
+        task: TaskId,
+        /// Failure time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::resource_down`].
+    ResourceDown {
+        /// The crashed resource.
+        resource: ResourceId,
+        /// Crash time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::resource_up`].
+    ResourceUp {
+        /// The repaired resource.
+        resource: ResourceId,
+        /// Repair time.
+        now: SimTime,
+    },
+    /// [`MrcpRm::take_unstarted_job`].
+    TakeUnstartedJob {
+        /// The job to reclaim.
+        job: JobId,
+    },
+}
+
+/// The cell's answer to a [`CellRequest`] — cloneable so the endpoint
+/// can cache it for duplicate suppression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResponse {
+    /// Answer to [`CellRequest::SubmitWithAdmission`].
+    Admission(AdmissionOutcome),
+    /// Answer to [`CellRequest::Submit`].
+    Submitted(Submitted),
+    /// Answer to [`CellRequest::ActivateDue`]: jobs activated.
+    Activated(usize),
+    /// Answer to [`CellRequest::Solve`].
+    Solved,
+    /// Answer to [`CellRequest::TaskStarted`]: the executing resource.
+    Started(ResourceId),
+    /// Answer to [`CellRequest::TaskCompleted`].
+    Completed(Option<JobCompletion>),
+    /// Answer to [`CellRequest::TaskDurationRevised`].
+    Revised,
+    /// Answer to [`CellRequest::TaskFailed`].
+    Failed(FailureAction),
+    /// Answer to [`CellRequest::ResourceDown`]: interrupted tasks.
+    Interrupted(Vec<TaskId>),
+    /// Answer to [`CellRequest::ResourceUp`].
+    ResourceUp,
+    /// Answer to [`CellRequest::TakeUnstartedJob`]: the reclaimed job.
+    Taken(Job),
+    /// The cell executed the request and it failed with a typed manager
+    /// error — a valid, cacheable response, not a transport failure.
+    Err(ManagerError),
+}
+
+/// Execute `req` against a cell's manager. This is *the* apply function:
+/// both live delivery and WAL replay semantics are defined by it.
+pub fn apply_request(rm: &mut MrcpRm, req: &CellRequest) -> CellResponse {
+    match req {
+        CellRequest::SubmitWithAdmission { job, now } => {
+            match rm.submit_with_admission(job.clone(), *now) {
+                Ok(out) => CellResponse::Admission(out),
+                Err(e) => CellResponse::Err(e),
+            }
+        }
+        CellRequest::Submit { job, now } => match rm.submit(job.clone(), *now) {
+            Ok(s) => CellResponse::Submitted(s),
+            Err(e) => CellResponse::Err(e),
+        },
+        CellRequest::ActivateDue { now } => CellResponse::Activated(rm.activate_due(*now)),
+        CellRequest::Solve { workers, now } => {
+            rm.set_portfolio_workers(*workers);
+            rm.reschedule(*now);
+            CellResponse::Solved
+        }
+        CellRequest::TaskStarted { task, now } => match rm.task_started(*task, *now) {
+            Ok(rid) => CellResponse::Started(rid),
+            Err(e) => CellResponse::Err(e),
+        },
+        CellRequest::TaskCompleted { task, now } => match rm.task_completed(*task, *now) {
+            Ok(done) => CellResponse::Completed(done),
+            Err(e) => CellResponse::Err(e),
+        },
+        CellRequest::TaskDurationRevised { task, new_exec } => {
+            match rm.task_duration_revised(*task, *new_exec) {
+                Ok(()) => CellResponse::Revised,
+                Err(e) => CellResponse::Err(e),
+            }
+        }
+        CellRequest::TaskFailed { task, now } => match rm.task_failed(*task, *now) {
+            Ok(action) => CellResponse::Failed(action),
+            Err(e) => CellResponse::Err(e),
+        },
+        CellRequest::ResourceDown { resource, now } => match rm.resource_down(*resource, *now) {
+            Ok(interrupted) => CellResponse::Interrupted(interrupted),
+            Err(e) => CellResponse::Err(e),
+        },
+        CellRequest::ResourceUp { resource, now } => match rm.resource_up(*resource, *now) {
+            Ok(()) => CellResponse::ResourceUp,
+            Err(e) => CellResponse::Err(e),
+        },
+        CellRequest::TakeUnstartedJob { job } => match rm.take_unstarted_job(*job) {
+            Ok(owned) => CellResponse::Taken(owned),
+            Err(e) => CellResponse::Err(e),
+        },
+    }
+}
+
+/// What one delivery attempt did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The response, or how the transport failed.
+    pub outcome: Result<CellResponse, RpcError>,
+    /// Whether *this* attempt executed the request against the manager.
+    /// `false` for transport failures that never reached it and for
+    /// duplicates the sequence-number dedup suppressed. The federation
+    /// journals a cell event exactly when this is `true` — so the WAL
+    /// holds each applied command exactly once, in application order.
+    pub applied: bool,
+    /// Whether this attempt was answered from the dedup cache.
+    pub deduped: bool,
+    /// Simulated latency this attempt accrued (chaos-injected; zero for
+    /// the in-process endpoint).
+    pub latency: SimTime,
+}
+
+/// The router's channel to one cell. Implementations must be [`Send`]
+/// (cells solve on scoped threads when chaos is off).
+pub trait CellEndpoint: fmt::Debug + Send {
+    /// Deliver `req` stamped with `seq` over the normal (fallible)
+    /// channel.
+    fn deliver(&mut self, rm: &mut MrcpRm, seq: u64, req: &CellRequest, now: SimTime) -> Delivery;
+
+    /// Deliver over the supervisor's reliable channel: no fault
+    /// injection, but the same sequence-number dedup — the escalation
+    /// path when retries exhaust on a command the run cannot drop. The
+    /// caller must [`restart`](Self::restart) a down cell first.
+    fn deliver_reliable(
+        &mut self,
+        rm: &mut MrcpRm,
+        seq: u64,
+        req: &CellRequest,
+        now: SimTime,
+    ) -> Delivery {
+        self.deliver(rm, seq, req, now)
+    }
+
+    /// Whether the cell process answers health probes at `now`. A cell
+    /// whose outage has *elapsed* but which has not been restarted yet
+    /// reports reachable (the process responds) while still refusing
+    /// [`deliver`](Self::deliver) until rehydration.
+    fn reachable(&mut self, now: SimTime) -> bool {
+        let _ = now;
+        true
+    }
+
+    /// When the current outage began, if the cell is down.
+    fn down_since(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Supervisor restart: end any outage at `now` and re-arm the crash
+    /// process. Returns `true` when the cell's manager state was lost
+    /// and must be rehydrated (WAL replay) before the cell serves again.
+    fn restart(&mut self, now: SimTime) -> bool {
+        let _ = now;
+        false
+    }
+}
+
+/// How many responses a cell remembers for duplicate suppression.
+/// Retries are immediate (the next attempt of the same command), so the
+/// live window is one; the slack absorbs injected duplicates.
+const RESPONSE_CACHE_DEPTH: usize = 64;
+
+/// The reliable in-process endpoint: every delivery applies exactly once
+/// and answers immediately. This is the only endpoint in a chaos-free
+/// federation — it draws no randomness and injects nothing, which is
+/// what keeps the `cells = 1 ⇔ single manager` bit-exactness anchor
+/// intact.
+#[derive(Debug, Default)]
+pub struct InProcEndpoint {
+    /// All sequence numbers below this were either applied or abandoned;
+    /// a delivery at or above it is new.
+    next_seq: u64,
+    /// Recently applied `(seq, response)` pairs.
+    cache: VecDeque<(u64, CellResponse)>,
+}
+
+impl InProcEndpoint {
+    /// A fresh endpoint with an empty dedup window.
+    pub fn new() -> Self {
+        InProcEndpoint::default()
+    }
+
+    fn dedup_or_apply(&mut self, rm: &mut MrcpRm, seq: u64, req: &CellRequest) -> Delivery {
+        if seq < self.next_seq {
+            // Duplicate of a command this cell already saw: answer from
+            // the cache without re-executing.
+            let cached = self
+                .cache
+                .iter()
+                .find(|(s, _)| *s == seq)
+                .map(|(_, resp)| resp.clone());
+            return match cached {
+                Some(resp) => Delivery {
+                    outcome: Ok(resp),
+                    applied: false,
+                    deduped: true,
+                    latency: SimTime::ZERO,
+                },
+                // Older than the cache window — only reachable if a
+                // duplicate arrives RESPONSE_CACHE_DEPTH commands late,
+                // which immediate retries cannot produce.
+                None => Delivery {
+                    outcome: Err(RpcError::Dropped),
+                    applied: false,
+                    deduped: true,
+                    latency: SimTime::ZERO,
+                },
+            };
+        }
+        // New command. Gaps are legal: they are sequence numbers whose
+        // command was abandoned before ever reaching the cell.
+        let resp = apply_request(rm, req);
+        self.cache.push_back((seq, resp.clone()));
+        if self.cache.len() > RESPONSE_CACHE_DEPTH {
+            self.cache.pop_front();
+        }
+        self.next_seq = seq + 1;
+        Delivery {
+            outcome: Ok(resp),
+            applied: true,
+            deduped: false,
+            latency: SimTime::ZERO,
+        }
+    }
+}
+
+impl CellEndpoint for InProcEndpoint {
+    fn deliver(&mut self, rm: &mut MrcpRm, seq: u64, req: &CellRequest, _now: SimTime) -> Delivery {
+        self.dedup_or_apply(rm, seq, req)
+    }
+}
+
+/// Retry schedule for failed deliveries: capped exponential backoff with
+/// deterministic jitter. The jitter is a pure function of
+/// `(seed, seq, attempt)` — two runs with the same seed produce the same
+/// schedule, and no shared RNG stream is perturbed by retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total delivery attempts per command over the normal channel
+    /// (≥ 1); after these, the call escalates to the reliable channel if
+    /// it must be answered.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base: SimTime,
+    /// Backoff ceiling.
+    pub cap: SimTime,
+    /// Growth factor per attempt.
+    pub multiplier: f64,
+    /// Jitter fraction in [0, 1]: each delay is scaled into
+    /// `[(1 − jitter) · d, d]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: SimTime::from_millis(10),
+            cap: SimTime::from_millis(2_000),
+            multiplier: 2.0,
+            jitter: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a tiny, well-mixed stateless hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The simulated delay before attempt `attempt + 1` of command
+    /// `seq` (`attempt` is 1-based: the number of attempts already
+    /// failed). Deterministic in `(seed, seq, attempt)`; never below
+    /// 1 ms, never above `cap`.
+    pub fn backoff(&self, seq: u64, attempt: u32) -> SimTime {
+        let exp = attempt.saturating_sub(1).min(30);
+        let raw = (self.base.as_millis() as f64 * self.multiplier.powi(exp as i32))
+            .min(self.cap.as_millis() as f64);
+        let h = splitmix64(
+            self.seed
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(seq)
+                .wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                .wrapping_add(u64::from(attempt)),
+        );
+        // 53 uniform bits → u in [0, 1); scale the delay into
+        // [(1 − jitter) · raw, raw].
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let frac = 1.0 - self.jitter.clamp(0.0, 1.0) * u;
+        SimTime::from_millis((raw * frac).round() as i64).max(SimTime::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrcp::manager::MrcpConfig;
+    use workload::{Resource, Task, TaskKind};
+
+    fn rm() -> MrcpRm {
+        let res = vec![Resource {
+            id: ResourceId(0),
+            map_capacity: 2,
+            reduce_capacity: 2,
+        }];
+        MrcpRm::new(MrcpConfig::default(), res)
+    }
+
+    fn job(id: u32) -> Job {
+        Job {
+            id: JobId(id),
+            arrival: SimTime::ZERO,
+            earliest_start: SimTime::ZERO,
+            deadline: SimTime::from_secs(1_000),
+            map_tasks: vec![Task {
+                id: TaskId(10 * id),
+                job: JobId(id),
+                kind: TaskKind::Map,
+                exec_time: SimTime::from_secs(5),
+                req: 1,
+            }],
+            reduce_tasks: vec![Task {
+                id: TaskId(10 * id + 1),
+                job: JobId(id),
+                kind: TaskKind::Reduce,
+                exec_time: SimTime::from_secs(5),
+                req: 1,
+            }],
+            precedences: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn backoff_grows_to_cap_and_stays_above_floor() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut prev = SimTime::ZERO;
+        for attempt in 1..=20 {
+            let d = p.backoff(7, attempt);
+            assert!(d >= SimTime::from_millis(1));
+            assert!(d <= p.cap, "attempt {attempt}: {d} above cap {}", p.cap);
+            assert!(d >= prev, "attempt {attempt}: backoff shrank");
+            prev = d;
+        }
+        assert_eq!(prev, p.cap, "schedule never reached the cap");
+        // Without jitter the schedule is the textbook doubling run.
+        assert_eq!(p.backoff(7, 1), SimTime::from_millis(10));
+        assert_eq!(p.backoff(7, 2), SimTime::from_millis(20));
+        assert_eq!(p.backoff(7, 3), SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let p = RetryPolicy {
+            jitter: 0.4,
+            ..RetryPolicy::default()
+        };
+        let raw = RetryPolicy { jitter: 0.0, ..p };
+        for seq in 0..200u64 {
+            for attempt in 1..=8 {
+                let full = raw.backoff(seq, attempt).as_millis() as f64;
+                let d = p.backoff(seq, attempt).as_millis() as f64;
+                let lo = (full * (1.0 - p.jitter)).floor() - 1.0;
+                assert!(
+                    d >= lo.max(1.0) && d <= full,
+                    "seq {seq} attempt {attempt}: {d} outside [{lo}, {full}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_seed_stable_and_seed_sensitive() {
+        let a = RetryPolicy::default();
+        let b = RetryPolicy::default();
+        let c = RetryPolicy {
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        let mut differs = false;
+        for seq in 0..64u64 {
+            for attempt in 1..=6 {
+                assert_eq!(a.backoff(seq, attempt), b.backoff(seq, attempt));
+                differs |= a.backoff(seq, attempt) != c.backoff(seq, attempt);
+            }
+        }
+        assert!(differs, "different seeds produced identical schedules");
+    }
+
+    #[test]
+    fn duplicate_delivery_is_suppressed_and_answered_from_cache() {
+        let mut m = rm();
+        let mut ep = InProcEndpoint::new();
+        let req = CellRequest::Submit {
+            job: job(1),
+            now: SimTime::ZERO,
+        };
+        let first = ep.deliver(&mut m, 0, &req, SimTime::ZERO);
+        assert!(first.applied && !first.deduped);
+        let resp = first.outcome.unwrap();
+        assert!(matches!(resp, CellResponse::Submitted(_)));
+        // A duplicated delivery of the same sequence number must not
+        // re-execute: the job would otherwise be rejected as a
+        // duplicate, and a task could run twice.
+        let dup = ep.deliver(&mut m, 0, &req, SimTime::ZERO);
+        assert!(!dup.applied && dup.deduped);
+        assert_eq!(dup.outcome.unwrap(), resp);
+        assert_eq!(m.jobs_in_system(), 1);
+    }
+
+    #[test]
+    fn application_errors_are_cached_like_any_response() {
+        let mut m = rm();
+        let mut ep = InProcEndpoint::new();
+        let req = CellRequest::TakeUnstartedJob { job: JobId(42) };
+        let first = ep.deliver(&mut m, 0, &req, SimTime::ZERO);
+        assert!(first.applied);
+        assert_eq!(
+            first.outcome.unwrap(),
+            CellResponse::Err(ManagerError::UnknownJob(JobId(42)))
+        );
+        let dup = ep.deliver(&mut m, 0, &req, SimTime::ZERO);
+        assert!(dup.deduped && !dup.applied);
+        assert_eq!(
+            dup.outcome.unwrap(),
+            CellResponse::Err(ManagerError::UnknownJob(JobId(42)))
+        );
+    }
+
+    #[test]
+    fn sequence_gaps_from_abandoned_commands_are_legal() {
+        let mut m = rm();
+        let mut ep = InProcEndpoint::new();
+        let r0 = ep.deliver(
+            &mut m,
+            0,
+            &CellRequest::Submit {
+                job: job(1),
+                now: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+        assert!(r0.applied);
+        // seq 1 was abandoned (dropped, never retried); seq 2 arrives.
+        let r2 = ep.deliver(
+            &mut m,
+            2,
+            &CellRequest::Submit {
+                job: job(2),
+                now: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+        assert!(r2.applied && !r2.deduped);
+        assert_eq!(m.jobs_in_system(), 2);
+        // The gap seq is now treated as a duplicate (it can never apply).
+        let r1 = ep.deliver(
+            &mut m,
+            1,
+            &CellRequest::Submit {
+                job: job(3),
+                now: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+        assert!(!r1.applied && r1.deduped);
+        assert_eq!(m.jobs_in_system(), 2);
+    }
+}

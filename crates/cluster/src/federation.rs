@@ -7,14 +7,37 @@
 //! and [`Federation::reschedule`] solves every *dirty* cell concurrently
 //! on scoped threads before running the cross-cell rebalancer.
 //!
-//! With `cells = 1` every mechanism degenerates to the single-manager
-//! behavior exactly: routing has one choice, the rebalancer is skipped,
-//! the worker split hands the whole portfolio budget to the only cell,
-//! and a round solves iff the single cell was touched by an event — which
-//! is precisely when the plain driver would have called
+//! ## The fallible boundary
+//!
+//! Mutating commands reach a cell through its
+//! [`CellEndpoint`](crate::endpoint::CellEndpoint) — reliable in-process
+//! by default, fault-injecting under [`crate::chaos::ChaosConfig`]. Each
+//! command is stamped with a per-cell sequence number; failed deliveries
+//! retry under the [`RetryPolicy`] (capped exponential backoff,
+//! deterministic jitter) and duplicates are suppressed cell-side, so
+//! every command applies at most once. A command the run cannot drop
+//! (task lifecycle, activations) escalates to the supervisor's reliable
+//! channel after its retries exhaust — restarting and rehydrating the
+//! cell first if it crashed — so the driver's surface always gets an
+//! answer. A per-cell health tracker ([`CellHealth`]) opens the circuit
+//! on crashes or repeated failures: `Down` cells report infinite load
+//! (power-of-two routing avoids them), their fully-unstarted jobs fail
+//! over to the slackest surviving cells at the next round, and the
+//! round-boundary reachability sweep restarts them once their outage
+//! ends — rehydrating through [`crate::durable::recover_cell`] WAL
+//! replay when the federation runs durable.
+//!
+//! With `cells = 1` and chaos off, every mechanism degenerates to the
+//! single-manager behavior exactly: routing has one choice, the
+//! rebalancer is skipped, deliveries succeed first try and draw no
+//! randomness, and a round solves iff the single cell was touched by an
+//! event — which is precisely when the plain driver would have called
 //! [`MrcpRm::reschedule`]. The determinism tests hold the repo to that.
 
 use crate::cell::Cell;
+use crate::chaos::{ChaosConfig, ChaosEndpoint};
+use crate::endpoint::{CellRequest, CellResponse, Delivery, RetryPolicy, RpcError};
+use crate::health::{CellHealth, HealthConfig, HealthState};
 use crate::metrics::ClusterMetrics;
 use crate::rebalance::RebalanceConfig;
 use crate::router::two_choices;
@@ -49,6 +72,19 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Whether a command may be abandoned when its deliveries keep failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallMode {
+    /// The run depends on the answer: escalate to the supervisor's
+    /// reliable channel after retries exhaust. Never returns `None`.
+    MustAnswer,
+    /// The caller has an alternative (re-route, solve next round): give
+    /// up after retries — but only if no attempt applied; a command
+    /// whose effect is already in the cell escalates to recover its
+    /// response rather than risk a double apply elsewhere.
+    BestEffort,
+}
+
 /// K sharded [`MrcpRm`]s behind the driver's [`ResourceManager`] surface.
 #[derive(Debug)]
 pub struct Federation {
@@ -71,6 +107,17 @@ pub struct Federation {
     /// The last internal-inconsistency error a round swallowed (the
     /// scheduling surface cannot propagate it); `None` when healthy.
     pub(crate) last_error: Option<ManagerError>,
+    /// The full resource list in construction order — what
+    /// [`crate::durable::recover_cell`] needs to rebuild any one cell.
+    pub(crate) resources: Vec<Resource>,
+    /// Whether any cell endpoint injects faults. Off: deliveries cannot
+    /// fail, the health sweep is skipped, and the parallel solve path
+    /// runs — the bit-exact legacy behavior.
+    pub(crate) chaos_active: bool,
+    /// Retry/backoff schedule for failed deliveries.
+    pub(crate) retry: RetryPolicy,
+    /// Per-cell circuit breakers.
+    pub(crate) health: Vec<CellHealth>,
 }
 
 impl Federation {
@@ -82,6 +129,7 @@ impl Federation {
             !resources.is_empty(),
             "federation needs at least one resource"
         );
+        let all_resources = resources.clone();
         let k = cfg.cells.clamp(1, resources.len());
         let mut pools: Vec<Vec<Resource>> = vec![Vec::new(); k];
         let mut res_cell = HashMap::new();
@@ -95,6 +143,7 @@ impl Federation {
             .map(|(id, pool)| Cell::new(id, MrcpRm::new(mgr, pool)))
             .collect();
         let base_workers = mgr.budget.workers.max(1);
+        let health = vec![CellHealth::new(HealthConfig::default()); k];
         Federation {
             cells,
             rebalance: cfg.rebalance,
@@ -106,6 +155,44 @@ impl Federation {
             max_fleet_depth: 0,
             journal: None,
             last_error: None,
+            resources: all_resources,
+            chaos_active: false,
+            retry: RetryPolicy::default(),
+            health,
+        }
+    }
+
+    /// A federation whose cell boundaries inject faults per `chaos`
+    /// (no-op when the config is inactive — the endpoints stay reliable
+    /// and behavior is bit-identical to [`Federation::new`]).
+    pub fn with_chaos(
+        cfg: &ClusterConfig,
+        mgr: MrcpConfig,
+        resources: Vec<Resource>,
+        chaos: &ChaosConfig,
+        retry: RetryPolicy,
+        health: HealthConfig,
+    ) -> Self {
+        let mut fed = Federation::new(cfg, mgr, resources);
+        fed.enable_chaos(chaos, retry, health);
+        fed
+    }
+
+    /// Swap the cell endpoints for fault-injecting ones (when `chaos` is
+    /// active) and install the retry/health knobs.
+    pub(crate) fn enable_chaos(
+        &mut self,
+        chaos: &ChaosConfig,
+        retry: RetryPolicy,
+        health: HealthConfig,
+    ) {
+        self.retry = retry;
+        self.health = vec![CellHealth::new(health); self.cells.len()];
+        if chaos.is_active() {
+            self.chaos_active = true;
+            for (i, c) in self.cells.iter_mut().enumerate() {
+                c.endpoint = Box::new(ChaosEndpoint::new(*chaos, i));
+            }
         }
     }
 
@@ -121,6 +208,11 @@ impl Federation {
         &self.cells
     }
 
+    /// Each cell's current health classification.
+    pub fn health(&self) -> Vec<HealthState> {
+        self.health.iter().map(CellHealth::state).collect()
+    }
+
     /// The federation-level counters accumulated so far.
     pub fn cluster_metrics(&self) -> &ClusterMetrics {
         &self.metrics
@@ -131,8 +223,20 @@ impl Federation {
         self.metrics
     }
 
+    /// Router load estimates, with unroutable (Down/Recovering) cells
+    /// masked to infinite load so power-of-two-choices never picks them.
     fn loads(&self) -> Vec<f64> {
-        self.cells.iter().map(Cell::load).collect()
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if self.health[i].routable() {
+                    c.load()
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
     }
 
     fn cell_of_task(&self, task: TaskId) -> Result<usize, ManagerError> {
@@ -179,10 +283,397 @@ impl Federation {
         self.max_fleet_depth = self.max_fleet_depth.max(depth);
     }
 
-    /// Solve every dirty cell's round concurrently, splitting the
-    /// portfolio worker budget across the cells that actually hold work.
-    /// The internal-inconsistency arm (a dirty cell vanishing between
-    /// count and solve) is unreachable, but it is reported as a typed
+    /// Journal the cell events `req`'s application implies — called
+    /// exactly when a delivery applied, so each cell WAL holds each
+    /// applied command once, in application order.
+    fn log_applied(&mut self, cell: usize, req: &CellRequest) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        match req {
+            CellRequest::SubmitWithAdmission { job, now } => j.cell_event(
+                cell,
+                &ManagerEvent::SubmitWithAdmission {
+                    job: job.clone(),
+                    now: *now,
+                },
+            ),
+            CellRequest::Submit { job, now } => j.cell_event(
+                cell,
+                &ManagerEvent::Submit {
+                    job: job.clone(),
+                    now: *now,
+                },
+            ),
+            CellRequest::ActivateDue { now } => {
+                j.cell_event(cell, &ManagerEvent::ActivateDue { now: *now });
+            }
+            CellRequest::Solve { workers, now } => {
+                j.cell_event(cell, &ManagerEvent::SetWorkers { workers: *workers });
+                j.cell_event(cell, &ManagerEvent::Reschedule { now: *now });
+            }
+            CellRequest::TaskStarted { task, now } => j.cell_event(
+                cell,
+                &ManagerEvent::TaskStarted {
+                    task: *task,
+                    now: *now,
+                },
+            ),
+            CellRequest::TaskCompleted { task, now } => j.cell_event(
+                cell,
+                &ManagerEvent::TaskCompleted {
+                    task: *task,
+                    now: *now,
+                },
+            ),
+            CellRequest::TaskDurationRevised { task, new_exec } => j.cell_event(
+                cell,
+                &ManagerEvent::TaskDurationRevised {
+                    task: *task,
+                    new_exec: *new_exec,
+                },
+            ),
+            CellRequest::TaskFailed { task, now } => j.cell_event(
+                cell,
+                &ManagerEvent::TaskFailed {
+                    task: *task,
+                    now: *now,
+                },
+            ),
+            CellRequest::ResourceDown { resource, now } => j.cell_event(
+                cell,
+                &ManagerEvent::ResourceDown {
+                    resource: *resource,
+                    now: *now,
+                },
+            ),
+            CellRequest::ResourceUp { resource, now } => j.cell_event(
+                cell,
+                &ManagerEvent::ResourceUp {
+                    resource: *resource,
+                    now: *now,
+                },
+            ),
+            CellRequest::TakeUnstartedJob { job } => {
+                j.cell_event(cell, &ManagerEvent::TakeUnstartedJob { job: *job });
+            }
+        }
+    }
+
+    fn deliver_to(
+        cell: &mut Cell,
+        seq: u64,
+        req: &CellRequest,
+        now: SimTime,
+        reliable: bool,
+    ) -> Delivery {
+        let Cell { rm, endpoint, .. } = cell;
+        if reliable {
+            endpoint.deliver_reliable(rm, seq, req, now)
+        } else {
+            endpoint.deliver(rm, seq, req, now)
+        }
+    }
+
+    /// The circuit opened for cell `i` (crash observed or failure
+    /// threshold crossed).
+    fn mark_down(&mut self, i: usize, now: SimTime) {
+        if self.health[i].state() != HealthState::Down {
+            self.health[i].force_down(now);
+            self.metrics.cell_crashes += 1;
+        }
+    }
+
+    /// Supervisor restart of cell `i`: end its outage, rebuild its state
+    /// from the durable store if the crash lost it, and mark it
+    /// recovering (the next successful delivery closes the circuit).
+    fn supervisor_restore(&mut self, i: usize, now: SimTime) {
+        let began = self.cells[i].endpoint.down_since();
+        let lost = self.cells[i].endpoint.restart(now);
+        self.health[i].begin_recovery(now);
+        if lost {
+            self.rehydrate(i);
+        }
+        if let Some(t0) = began {
+            self.metrics
+                .restore_latencies_ms
+                .push((now - t0).as_millis().max(0) as u64);
+        }
+        self.metrics.cell_restores += 1;
+        self.cells[i].dirty = true;
+    }
+
+    /// Rebuild cell `i`'s manager from the fleet snapshot plus its own
+    /// WAL ([`crate::durable::recover_cell`]) and swap it in — the crash
+    /// lost the in-process state. Memory-only federations model an ideal
+    /// durable store (the state is simply kept); with a journal the
+    /// rebuilt state is cross-checked against the live image before the
+    /// swap, so a divergence is counted instead of silently adopted.
+    fn rehydrate(&mut self, i: usize) {
+        self.metrics.rehydrations += 1;
+        let Some(j) = self.journal.as_ref() else {
+            return; // ideal store: nothing was actually lost
+        };
+        let dir = j.dir().to_path_buf();
+        let store_cfg = j.store_cfg();
+        let mgr_cfg = *self.cells[i].rm.config();
+        // Wall-clock solve stats and the latency EWMA cannot survive a
+        // process restart; equality is over the scheduling state proper.
+        fn canonical(mut img: mrcp::ManagerImage) -> mrcp::ManagerImage {
+            img.stats.total_solve = std::time::Duration::ZERO;
+            img.stats.max_round_solve = std::time::Duration::ZERO;
+            img.latency_ewma_s = None;
+            img
+        }
+        match crate::durable::recover_cell(&dir, store_cfg, mgr_cfg, &self.resources, i) {
+            Ok((rebuilt, _replayed)) => {
+                if canonical(rebuilt.image()) == canonical(self.cells[i].rm.image()) {
+                    self.cells[i].rm = rebuilt;
+                } else {
+                    self.metrics.rehydrate_mismatches += 1;
+                    self.last_error = Some(ManagerError::Inconsistent(
+                        "rehydrated cell diverged from the live fleet state",
+                    ));
+                }
+            }
+            Err(_) => {
+                self.metrics.rehydrate_mismatches += 1;
+                self.last_error = Some(ManagerError::Inconsistent(
+                    "cell rehydration from the durable store failed",
+                ));
+            }
+        }
+    }
+
+    /// Send `req` to cell `i` with at-most-once delivery: one sequence
+    /// number, retries with capped backoff, dedup on the cell side, and
+    /// — for must-answer calls or calls whose effect already landed —
+    /// escalation to the supervisor's reliable channel. Returns `None`
+    /// only in [`CallMode::BestEffort`] when no attempt applied.
+    fn call_cell(
+        &mut self,
+        i: usize,
+        req: &CellRequest,
+        now: SimTime,
+        mode: CallMode,
+    ) -> Option<CellResponse> {
+        let seq = self.cells[i].next_seq;
+        self.cells[i].next_seq += 1;
+        self.metrics.rpc_commands += 1;
+        let mut applied_any = false;
+        let mut crash_seen = false;
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            if attempt > 1 {
+                self.metrics.rpc_retries += 1;
+                self.metrics.rpc_latency_ms_total +=
+                    self.retry.backoff(seq, attempt - 1).as_millis().max(0) as u64;
+            }
+            self.metrics.rpc_attempts += 1;
+            let d = Self::deliver_to(&mut self.cells[i], seq, req, now, false);
+            self.metrics.rpc_latency_ms_total += d.latency.as_millis().max(0) as u64;
+            if d.applied {
+                self.log_applied(i, req);
+                applied_any = true;
+            }
+            if d.deduped {
+                self.metrics.rpc_dedup_hits += 1;
+            }
+            match d.outcome {
+                Ok(resp) => {
+                    self.health[i].on_success(now);
+                    return Some(resp);
+                }
+                Err(RpcError::CellDown) => {
+                    // Definitive: the process is gone; retrying within
+                    // this call cannot help (repairs take ≫ a backoff).
+                    self.mark_down(i, now);
+                    crash_seen = true;
+                    break;
+                }
+                Err(e) => {
+                    match e {
+                        RpcError::Dropped => self.metrics.rpc_drops += 1,
+                        RpcError::Timeout => self.metrics.rpc_timeouts += 1,
+                        RpcError::CellDown => unreachable!("handled above"),
+                    }
+                    let before = self.health[i].state();
+                    let after = self.health[i].on_failure(now);
+                    if after == HealthState::Down && before != HealthState::Down {
+                        self.metrics.cell_crashes += 1;
+                    }
+                }
+            }
+        }
+        if mode == CallMode::BestEffort && !applied_any {
+            return None;
+        }
+        // Escalation: the answer is owed (or the effect already landed
+        // and its response must be recovered from the dedup cache). The
+        // supervisor restarts a dead cell, rehydrates it, and uses the
+        // reliable channel.
+        self.metrics.rpc_escalations += 1;
+        if crash_seen || self.health[i].state() == HealthState::Down {
+            self.supervisor_restore(i, now);
+        }
+        self.metrics.rpc_attempts += 1;
+        let d = Self::deliver_to(&mut self.cells[i], seq, req, now, true);
+        if d.applied {
+            self.log_applied(i, req);
+        }
+        if d.deduped {
+            self.metrics.rpc_dedup_hits += 1;
+        }
+        match d.outcome {
+            Ok(resp) => {
+                self.health[i].on_success(now);
+                Some(resp)
+            }
+            Err(_) => {
+                // Unreachable: the reliable channel cannot fail after a
+                // restart — but a broken invariant degrades the call,
+                // not the process.
+                let e = ManagerError::Inconsistent(
+                    "reliable delivery failed after a supervisor restart",
+                );
+                debug_assert!(false, "{e}");
+                self.last_error = Some(e);
+                Some(CellResponse::Err(e))
+            }
+        }
+    }
+
+    /// [`call_cell`](Self::call_cell) in must-answer mode; infallible.
+    fn call_cell_must(&mut self, i: usize, req: &CellRequest, now: SimTime) -> CellResponse {
+        self.call_cell(i, req, now, CallMode::MustAnswer)
+            .unwrap_or(CellResponse::Err(ManagerError::Inconsistent(
+                "must-answer call returned nothing",
+            )))
+    }
+
+    /// A cell answered with a response of the wrong shape — an internal
+    /// inconsistency surfaced as a typed error, not a panic.
+    fn bad_response(&mut self) -> ManagerError {
+        let e = ManagerError::Inconsistent("cell returned a mismatched response type");
+        debug_assert!(false, "{e}");
+        self.last_error = Some(e);
+        e
+    }
+
+    /// Round-boundary health sweep (chaos only): observe crashes the
+    /// calls have not touched yet, restart cells whose outage ended, and
+    /// fail the unstarted jobs of still-down cells over to survivors.
+    fn sweep_health(&mut self, now: SimTime) {
+        for i in 0..self.cells.len() {
+            if !self.cells[i].endpoint.reachable(now) {
+                self.mark_down(i, now);
+            } else if self.health[i].state() == HealthState::Down {
+                // The process is back: restart, rehydrate, rejoin. The
+                // supervisor's restart probe doubles as the first
+                // success, closing the circuit.
+                self.supervisor_restore(i, now);
+                self.health[i].on_success(now);
+            }
+        }
+        for i in 0..self.cells.len() {
+            if self.health[i].state() == HealthState::Down {
+                self.failover_cell(i, now);
+            }
+        }
+        // Last-resort availability: a down cell still holding a job with
+        // no task in flight has no future event to force its restore —
+        // its jobs could not fail over (no routable survivor, or tasks
+        // already partially complete) and would be stranded past the end
+        // of the run. The supervisor force-restarts it now instead of
+        // waiting out the outage; jobs with running tasks can wait, since
+        // their completions escalate a restore on arrival.
+        for i in 0..self.cells.len() {
+            if self.health[i].state() != HealthState::Down {
+                continue;
+            }
+            let stranded = self.cells[i].rm.image().jobs.iter().any(|ji| {
+                !ji.tasks
+                    .iter()
+                    .any(|t| matches!(t.status, mrcp::TaskStatusImage::Started { .. }))
+            });
+            if stranded {
+                self.supervisor_restore(i, now);
+                self.health[i].on_success(now);
+            }
+        }
+    }
+
+    /// Move every fully-unstarted job off the down cell `i` onto the
+    /// slackest surviving cell, via the same supervisor-driven
+    /// reclaim-and-resubmit path the rebalancer uses. Jobs with started
+    /// tasks stay (they cannot migrate); the lifecycle events of their
+    /// running tasks will force a restore when they arrive.
+    fn failover_cell(&mut self, i: usize, now: SimTime) {
+        let crash_t = self.cells[i].endpoint.down_since();
+        let planned = self.cells[i].rm.planned_unstarted_jobs();
+        for p in planned {
+            let Some(job) = self.cells[i].rm.job(p.job).cloned() else {
+                continue;
+            };
+            let loads = self.loads();
+            let Some(dest) = (0..self.cells.len())
+                .filter(|&d| d != i && self.health[d].routable())
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+            else {
+                // No survivor can take the work; the cell's jobs wait
+                // for its restore instead.
+                return;
+            };
+            let _ = job;
+            if let Some(j) = self.journal.as_mut() {
+                j.cell_event(i, &ManagerEvent::TakeUnstartedJob { job: p.job });
+            }
+            let Ok(owned) = self.cells[i].rm.take_unstarted_job(p.job) else {
+                continue; // raced with a lifecycle change; leave it be
+            };
+            let tasks: Vec<TaskId> = owned.tasks().map(|t| t.id).collect();
+            if let Some(j) = self.journal.as_mut() {
+                j.cell_event(
+                    dest,
+                    &ManagerEvent::Submit {
+                        job: owned.clone(),
+                        now,
+                    },
+                );
+            }
+            match self.cells[dest].rm.submit(owned, now) {
+                Ok(_) => {
+                    if let Some(j) = self.journal.as_mut() {
+                        j.migrated(p.job, i, dest);
+                    }
+                    self.job_cell.insert(p.job, dest);
+                    for t in tasks {
+                        self.task_cell.insert(t, dest);
+                    }
+                    self.cells[dest].dirty = true;
+                    self.metrics.failovers += 1;
+                    let from = crash_t.unwrap_or(self.health[i].since());
+                    self.metrics
+                        .failover_latencies_ms
+                        .push((now - from).as_millis().max(0) as u64);
+                }
+                // Unreachable — the ids were just removed from `i` and
+                // are foreign to `dest` — but a lost job must not take
+                // the run down with it.
+                Err(e) => {
+                    debug_assert!(false, "failover resubmit failed: {e}");
+                    self.last_error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Solve every dirty cell's round, splitting the portfolio worker
+    /// budget across the cells that actually hold work — concurrently on
+    /// scoped threads when the boundary is reliable, sequentially
+    /// through the fallible endpoints under chaos (a down cell's round
+    /// is skipped; it stays dirty and replans after its restore). The
+    /// internal-inconsistency arm (a dirty cell vanishing between count
+    /// and solve) is unreachable, but it is reported as a typed
     /// [`ManagerError::Inconsistent`] rather than a panic.
     fn solve_dirty(&mut self, now: SimTime) -> Result<(), ManagerError> {
         let active = self
@@ -195,18 +686,37 @@ impl Federation {
             return Ok(());
         }
         let per_cell = (self.base_workers / active.max(1)).max(1);
-        if let Some(j) = self.journal.as_mut() {
-            // Write-ahead: the cell WAL records the round before the
-            // solve mutates the cell.
-            for (i, c) in self.cells.iter().enumerate() {
-                if c.dirty {
-                    j.cell_event(i, &ManagerEvent::SetWorkers { workers: per_cell });
-                    j.cell_event(i, &ManagerEvent::Reschedule { now });
+        if !self.chaos_active {
+            if let Some(j) = self.journal.as_mut() {
+                // Write-ahead: the cell WAL records the round before the
+                // solve mutates the cell.
+                for (i, c) in self.cells.iter().enumerate() {
+                    if c.dirty {
+                        j.cell_event(i, &ManagerEvent::SetWorkers { workers: per_cell });
+                        j.cell_event(i, &ManagerEvent::Reschedule { now });
+                    }
                 }
             }
         }
         let t0 = Instant::now();
-        if dirty == 1 {
+        if self.chaos_active {
+            for i in 0..self.cells.len() {
+                if !self.cells[i].dirty || !self.health[i].routable() {
+                    // A down cell's round is skipped; it stays dirty and
+                    // replans after its restore.
+                    continue;
+                }
+                // Must-answer: the driver may never call another round,
+                // so a routable cell's solve cannot be deferred to a
+                // "next time" that might not come.
+                let req = CellRequest::Solve {
+                    workers: per_cell,
+                    now,
+                };
+                self.call_cell(i, &req, now, CallMode::MustAnswer);
+                self.cells[i].dirty = false;
+            }
+        } else if dirty == 1 {
             // Hot path (and the cells=1 identity path): no thread setup.
             let Some(c) = self.cells.iter_mut().find(|c| c.dirty) else {
                 return Err(ManagerError::Inconsistent(
@@ -249,8 +759,12 @@ impl Federation {
         // entirely, deficit = MAX), already releasable so the migrated
         // submit re-enters as Active — the driver holds no activation
         // event for a job it believes is already in a scheduling set.
+        // Unroutable cells sit out (the failover path owns their jobs).
         let mut cands: Vec<(i64, usize, JobId)> = Vec::new();
         for (i, c) in self.cells.iter().enumerate() {
+            if !self.health[i].routable() {
+                continue;
+            }
             for p in c.rm.planned_unstarted_jobs() {
                 if p.planned_completion > p.deadline && p.earliest_start <= now {
                     let deficit = if p.planned_completion == SimTime::MAX {
@@ -274,7 +788,9 @@ impl Federation {
                 continue; // already migrated away this pass
             };
             let loads = self.loads();
-            let mut dests: Vec<usize> = (0..self.cells.len()).filter(|&i| i != src).collect();
+            let mut dests: Vec<usize> = (0..self.cells.len())
+                .filter(|&i| i != src && self.health[i].routable())
+                .collect();
             dests.sort_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)));
             for &d in dests.iter().take(self.rebalance.probe_fanout.max(1)) {
                 self.metrics.migration_probes += 1;
@@ -337,20 +853,53 @@ impl ResourceManager for Federation {
         if let Some(t) = job.tasks().find(|t| self.task_cell.contains_key(&t.id)) {
             return Err(ManagerError::DuplicateTask(t.id));
         }
-        let (target, spilled) = self.route(&job, now);
+        let (mut target, mut spilled) = self.route(&job, now);
         let id = job.id;
         let tasks: Vec<TaskId> = job.tasks().map(|t| t.id).collect();
+        let req = CellRequest::SubmitWithAdmission {
+            job: job.clone(),
+            now,
+        };
+        let first_target = target;
+        let mut tried = vec![target];
+        let resp = loop {
+            match self.call_cell(target, &req, now, CallMode::BestEffort) {
+                Some(resp) => break resp,
+                None => {
+                    // The target is unreachable and the submit never
+                    // applied: fail the arrival over to the best
+                    // untried routable cell.
+                    let loads = self.loads();
+                    let next = (0..self.cells.len())
+                        .filter(|c| !tried.contains(c) && self.health[*c].routable())
+                        .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)));
+                    match next {
+                        Some(c) => {
+                            self.metrics.reroutes += 1;
+                            spilled = false;
+                            target = c;
+                            tried.push(c);
+                        }
+                        None => {
+                            // Every cell is unroutable: an arrival
+                            // cannot be dropped, so force the original
+                            // target back up.
+                            target = first_target;
+                            spilled = false;
+                            break self.call_cell_must(first_target, &req, now);
+                        }
+                    }
+                }
+            }
+        };
+        let out = match resp {
+            CellResponse::Admission(out) => out,
+            CellResponse::Err(e) => return Err(e),
+            _ => return Err(self.bad_response()),
+        };
         if let Some(j) = self.journal.as_mut() {
             j.routed(id, target, spilled);
-            j.cell_event(
-                target,
-                &ManagerEvent::SubmitWithAdmission {
-                    job: job.clone(),
-                    now,
-                },
-            );
         }
-        let out = self.cells[target].rm.submit_with_admission(job, now)?;
         let shed = out.shed.clone();
         for ab in &shed {
             self.forget(ab);
@@ -373,25 +922,34 @@ impl ResourceManager for Federation {
     }
 
     fn activate_due(&mut self, now: SimTime) -> usize {
-        if let Some(j) = self.journal.as_mut() {
-            // Every cell sweeps its deferral queue; replaying the sweep
-            // on a cell with nothing due is a harmless no-op.
-            for i in 0..self.cells.len() {
-                j.cell_event(i, &ManagerEvent::ActivateDue { now });
-            }
-        }
         let mut total = 0;
-        for c in &mut self.cells {
-            let n = c.rm.activate_due(now);
-            if n > 0 {
-                c.dirty = true;
+        for i in 0..self.cells.len() {
+            // Every cell sweeps its deferral queue; a missed sweep could
+            // strand a deferred job forever, so activation is
+            // must-answer even for a down cell.
+            let req = CellRequest::ActivateDue { now };
+            match self.call_cell_must(i, &req, now) {
+                CellResponse::Activated(n) => {
+                    if n > 0 {
+                        self.cells[i].dirty = true;
+                    }
+                    total += n;
+                }
+                CellResponse::Err(e) => {
+                    self.last_error = Some(e);
+                }
+                _ => {
+                    let _ = self.bad_response();
+                }
             }
-            total += n;
         }
         total
     }
 
     fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry> {
+        if self.chaos_active {
+            self.sweep_health(now);
+        }
         if let Err(e) = self.solve_dirty(now) {
             debug_assert!(false, "solve_dirty went inconsistent: {e}");
             self.last_error = Some(e);
@@ -415,10 +973,12 @@ impl ResourceManager for Federation {
 
     fn task_started(&mut self, task: TaskId, now: SimTime) -> Result<ResourceId, ManagerError> {
         let cell = self.cell_of_task(task)?;
-        if let Some(j) = self.journal.as_mut() {
-            j.cell_event(cell, &ManagerEvent::TaskStarted { task, now });
+        let req = CellRequest::TaskStarted { task, now };
+        match self.call_cell_must(cell, &req, now) {
+            CellResponse::Started(rid) => Ok(rid),
+            CellResponse::Err(e) => Err(e),
+            _ => Err(self.bad_response()),
         }
-        self.cells[cell].rm.task_started(task, now)
     }
 
     fn task_completed(
@@ -427,10 +987,12 @@ impl ResourceManager for Federation {
         now: SimTime,
     ) -> Result<Option<JobCompletion>, ManagerError> {
         let cell = self.cell_of_task(task)?;
-        if let Some(j) = self.journal.as_mut() {
-            j.cell_event(cell, &ManagerEvent::TaskCompleted { task, now });
-        }
-        let done = self.cells[cell].rm.task_completed(task, now)?;
+        let req = CellRequest::TaskCompleted { task, now };
+        let done = match self.call_cell_must(cell, &req, now) {
+            CellResponse::Completed(done) => done,
+            CellResponse::Err(e) => return Err(e),
+            _ => return Err(self.bad_response()),
+        };
         // A completion frees capacity the next round can use even when
         // the driver does not replan for it immediately.
         self.cells[cell].dirty = true;
@@ -447,20 +1009,25 @@ impl ResourceManager for Federation {
         new_exec: SimTime,
     ) -> Result<(), ManagerError> {
         let cell = self.cell_of_task(task)?;
-        if let Some(j) = self.journal.as_mut() {
-            j.cell_event(cell, &ManagerEvent::TaskDurationRevised { task, new_exec });
+        let req = CellRequest::TaskDurationRevised { task, new_exec };
+        match self.call_cell_must(cell, &req, SimTime::ZERO.max(new_exec)) {
+            CellResponse::Revised => {
+                self.cells[cell].dirty = true;
+                Ok(())
+            }
+            CellResponse::Err(e) => Err(e),
+            _ => Err(self.bad_response()),
         }
-        self.cells[cell].rm.task_duration_revised(task, new_exec)?;
-        self.cells[cell].dirty = true;
-        Ok(())
     }
 
     fn task_failed(&mut self, task: TaskId, now: SimTime) -> Result<FailureAction, ManagerError> {
         let cell = self.cell_of_task(task)?;
-        if let Some(j) = self.journal.as_mut() {
-            j.cell_event(cell, &ManagerEvent::TaskFailed { task, now });
-        }
-        let action = self.cells[cell].rm.task_failed(task, now)?;
+        let req = CellRequest::TaskFailed { task, now };
+        let action = match self.call_cell_must(cell, &req, now) {
+            CellResponse::Failed(action) => action,
+            CellResponse::Err(e) => return Err(e),
+            _ => return Err(self.bad_response()),
+        };
         self.cells[cell].dirty = true;
         if let FailureAction::JobAbandoned(ab) = &action {
             let ab = ab.clone();
@@ -478,12 +1045,15 @@ impl ResourceManager for Federation {
             .res_cell
             .get(&rid)
             .ok_or(ManagerError::UnknownResource(rid))?;
-        if let Some(j) = self.journal.as_mut() {
-            j.cell_event(cell, &ManagerEvent::ResourceDown { resource: rid, now });
+        let req = CellRequest::ResourceDown { resource: rid, now };
+        match self.call_cell_must(cell, &req, now) {
+            CellResponse::Interrupted(interrupted) => {
+                self.cells[cell].dirty = true;
+                Ok(interrupted)
+            }
+            CellResponse::Err(e) => Err(e),
+            _ => Err(self.bad_response()),
         }
-        let interrupted = self.cells[cell].rm.resource_down(rid, now)?;
-        self.cells[cell].dirty = true;
-        Ok(interrupted)
     }
 
     fn resource_up(&mut self, rid: ResourceId, now: SimTime) -> Result<(), ManagerError> {
@@ -491,12 +1061,15 @@ impl ResourceManager for Federation {
             .res_cell
             .get(&rid)
             .ok_or(ManagerError::UnknownResource(rid))?;
-        if let Some(j) = self.journal.as_mut() {
-            j.cell_event(cell, &ManagerEvent::ResourceUp { resource: rid, now });
+        let req = CellRequest::ResourceUp { resource: rid, now };
+        match self.call_cell_must(cell, &req, now) {
+            CellResponse::ResourceUp => {
+                self.cells[cell].dirty = true;
+                Ok(())
+            }
+            CellResponse::Err(e) => Err(e),
+            _ => Err(self.bad_response()),
         }
-        self.cells[cell].rm.resource_up(rid, now)?;
-        self.cells[cell].dirty = true;
-        Ok(())
     }
 
     fn jobs_in_system(&self) -> usize {

@@ -25,18 +25,44 @@
 //! is [`mrcp::sim_driver::simulate_with`] plugged with a federation. With
 //! `cells = 1` the federation is behaviorally identical to the plain
 //! single-manager driver (proved by the determinism regression tests).
+//!
+//! ## Partial-failure tolerance
+//!
+//! The router speaks to each cell through a fallible [`endpoint`]: every
+//! mutating command is sequence-numbered, retried under a capped
+//! exponential backoff with deterministic jitter, and deduplicated
+//! cell-side, so delivery is at-most-once even when the [`chaos`] layer
+//! injects drops, duplicates, latency, hangs, and MTTF/MTTR-driven cell
+//! crashes. A per-cell circuit breaker ([`health`]) takes `Down` cells
+//! out of routing; their unstarted jobs fail over to the slackest
+//! survivors, and restarts rehydrate lost state through
+//! [`recover_cell`] WAL replay when the federation runs durable. With
+//! chaos off, every mechanism is provably inert: deliveries succeed
+//! first try, no randomness is drawn, and runs stay bit-identical to the
+//! pre-chaos federation.
 
 pub mod cell;
+pub mod chaos;
 pub mod durable;
+pub mod endpoint;
 pub mod federation;
+pub mod health;
 pub mod metrics;
 pub mod rebalance;
 pub mod router;
 
 pub use cell::Cell;
+pub use chaos::{
+    check_conservation, check_federation, simulate_cluster_chaos, simulate_cluster_chaos_durable,
+    ChaosConfig, ChaosRun, ChaosSimConfig,
+};
 pub use durable::{recover_cell, simulate_cluster_durable, DurableFederation, FedJournal};
+pub use endpoint::{
+    CellEndpoint, CellRequest, CellResponse, InProcEndpoint, RetryPolicy, RpcError,
+};
 pub use federation::{
     simulate_cluster, simulate_cluster_detailed, ClusterConfig, ClusterSimConfig, Federation,
 };
+pub use health::{CellHealth, HealthConfig, HealthState};
 pub use metrics::ClusterMetrics;
 pub use rebalance::RebalanceConfig;

@@ -27,6 +27,46 @@ pub struct ClusterMetrics {
     pub round_latencies_us: Vec<u64>,
     /// Most cells solving concurrently in a single round.
     pub max_cells_active: usize,
+    /// Logical commands sent across the router→cell boundary.
+    pub rpc_commands: u64,
+    /// Delivery attempts (≥ `rpc_commands`; the ratio is the retry
+    /// amplification fault injection causes).
+    pub rpc_attempts: u64,
+    /// Attempts that failed after the first try and were retried.
+    pub rpc_retries: u64,
+    /// Requests lost before the cell executed them.
+    pub rpc_drops: u64,
+    /// Calls that exceeded their deadline or lost their response.
+    pub rpc_timeouts: u64,
+    /// Duplicated or retried deliveries the cell-side sequence-number
+    /// dedup suppressed.
+    pub rpc_dedup_hits: u64,
+    /// Commands that exhausted their retries and fell back to the
+    /// supervisor's reliable channel.
+    pub rpc_escalations: u64,
+    /// Simulated latency accrued across all deliveries, milliseconds.
+    pub rpc_latency_ms_total: u64,
+    /// Arrivals re-routed to another cell after their target was found
+    /// down mid-submit.
+    pub reroutes: u64,
+    /// Times a cell's circuit opened (entered `Down`).
+    pub cell_crashes: u64,
+    /// Supervisor restarts of a cell process.
+    pub cell_restores: u64,
+    /// Restores that rebuilt the cell's lost state (WAL replay when the
+    /// federation runs durable; ideal-store no-ops memory-only).
+    pub rehydrations: u64,
+    /// Rehydrations whose rebuilt state diverged from the live fleet's
+    /// view — always 0 on a correct run.
+    pub rehydrate_mismatches: u64,
+    /// Unstarted jobs failed over from a Down cell to a survivor.
+    pub failovers: u64,
+    /// Per failed-over job: simulated time from the cell's crash to the
+    /// job's re-plan on a survivor, milliseconds.
+    pub failover_latencies_ms: Vec<u64>,
+    /// Per restore: simulated time from crash to supervisor restart,
+    /// milliseconds.
+    pub restore_latencies_ms: Vec<u64>,
 }
 
 impl ClusterMetrics {
@@ -41,12 +81,38 @@ impl ClusterMetrics {
     /// Nearest-rank quantile of the per-round solve latency, `q` in
     /// [0, 1]; `None` before any round has run.
     pub fn round_latency_quantile(&self, q: f64) -> Option<Duration> {
-        if self.round_latencies_us.is_empty() {
-            return None;
-        }
-        let mut sorted = self.round_latencies_us.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(Duration::from_micros(sorted[idx]))
+        sample_quantile(&self.round_latencies_us, q).map(Duration::from_micros)
     }
+
+    /// Nearest-rank quantile of the crash→re-plan failover latency
+    /// (simulated milliseconds); `None` before any job failed over.
+    pub fn failover_latency_quantile_ms(&self, q: f64) -> Option<u64> {
+        sample_quantile(&self.failover_latencies_ms, q)
+    }
+
+    /// Nearest-rank quantile of the crash→restart restore latency
+    /// (simulated milliseconds); `None` before any restore.
+    pub fn restore_latency_quantile_ms(&self, q: f64) -> Option<u64> {
+        sample_quantile(&self.restore_latencies_ms, q)
+    }
+
+    /// Delivery attempts per logical command — 1.0 on a fault-free run,
+    /// growing with injected drops/timeouts.
+    pub fn retry_amplification(&self) -> f64 {
+        if self.rpc_commands == 0 {
+            return 1.0;
+        }
+        self.rpc_attempts as f64 / self.rpc_commands as f64
+    }
+}
+
+/// Nearest-rank quantile over an unsorted sample set.
+fn sample_quantile(samples: &[u64], q: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
 }

@@ -10,6 +10,12 @@
 //! deterministic — ties break on the lower cell index — so federated runs
 //! stay reproducible under the workspace's common-random-numbers
 //! discipline (no RNG anywhere in the routing path).
+//!
+//! Health masking: the federation feeds the router `f64::INFINITY` for
+//! cells whose circuit breaker is open ([`crate::health`] `Down` /
+//! `Recovering`), so an unhealthy cell is chosen only when *every* cell
+//! is masked — in which case the caller (not the router) decides whether
+//! to force the arrival through anyway.
 
 /// The two least-loaded cells, primary first. `None` alternate iff there
 /// is only one cell. Ties break on the lower index.
@@ -63,5 +69,23 @@ mod tests {
         let (p, a) = two_choices(&[f64::INFINITY, 4.0, 9.0]);
         assert_eq!(p, 1);
         assert_eq!(a, Some(2));
+    }
+
+    #[test]
+    fn health_masked_cells_lose_to_any_finite_load() {
+        // Two of three cells Down (masked to INFINITY): the one healthy
+        // cell must be primary no matter how loaded it is.
+        let (p, a) = two_choices(&[f64::INFINITY, 1.0e12, f64::INFINITY]);
+        assert_eq!(p, 1);
+        assert_eq!(a, Some(0), "alternate falls back to a masked cell");
+    }
+
+    #[test]
+    fn all_cells_masked_still_yields_a_deterministic_pick() {
+        // Every circuit open: the router still answers (lowest index);
+        // the federation layer decides whether to force the submit.
+        let (p, a) = two_choices(&[f64::INFINITY, f64::INFINITY]);
+        assert_eq!(p, 0);
+        assert_eq!(a, Some(1));
     }
 }

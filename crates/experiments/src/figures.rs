@@ -125,6 +125,12 @@ pub fn all_figures() -> Vec<Figure> {
             run: run_recovery_sweep,
         },
         Figure {
+            name: "chaos",
+            title: "Extra: chaos sweep — SLA performance under a faulty cell boundary (drop/dup/hang/crash)",
+            expectation: "not in the paper — goodput stays at 1 at every fault rate (no job lost); P degrades gently while retries, failovers and restores absorb the faults",
+            run: run_chaos_sweep,
+        },
+        Figure {
             name: "ablations",
             title: "Extra: MRCP-RM design ablations (split §V.D, deferral §V.E, orderings, adaptive budget)",
             expectation: "split cuts O at equal P; deferral cuts O when p > 0; orderings tie (paper §VI.B); adaptive budget caps O growth",
@@ -960,6 +966,102 @@ fn run_recovery_sweep(scale: &Scale, seed: u64) -> FigureResult {
         title: "Durability sweep: manager crash rate vs SLA metrics and recovery cost".into(),
         expectation: "P and T flat across crash rates (bit-exact recovery); recovery cost bounded"
             .into(),
+        points,
+    }
+}
+
+/// Extra sweep: the chaos harness of DESIGN.md §5h. The same federated
+/// workload runs behind an increasingly hostile router→cell boundary
+/// (drops, duplicates, hangs, injected latency, and MTTF/MTTR cell
+/// crashes); the run aborts on any fleet-invariant violation, so every
+/// reported point is also a conservation proof.
+fn run_chaos_sweep(scale: &Scale, seed: u64) -> FigureResult {
+    use cluster::{simulate_cluster_chaos, ChaosConfig, ChaosSimConfig, HealthConfig, RetryPolicy};
+    use desim::SimTime;
+
+    let cfg = capped(SyntheticConfig::default(), scale);
+    let cluster = cfg.cluster();
+    // Deterministic solver budget: chaos replays must not race wall-clock.
+    let det_sim = |scale: &Scale, jobs: usize| {
+        let mut sim = mrcp_sim_config(scale, jobs);
+        sim.manager.budget.time_limit_ms = None;
+        sim
+    };
+    let chaos_run = |scale: &Scale, seed: u64, rep: u64, rate: f64| {
+        let jobs = synth_jobs(&cfg, scale, seed, rep);
+        let ccfg = ChaosSimConfig {
+            base: ClusterSimConfig {
+                sim: det_sim(scale, jobs.len()),
+                cluster: ClusterConfig {
+                    cells: 3,
+                    ..Default::default()
+                },
+            },
+            chaos: ChaosConfig {
+                drop_prob: rate,
+                dup_prob: rate,
+                hang_prob: rate / 5.0,
+                mean_latency: (rate > 0.0).then(|| SimTime::from_millis(10)),
+                call_deadline: SimTime::from_millis(200),
+                cell_mttf: (rate > 0.0)
+                    .then(|| SimTime::from_secs_f64(60.0 * (1.0 - rate).max(0.2))),
+                cell_mttr: (rate > 0.0).then(|| SimTime::from_secs(20)),
+                seed: seed ^ (rep << 8),
+            },
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
+        };
+        let run = simulate_cluster_chaos(&ccfg, &cluster, jobs);
+        assert!(
+            run.violations.is_empty(),
+            "chaos sweep broke a fleet invariant at rate {rate}: {:#?}",
+            run.violations
+        );
+        run
+    };
+
+    let mut points = Vec::new();
+    for &rate in &[0.0f64, 0.1, 0.2, 0.4] {
+        let label = format!("fault={:.0}%", rate * 100.0);
+        let sla = replicate(scale, |rep| {
+            let run = chaos_run(scale, seed, rep, rate);
+            let m = &run.metrics;
+            Sample {
+                p_late: m.p_late,
+                n_late: m.late as f64,
+                turnaround_s: m.mean_turnaround_s,
+                overhead_s: m.o_per_job_s,
+                rejected_frac: turned_away(m),
+            }
+        });
+        points.push(PointResult {
+            label: label.clone(),
+            series: "MRCP-RM federated (chaos boundary)".into(),
+            agg: sla,
+        });
+        let resilience = replicate(scale, |rep| {
+            let run = chaos_run(scale, seed, rep, rate);
+            let cm = run.federation.cluster_metrics();
+            Sample {
+                // Goodput: completed ÷ arrived — 1.0 means no job lost.
+                p_late: run.metrics.completed as f64 / run.metrics.arrived.max(1) as f64,
+                n_late: cm.failovers as f64,
+                turnaround_s: cm.cell_restores as f64,
+                overhead_s: cm.retry_amplification(),
+                rejected_frac: 0.0,
+            }
+        });
+        points.push(PointResult {
+            label,
+            series: "resilience (P = goodput; N = failovers; T = restores; O = retry amp)".into(),
+            agg: resilience,
+        });
+    }
+    FigureResult {
+        name: "chaos".into(),
+        title: "Chaos sweep: boundary fault rate vs SLA metrics and resilience counters".into(),
+        expectation:
+            "goodput 1.0 at every rate; P degrades gently; retries/failovers absorb faults".into(),
         points,
     }
 }

@@ -401,6 +401,92 @@ impl ResourceManager for MrcpRm {
     }
 }
 
+/// A [`ResourceManager`] decorator that runs an observer over the inner
+/// manager after every scheduling round — the hook the chaos harness
+/// uses to run its invariant checker at each round boundary without
+/// teaching the driver anything about invariants. All other calls
+/// delegate untouched.
+#[derive(Debug)]
+pub struct Watched<M, F> {
+    inner: M,
+    observer: F,
+}
+
+impl<M: ResourceManager, F: FnMut(&M)> Watched<M, F> {
+    /// Wrap `inner`, invoking `observer(&inner)` after each
+    /// [`ResourceManager::reschedule`] returns.
+    pub fn new(inner: M, observer: F) -> Self {
+        Watched { inner, observer }
+    }
+
+    /// The wrapped manager.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the observer.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: ResourceManager, F: FnMut(&M)> ResourceManager for Watched<M, F> {
+    fn submit_with_admission(
+        &mut self,
+        job: Job,
+        now: SimTime,
+    ) -> Result<AdmissionOutcome, ManagerError> {
+        self.inner.submit_with_admission(job, now)
+    }
+    fn activate_due(&mut self, now: SimTime) -> usize {
+        self.inner.activate_due(now)
+    }
+    fn reschedule(&mut self, now: SimTime) -> Vec<ScheduleEntry> {
+        let plan = self.inner.reschedule(now);
+        (self.observer)(&self.inner);
+        plan
+    }
+    fn task_started(&mut self, task: TaskId, now: SimTime) -> Result<ResourceId, ManagerError> {
+        self.inner.task_started(task, now)
+    }
+    fn task_completed(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+    ) -> Result<Option<JobCompletion>, ManagerError> {
+        self.inner.task_completed(task, now)
+    }
+    fn task_duration_revised(
+        &mut self,
+        task: TaskId,
+        new_exec: SimTime,
+    ) -> Result<(), ManagerError> {
+        self.inner.task_duration_revised(task, new_exec)
+    }
+    fn task_failed(&mut self, task: TaskId, now: SimTime) -> Result<FailureAction, ManagerError> {
+        self.inner.task_failed(task, now)
+    }
+    fn resource_down(
+        &mut self,
+        rid: ResourceId,
+        now: SimTime,
+    ) -> Result<Vec<TaskId>, ManagerError> {
+        self.inner.resource_down(rid, now)
+    }
+    fn resource_up(&mut self, rid: ResourceId, now: SimTime) -> Result<(), ManagerError> {
+        self.inner.resource_up(rid, now)
+    }
+    fn jobs_in_system(&self) -> usize {
+        self.inner.jobs_in_system()
+    }
+    fn stats(&self) -> ManagerStats {
+        self.inner.stats()
+    }
+    fn crash_and_recover(&mut self, now: SimTime) -> bool {
+        self.inner.crash_and_recover(now)
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     Arrival(usize),

@@ -117,6 +117,44 @@ impl FaultConfig {
     }
 }
 
+/// An exponential MTTF/MTTR renewal process for one crash-and-recover
+/// component: alternating `Exp(1/mttf)` up-times and `Exp(1/mttr)`
+/// down-times, each sample floored at 1 ms so failure and repair events
+/// never coincide. [`FaultModel`] drives *resource* crashes with the same
+/// distributions; this standalone form exists for components that need
+/// their own RNG stream — the federation chaos harness uses one per cell
+/// to model manager-process crashes.
+#[derive(Debug)]
+pub struct Renewal {
+    mttf: SimTime,
+    mttr: SimTime,
+    rng: StdRng,
+}
+
+impl Renewal {
+    /// A renewal process with the given means, sampling from `rng`.
+    /// Panics when either mean is non-positive (mirroring
+    /// [`FaultModel::new`]'s fail-fast policy on invalid knobs).
+    pub fn new(mttf: SimTime, mttr: SimTime, rng: StdRng) -> Self {
+        assert!(mttf > SimTime::ZERO, "Renewal mttf {mttf} must be positive");
+        assert!(mttr > SimTime::ZERO, "Renewal mttr {mttr} must be positive");
+        Renewal { mttf, mttr, rng }
+    }
+
+    /// Sample the next up-time: how long the component stays healthy
+    /// before its next failure.
+    pub fn time_to_failure(&mut self) -> SimTime {
+        let exp = Exponential::new(1.0 / self.mttf.as_secs_f64());
+        SimTime::from_secs_f64(exp.sample(&mut self.rng)).max(SimTime::from_millis(1))
+    }
+
+    /// Sample the down-time of the failure that just occurred.
+    pub fn repair_time(&mut self) -> SimTime {
+        let exp = Exponential::new(1.0 / self.mttr.as_secs_f64());
+        SimTime::from_secs_f64(exp.sample(&mut self.rng)).max(SimTime::from_millis(1))
+    }
+}
+
 /// Sampled fate of one task execution attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AttemptOutcome {
@@ -313,6 +351,37 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_outage.validate().is_err());
+    }
+
+    #[test]
+    fn renewal_means_match_and_are_seed_stable() {
+        let mttf = SimTime::from_secs(500);
+        let mttr = SimTime::from_secs(20);
+        let mut a = Renewal::new(mttf, mttr, rng(11));
+        let mut b = Renewal::new(mttf, mttr, rng(11));
+        let n = 20_000;
+        let mut up = 0.0;
+        let mut down = 0.0;
+        for _ in 0..n {
+            let ttf = a.time_to_failure();
+            assert_eq!(ttf, b.time_to_failure(), "renewal not seed-stable");
+            assert!(ttf >= SimTime::from_millis(1));
+            up += ttf.as_secs_f64();
+            let rep = a.repair_time();
+            assert_eq!(rep, b.repair_time());
+            assert!(rep >= SimTime::from_millis(1));
+            down += rep.as_secs_f64();
+        }
+        let mean_up = up / n as f64;
+        let mean_down = down / n as f64;
+        assert!(
+            (mean_up - 500.0).abs() < 15.0,
+            "MTTF mean drifted: {mean_up}"
+        );
+        assert!(
+            (mean_down - 20.0).abs() < 0.7,
+            "MTTR mean drifted: {mean_down}"
+        );
     }
 
     #[test]
