@@ -4,26 +4,39 @@
 //!
 //! Sections:
 //!
-//! * `sizes` — per instance size: p50/p95 single-threaded solve latency and
-//!   nodes explored over `reps` seeds,
+//! * `sizes` — per instance size: p50/p95 single-threaded **time-to-target**
+//!   and nodes-to-target over `reps` seeds (target = one fewer late job than
+//!   greedy EDF, i.e. the first strict improvement over the warm start),
+//!   plus the per-class propagation ledger (runs / prunings / conflicts /
+//!   skipped / time / prunings-per-µs) and the cost-aware scheduler's
+//!   demotion-decision counters,
+//! * `lns` — the self-tuning ablation at the largest size: time-to-target
+//!   under every {prop_scheduling, lns} combination,
 //! * `portfolio` — median portfolio latency and speedup for K ∈ {1,2,4,8}
 //!   workers on the largest size,
 //! * `rounds` — median manager round latency warm (cross-round reuse on,
 //!   second round replays cached placements) vs cold (reuse off).
 //!
+//! Time-to-target (rather than time-to-proof under a wall cap) is the
+//! comparable number for an anytime solver: a faster propagation stack
+//! should *reduce* it, whereas under a fixed cap it would just explore more
+//! nodes and report the same latency. Runs that never reach the target are
+//! charged whatever the budget allowed and counted in `reached_target`.
+//!
 //! Usage: `cargo run --release -p bench --bin bench_json -- [--smoke] [--out PATH]`
 //!
-//! `--smoke` shrinks sizes/reps for CI; timing numbers are then meaningless
-//! but the JSON shape is identical (checked by CI) and the `sizes` section
-//! keeps the full rep count so its nodes_p50 stays comparable with the
-//! committed full run (CI's regression guard — node counts, unlike
-//! latencies, travel across machines).
+//! `--smoke` trims the portfolio/rounds reps for CI; timing numbers are then
+//! meaningless but the JSON shape is identical (checked by CI) and the
+//! `sizes` section keeps the full size and rep set so its nodes_p50 stays
+//! comparable with the committed full run (CI's regression guard — node
+//! counts, unlike latencies, travel across machines).
 
 use std::time::Instant;
 
 use bench::batch_scenario;
 use cpsolve::portfolio::{solve_portfolio, PortfolioParams};
 use cpsolve::search::{solve, SolveParams};
+use cpsolve::LnsParams;
 use desim::SimTime;
 use mrcp::modelmap::{build_model, JobInput, TaskInput};
 use mrcp::{MrcpConfig, MrcpRm};
@@ -70,24 +83,55 @@ fn solver_params() -> SolveParams {
     }
 }
 
-/// Per-size single-threaded latency/nodes distribution, plus the
-/// per-propagator-class counters summed over reps (runs / prunings /
-/// conflicts / time — the observability surface of the tiered engine).
+/// One race-to-target solve of a bench fixture: target is one fewer late
+/// job than greedy EDF achieves (seeds where greedy is already perfect race
+/// to prove zero). Returns (elapsed µs, outcome, reached).
+fn race(n: usize, seed: u64, params: &SolveParams) -> (u64, cpsolve::Outcome, bool) {
+    let (cluster, jobs) = batch_scenario(n, seed);
+    let ji = job_inputs(&jobs);
+    let mm = build_model(&cluster, &ji).expect("bench fixture builds");
+    let g = cpsolve::greedy::greedy_edf(&mm.model).expect("greedy schedules the fixture");
+    let target = g.objective.saturating_sub(1);
+    let p = SolveParams {
+        target: Some(target),
+        ..params.clone()
+    };
+    let t0 = Instant::now();
+    let o = solve(&mm.model, &p);
+    let us = t0.elapsed().as_micros() as u64;
+    let reached = o.best.as_ref().is_some_and(|b| b.objective <= target);
+    (us, o, reached)
+}
+
+/// Per-size single-threaded time-to-target / nodes-to-target distribution,
+/// plus the per-propagator-class counters summed over reps (runs / prunings
+/// / conflicts / skipped / time / prunings-per-µs) and the cost-aware
+/// scheduler's demotion decisions — the observability surface of the tiered
+/// engine. One discarded warmup rep per size keeps first-touch effects
+/// (lazy page faults, cold caches) out of the quantiles.
 fn bench_sizes(sizes: &[usize], reps: u64) -> Value {
     let params = solver_params();
     let mut out = Vec::new();
     for &n in sizes {
         let mut lat_us: Vec<u64> = Vec::new();
         let mut nodes: Vec<u64> = Vec::new();
+        let mut reached_target = 0u64;
+        let mut lns_iters = 0u64;
+        let mut lns_improves = 0u64;
         let mut by_class = [cpsolve::PropClassStats::default(); cpsolve::N_PROP_CLASSES];
+        let mut sched = cpsolve::SchedStats::default();
+        // Warmup: same fixture as rep 0, solved and discarded.
+        let _ = race(n, 1, &params);
         for rep in 0..reps {
-            let (cluster, jobs) = batch_scenario(n, 7 * rep + 1);
-            let ji = job_inputs(&jobs);
-            let mm = build_model(&cluster, &ji).expect("bench fixture builds");
-            let t0 = Instant::now();
-            let o = solve(&mm.model, &params);
-            lat_us.push(t0.elapsed().as_micros() as u64);
+            let (us, o, reached) = race(n, 7 * rep + 1, &params);
+            lat_us.push(us);
             nodes.push(o.stats.nodes);
+            if reached {
+                reached_target += 1;
+            }
+            lns_iters += o.stats.lns_iters;
+            lns_improves += o.stats.lns_improves;
+            sched.merge(&o.stats.sched);
             for (acc, c) in by_class.iter_mut().zip(o.stats.by_class.iter()) {
                 acc.merge(c);
             }
@@ -105,7 +149,9 @@ fn bench_sizes(sizes: &[usize], reps: u64) -> Value {
                             ("runs".into(), Value::UInt(s.runs)),
                             ("prunings".into(), Value::UInt(s.prunings)),
                             ("conflicts".into(), Value::UInt(s.conflicts)),
+                            ("skipped".into(), Value::UInt(s.skipped)),
                             ("time_us".into(), Value::UInt(s.time_us)),
+                            ("prunings_per_us".into(), Value::Float(s.prunings_per_us())),
                         ]),
                     )
                 })
@@ -118,10 +164,61 @@ fn bench_sizes(sizes: &[usize], reps: u64) -> Value {
             ("p95_us".into(), Value::UInt(quantile(&lat_us, 0.95))),
             ("nodes_p50".into(), Value::UInt(quantile(&nodes, 0.5))),
             ("nodes_p95".into(), Value::UInt(quantile(&nodes, 0.95))),
+            ("reached_target".into(), Value::UInt(reached_target)),
+            ("lns_iters".into(), Value::UInt(lns_iters)),
+            ("lns_improves".into(), Value::UInt(lns_improves)),
+            (
+                "sched".into(),
+                Value::Map(vec![
+                    ("demotions".into(), Value::UInt(sched.demotions)),
+                    ("disables".into(), Value::UInt(sched.disables)),
+                    ("repromotions".into(), Value::UInt(sched.repromotions)),
+                ]),
+            ),
             ("by_class".into(), classes),
         ]));
     }
     Value::Seq(out)
+}
+
+/// The self-tuning ablation at the largest size: time-to-target under every
+/// {prop_scheduling, lns} combination over the same seeds. The default
+/// (both on) should dominate the static solver (both off).
+fn bench_lns(n: usize, reps: u64) -> Value {
+    let variants: [(&str, bool, bool); 4] = [
+        ("sched+lns", true, true),
+        ("sched", true, false),
+        ("lns", false, true),
+        ("static", false, false),
+    ];
+    let mut rows = Vec::new();
+    for (name, sched_on, lns_on) in variants {
+        let params = SolveParams {
+            prop_scheduling: sched_on,
+            lns: LnsParams {
+                enabled: lns_on,
+                ..LnsParams::default()
+            },
+            ..solver_params()
+        };
+        let mut lat_us: Vec<u64> = Vec::new();
+        let mut reached = 0u64;
+        let _ = race(n, 1, &params); // warmup, discarded
+        for rep in 0..reps {
+            let (us, _, hit) = race(n, 7 * rep + 1, &params);
+            lat_us.push(us);
+            if hit {
+                reached += 1;
+            }
+        }
+        rows.push(Value::Map(vec![
+            ("variant".into(), Value::Str(name.into())),
+            ("reps".into(), Value::UInt(reps)),
+            ("p50_us".into(), Value::UInt(median(&mut lat_us))),
+            ("reached_target".into(), Value::UInt(reached)),
+        ]));
+    }
+    Value::Seq(rows)
 }
 
 /// Portfolio speedup as time-to-target-quality: every K races to the first
@@ -130,7 +227,9 @@ fn bench_sizes(sizes: &[usize], reps: u64) -> Value {
 /// target; the shared cancel flag then stops the other workers). These
 /// fixtures are far too hard to prove optimal, so time-to-proof would just
 /// measure the time limit; time-to-equal-quality is the comparable number.
-/// Runs that never reach the target are charged the full cap.
+/// Runs that never reach the target are charged the full cap. At K ≥ 2 the
+/// odd workers run pure-LNS repair over diversified neighborhood seeds and
+/// window sizes, sharing the incumbent through the portfolio's atomic cut.
 fn bench_portfolio(n: usize, reps: u64) -> Value {
     let cap = std::time::Duration::from_secs(2);
     // Target per rep: one fewer late job than greedy EDF achieves (reps
@@ -245,15 +344,13 @@ fn main() {
         }
     }
 
-    // Smoke trims the sizes and the portfolio/rounds reps, but keeps the
-    // full rep count for `sizes`: CI compares its nodes_p50 against the
-    // committed full run, and medians are only comparable when the seed
-    // set matches (the n=5 distribution is bimodal — root-solved or cap).
-    let (sizes, size_reps, reps): (&[usize], u64, u64) = if smoke {
-        (&[5], 15, 3)
-    } else {
-        (&[5, 15, 30], 15, 15)
-    };
+    // Smoke trims the portfolio/rounds/lns reps, but keeps the full size
+    // and rep set for `sizes`: CI compares its nodes_p50 and p50_us against
+    // the committed full run, and quantiles are only comparable when the
+    // seed set matches.
+    let sizes: &[usize] = &[5, 15, 30];
+    let size_reps: u64 = 15;
+    let reps: u64 = if smoke { 3 } else { 15 };
     let top = *sizes.last().unwrap();
 
     eprintln!(
@@ -261,9 +358,10 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
     let doc = Value::Map(vec![
-        ("schema".into(), Value::Str("bench_solver/v1".into())),
+        ("schema".into(), Value::Str("bench_solver/v2".into())),
         ("smoke".into(), Value::Bool(smoke)),
         ("sizes".into(), bench_sizes(sizes, size_reps)),
+        ("lns".into(), bench_lns(top, reps)),
         ("portfolio".into(), bench_portfolio(top, reps)),
         ("rounds".into(), bench_rounds(top, reps)),
     ]);

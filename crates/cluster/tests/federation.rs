@@ -100,6 +100,48 @@ fn single_cell_federation_matches_plain_driver() {
 }
 
 #[test]
+fn single_cell_identity_survives_lns_pressure_rung() {
+    use mrcp::{BudgetController, SolveBudget};
+    use std::time::Duration;
+    // Wall-clock-free budget plus a zero latency ceiling: the controller
+    // halves the scale every round (1.0, 0.5, 0.25, 0.125, 0.1, …), so
+    // the run passes through pressure level 2 — where the LNS repair
+    // rung serves the round — on its way to the greedy floor. The
+    // cells=1 identity must hold with the new rung (and the cost-aware
+    // propagator scheduling that runs inside every solve) enabled.
+    let sim = || {
+        let mut sim = SimConfig::default();
+        sim.manager.budget = SolveBudget {
+            node_limit: 2_000,
+            fail_limit: 2_000,
+            time_limit_ms: None,
+            ..SolveBudget::default()
+        };
+        sim.manager.controller = Some(BudgetController {
+            latency_ceiling: Duration::ZERO,
+            alpha: 1.0,
+            min_scale: 0.1,
+        });
+        sim
+    };
+    let (resources, jobs) = small_workload(30, 4, 0.05, 29);
+    let plain = simulate(&sim(), &resources, jobs.clone());
+    let fed_cfg = ClusterSimConfig {
+        sim: sim(),
+        cluster: ClusterConfig {
+            cells: 1,
+            rebalance: RebalanceConfig::default(),
+        },
+    };
+    let (fed, _) = simulate_cluster(&fed_cfg, &resources, jobs);
+    assert_eq!(
+        plain.deterministic_signature(),
+        fed.deterministic_signature(),
+        "cells=1 identity must survive the LNS pressure rung"
+    );
+}
+
+#[test]
 fn multi_cell_run_drains_and_conserves_jobs() {
     let (resources, jobs) = small_workload(40, 8, 0.05, 23);
     let n = jobs.len();

@@ -27,6 +27,7 @@ fn det_sim() -> SimConfig {
             adaptive: None,
             warm_start: true,
             workers: 1,
+            ..SolveBudget::default()
         },
         ..Default::default()
     };

@@ -49,6 +49,7 @@
 
 pub mod brute;
 pub mod greedy;
+pub mod lns;
 pub mod model;
 pub mod portfolio;
 pub mod props;
@@ -56,8 +57,11 @@ pub mod search;
 pub mod solution;
 pub mod state;
 
+pub use lns::LnsParams;
 pub use model::{JobRef, Model, ModelBuilder, ResRef, SlotKind, TaskRef};
 pub use portfolio::{solve_portfolio, PortfolioParams};
-pub use props::{PropClass, PropClassStats, N_PROP_CLASSES, PROP_CLASSES};
+pub use props::{
+    PropClass, PropClassStats, SchedStats, SchedulingOptions, N_PROP_CLASSES, PROP_CLASSES,
+};
 pub use search::{solve, Branching, Outcome, SolveParams, SolveStats, Status};
 pub use solution::Solution;

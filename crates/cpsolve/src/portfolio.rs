@@ -64,12 +64,16 @@ impl PortfolioParams {
 ///
 /// Worker 0 is the *anchor*: it runs `base` exactly as the single-threaded
 /// solver would (greedy warm start, set-times, solution-guided), so the
-/// portfolio can never do worse than `solve` on the same budget. Workers
-/// 1.. drop the greedy warm start (they inherit its objective through the
-/// shared bound within the first check stride anyway) and cycle through
-/// restart-heavy, EDF-branching, conflict-guided (weighted-degree and
-/// last-conflict), and unguided variants, each with a distinct
-/// value-ordering rotation.
+/// portfolio can never do worse than `solve` on the same budget.
+///
+/// When the base enables LNS, workers `w % 6 ∈ {1, 3, 5}` become
+/// **pure-LNS** workers: all budget in the LNS phase, each with a distinct
+/// neighborhood seed and window geometry (narrow/default/wide), their
+/// improvements reaching the complete workers through the shared incumbent
+/// bound. The remaining workers stay complete (EDF branching,
+/// weighted-degree + restarts, rotation-only) so exhaustion proofs are
+/// still produced. With LNS disabled, the pre-LNS mix (restart-heavy,
+/// unguided, last-conflict) is used unchanged.
 fn worker_params(params: &PortfolioParams, w: usize) -> SolveParams {
     let mut wp = params.base.clone();
     if w == 0 {
@@ -77,25 +81,54 @@ fn worker_params(params: &PortfolioParams, w: usize) -> SolveParams {
     }
     wp.warm_start = false;
     wp.value_rotation = params.seed.wrapping_add(w as u64);
-    match w % 6 {
-        1 => {
+    let lns_seed = crate::lns::splitmix64(params.seed ^ ((w as u64) << 32));
+    match (w % 6, params.base.lns.enabled) {
+        (1, true) => {
+            // Pure LNS, narrow fast windows with extra patience — the
+            // cheapest per-iteration geometry, so it is the one K=2 gets.
+            // LNS repairs an incumbent, so these workers keep the greedy
+            // warm start instead of waiting for the shared bound (a bound
+            // alone is not a schedule).
+            wp.warm_start = true;
+            wp.lns = crate::lns::LnsParams {
+                window_frac: 0.15,
+                iter_nodes: 300,
+                no_improve_cap: 16,
+                ..crate::lns::LnsParams::pure(lns_seed)
+            };
+        }
+        (3, true) => {
+            // Pure LNS, wide windows with a bigger per-window budget.
+            wp.warm_start = true;
+            wp.lns = crate::lns::LnsParams {
+                window_frac: 0.5,
+                iter_nodes: 1500,
+                ..crate::lns::LnsParams::pure(lns_seed)
+            };
+        }
+        (5, true) => {
+            // Pure LNS, default-width windows.
+            wp.warm_start = true;
+            wp.lns = crate::lns::LnsParams::pure(lns_seed);
+        }
+        (1, false) => {
             wp.restarts = Some(32);
         }
-        2 => {
-            wp.branching = crate::search::Branching::Edf;
-        }
-        3 => {
+        (3, false) => {
             wp.solution_guided = false;
             wp.restarts = Some(128);
         }
-        4 => {
+        (5, false) => {
+            wp.branching = crate::search::Branching::LastConflict;
+        }
+        (2, _) => {
+            wp.branching = crate::search::Branching::Edf;
+        }
+        (4, _) => {
             // Weighted-degree pairs naturally with restarts: weights learned
             // in one dive redirect the next.
             wp.branching = crate::search::Branching::WeightedDegree;
             wp.restarts = Some(64);
-        }
-        5 => {
-            wp.branching = crate::search::Branching::LastConflict;
         }
         _ => {} // rotation-only variant
     }
@@ -150,6 +183,9 @@ fn merge(outcomes: Vec<Outcome>, t0: std::time::Instant) -> Outcome {
         for (acc, c) in stats.by_class.iter_mut().zip(out.stats.by_class.iter()) {
             acc.merge(c);
         }
+        stats.sched.merge(&out.stats.sched);
+        stats.lns_iters += out.stats.lns_iters;
+        stats.lns_improves += out.stats.lns_improves;
         any_solution |= out.best.is_some();
         any_exhausted |= matches!(out.status, Status::Optimal | Status::Infeasible);
     }
@@ -266,10 +302,11 @@ mod tests {
         let w0 = worker_params(&params, 0);
         assert_eq!(w0.warm_start, base.warm_start);
         assert_eq!(w0.value_rotation, 0);
-        // Diversified workers get distinct rotations and no greedy restart.
+        // Diversified workers get distinct rotations; complete (non-LNS)
+        // workers drop the greedy warm start.
         let w1 = worker_params(&params, 1);
         let w2 = worker_params(&params, 2);
-        assert!(!w1.warm_start && !w2.warm_start);
+        assert!(!w2.warm_start);
         assert_ne!(w1.value_rotation, w2.value_rotation);
         assert_eq!(w2.branching, crate::search::Branching::Edf);
     }
@@ -284,7 +321,36 @@ mod tests {
         let w4 = worker_params(&params, 4);
         assert_eq!(w4.branching, crate::search::Branching::WeightedDegree);
         assert_eq!(w4.restarts, Some(64));
+    }
+
+    /// With LNS enabled (the default), workers 1/3/5 become pure-LNS with
+    /// distinct neighborhood seeds and window geometries; with it disabled
+    /// the pre-LNS strategy mix is restored.
+    #[test]
+    fn lns_workers_diversify_neighborhoods() {
+        let params = PortfolioParams {
+            base: SolveParams::default(),
+            workers: 8,
+            seed: 11,
+        };
+        assert!(params.base.lns.enabled, "LNS on by default");
+        let w1 = worker_params(&params, 1);
+        let w3 = worker_params(&params, 3);
         let w5 = worker_params(&params, 5);
+        for w in [&w1, &w3, &w5] {
+            assert_eq!(w.lns.budget_frac, 1.0, "pure LNS worker");
+            assert!(w.warm_start, "LNS needs an incumbent to repair");
+        }
+        assert_ne!(w1.lns.seed, w3.lns.seed);
+        assert_ne!(w3.lns.seed, w5.lns.seed);
+        assert!(w1.lns.window_frac < w5.lns.window_frac);
+        assert!(w3.lns.window_frac > w5.lns.window_frac);
+
+        let mut no_lns = params.clone();
+        no_lns.base.lns.enabled = false;
+        let w1 = worker_params(&no_lns, 1);
+        let w5 = worker_params(&no_lns, 5);
+        assert_eq!(w1.restarts, Some(32));
         assert_eq!(w5.branching, crate::search::Branching::LastConflict);
     }
 }

@@ -14,8 +14,11 @@
 //! single ticks).
 
 use crate::greedy::greedy_edf;
+use crate::lns::{self, LnsParams};
 use crate::model::{Model, ResRef, TaskRef};
-use crate::props::{Engine, EngineOptions, PropClassStats, N_PROP_CLASSES};
+use crate::props::{
+    Engine, EngineOptions, PropClassStats, SchedStats, SchedulingOptions, N_PROP_CLASSES,
+};
 use crate::solution::Solution;
 use crate::state::{Domains, Lateness, TaskWeights};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -103,6 +106,13 @@ pub struct SolveParams {
     /// pre-applied restart counter); portfolio workers use distinct values
     /// so their first dives diverge.
     pub value_rotation: u64,
+    /// Cost-aware propagator scheduling: demote strong-but-redundant
+    /// propagators that stop earning their keep on this instance (see
+    /// [`crate::props::SchedulingOptions`]). Never changes verdicts.
+    pub prop_scheduling: bool,
+    /// Large-neighborhood-search phase over the incumbent before the
+    /// unrestricted branch-and-bound (see [`crate::lns`]).
+    pub lns: LnsParams,
 }
 
 impl Default for SolveParams {
@@ -120,6 +130,8 @@ impl Default for SolveParams {
             solution_guided: true,
             branching: Branching::SetTimes,
             value_rotation: 0,
+            prop_scheduling: true,
+            lns: LnsParams::default(),
         }
     }
 }
@@ -170,6 +182,12 @@ pub struct SolveStats {
     /// Per-propagator-class breakdown of runs/prunings/conflicts/time,
     /// indexed by [`crate::props::PropClass::idx`].
     pub by_class: [PropClassStats; N_PROP_CLASSES],
+    /// Cost-aware scheduling decisions (demotions/disables/re-promotions).
+    pub sched: SchedStats,
+    /// LNS iterations (restricted window re-solves) performed.
+    pub lns_iters: u64,
+    /// LNS iterations that improved the incumbent.
+    pub lns_improves: u64,
 }
 
 /// The Luby sequence 1,1,2,1,1,2,4,… (`i` is 1-based).
@@ -309,14 +327,32 @@ pub(crate) fn solve_shared(
     params: &SolveParams,
     shared: Option<&SharedSearch>,
 ) -> Outcome {
-    let out = solve_inner(model, params, shared);
+    let out = solve_inner(model, params, shared, &[]);
     if let Some(sh) = shared {
         sh.cancel.store(true, Ordering::Relaxed);
     }
     out
 }
 
-fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch>) -> Outcome {
+/// A solve with part of the assignment frozen before the root propagation —
+/// the LNS restricted re-solve. Statuses are relative to the *restricted*
+/// problem (an `Optimal` here proves nothing about the full model); callers
+/// must only consume `best`/`stats`. Does not raise the shared cancel flag.
+pub(crate) fn solve_restricted(
+    model: &Model,
+    params: &SolveParams,
+    root_fixes: &[(TaskRef, ResRef, i64)],
+    shared: Option<&SharedSearch>,
+) -> Outcome {
+    solve_inner(model, params, shared, root_fixes)
+}
+
+fn solve_inner(
+    model: &Model,
+    params: &SolveParams,
+    shared: Option<&SharedSearch>,
+    root_fixes: &[(TaskRef, ResRef, i64)],
+) -> Outcome {
     let t0 = Instant::now();
     let mut stats = SolveStats::default();
 
@@ -363,12 +399,41 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
         }
     }
 
+    // LNS phase: repair the incumbent through restricted window re-solves
+    // before committing the rest of the budget to the unrestricted B&B.
+    // Skipped inside restricted re-solves themselves (no nesting).
+    if params.lns.enabled && root_fixes.is_empty() {
+        if let Some(b) = &mut best {
+            lns::improve(model, params, shared, b, &mut stats, t0, target);
+            if let Some(sh) = shared {
+                sh.publish(b.objective);
+            }
+            if b.objective <= target {
+                let status = if b.objective == 0 {
+                    Status::Optimal
+                } else {
+                    Status::Feasible
+                };
+                stats.elapsed_us = t0.elapsed().as_micros() as u64;
+                return Outcome {
+                    status,
+                    best,
+                    stats,
+                };
+            }
+        }
+    }
+
     let mut dom = Domains::new(model);
     let mut engine = Engine::with_options(
         model,
         EngineOptions {
             energetic: params.energetic,
             edge_finding: params.edge_finding,
+            scheduling: SchedulingOptions {
+                enabled: params.prop_scheduling,
+                ..SchedulingOptions::default()
+            },
         },
     );
     if let Some(b) = &best {
@@ -378,6 +443,26 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
     // objective into the cut before the root propagation.
     if let Some(g) = shared.and_then(|sh| sh.best()) {
         engine.set_bound(g.saturating_sub(1));
+    }
+
+    // Freeze the caller-specified placements (LNS restricted re-solve)
+    // before the root propagation. The frozen frame comes from a verified
+    // incumbent, so a contradiction can only come from the objective cut —
+    // which proves nothing better exists *in this restriction*.
+    for &(t, r, s) in root_fixes {
+        if dom.assign_res(t, r).is_err() || dom.fix_start(t, s).is_err() {
+            let status = if best.is_some() {
+                Status::Optimal
+            } else {
+                Status::Infeasible
+            };
+            stats.elapsed_us = t0.elapsed().as_micros() as u64;
+            return Outcome {
+                status,
+                best,
+                stats,
+            };
+        }
     }
 
     // Root propagation.
@@ -390,11 +475,7 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
             } else {
                 Status::Infeasible
             };
-            let ps = engine.prop_stats();
-            stats.propagations = ps.runs;
-            stats.prunings = ps.prunings;
-            stats.by_class = ps.by_class;
-            stats.elapsed_us = t0.elapsed().as_micros() as u64;
+            finalize_stats(&mut stats, &engine, t0);
             return Outcome {
                 status,
                 best,
@@ -561,16 +642,26 @@ fn solve_inner(model: &Model, params: &SolveParams, shared: Option<&SharedSearch
     } else {
         Status::Unknown
     };
-    let ps = engine.prop_stats();
-    stats.propagations = ps.runs;
-    stats.prunings = ps.prunings;
-    stats.by_class = ps.by_class;
-    stats.elapsed_us = t0.elapsed().as_micros() as u64;
+    finalize_stats(&mut stats, &engine, t0);
     Outcome {
         status,
         best,
         stats,
     }
+}
+
+/// Fold the engine's propagation counters into the solve stats. Additive,
+/// not assignment: the LNS phase already accumulated its restricted
+/// re-solves' counters into `stats` before the main engine existed.
+fn finalize_stats(stats: &mut SolveStats, engine: &Engine, t0: Instant) {
+    let ps = engine.prop_stats();
+    stats.propagations += ps.runs;
+    stats.prunings += ps.prunings;
+    for (acc, s) in stats.by_class.iter_mut().zip(ps.by_class.iter()) {
+        acc.merge(s);
+    }
+    stats.sched.merge(&ps.sched);
+    stats.elapsed_us = t0.elapsed().as_micros() as u64;
 }
 
 /// Apply one decision and propagate.

@@ -184,6 +184,7 @@ proptest! {
         let mut eng = Engine::with_options(&model, EngineOptions {
             energetic: false,
             edge_finding: true,
+            ..EngineOptions::default()
         });
         let ok = eng.propagate_all(&model, &mut dom).is_ok();
 

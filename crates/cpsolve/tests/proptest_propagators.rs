@@ -72,6 +72,7 @@ proptest! {
         let mut eng = Engine::with_options(&model, EngineOptions {
             energetic: true,
             edge_finding: true,
+            ..EngineOptions::default()
         });
         prop_assert!(eng.propagate_all(&model, &mut dom).is_ok(),
             "feasible placement rejected by propagation");

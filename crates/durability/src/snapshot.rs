@@ -44,6 +44,7 @@ pub fn encode_stats(e: &mut Enc, s: &ManagerStats) {
         max_round_solve,
         warm_rounds,
         cache_invalidations,
+        lns_rounds,
     } = *s;
     e.u64(invocations);
     e.u64(total_solve.as_nanos() as u64);
@@ -64,6 +65,7 @@ pub fn encode_stats(e: &mut Enc, s: &ManagerStats) {
     e.u64(max_round_solve.as_nanos() as u64);
     e.u64(warm_rounds);
     e.u64(cache_invalidations);
+    e.u64(lns_rounds);
 }
 
 /// Decode a [`ManagerStats`].
@@ -88,6 +90,7 @@ pub fn decode_stats(d: &mut Dec<'_>) -> Result<ManagerStats, DecodeError> {
         max_round_solve: Duration::from_nanos(d.u64()?),
         warm_rounds: d.u64()?,
         cache_invalidations: d.u64()?,
+        lns_rounds: d.u64()?,
     })
 }
 

@@ -16,7 +16,8 @@ use cluster::{simulate_cluster, ClusterConfig, ClusterSimConfig};
 use desim::RngStreams;
 use mrcp::{simulate, MrcpConfig, RunMetrics, SimConfig, SolveBudget};
 use workload::{
-    FacebookConfig, FacebookGenerator, FaultConfig, Job, SyntheticConfig, SyntheticGenerator,
+    FacebookConfig, FacebookGenerator, FaultConfig, Job, SolverTuning, SyntheticConfig,
+    SyntheticGenerator,
 };
 
 /// A regenerable paper artifact.
@@ -131,6 +132,12 @@ pub fn all_figures() -> Vec<Figure> {
             run: run_chaos_sweep,
         },
         Figure {
+            name: "lns",
+            title: "Extra: solver self-tuning ablation (propagator scheduling × LNS rung)",
+            expectation: "not in the paper — P and T statistically tie across all four {sched, lns} settings at equal budget; the layers buy solver speed, not schedule quality",
+            run: run_lns_panel,
+        },
+        Figure {
             name: "ablations",
             title: "Extra: MRCP-RM design ablations (split §V.D, deferral §V.E, orderings, adaptive budget)",
             expectation: "split cuts O at equal P; deferral cuts O when p > 0; orderings tie (paper §VI.B); adaptive budget caps O growth",
@@ -168,6 +175,7 @@ fn mrcp_sim_config(scale: &Scale, jobs: usize) -> SimConfig {
                 adaptive: None,
                 warm_start: true,
                 workers: 1,
+                ..SolveBudget::default()
             },
             ..Default::default()
         },
@@ -197,11 +205,20 @@ fn synth_jobs(cfg: &SyntheticConfig, scale: &Scale, seed: u64, rep: u64) -> Vec<
     gen.take_jobs(scale.synth_jobs)
 }
 
+/// Copy the workload config's solver-tuning knobs onto a sim config: the
+/// TOML-level ablation switches land in [`SolveBudget`] here.
+fn apply_solver_tuning(sim: &mut SimConfig, tuning: &SolverTuning) {
+    sim.manager.budget.prop_scheduling = tuning.prop_scheduling.0;
+    sim.manager.budget.lns = tuning.lns.0;
+}
+
 /// One MRCP-RM replication over a synthetic workload.
 fn mrcp_synth_sample(cfg: &SyntheticConfig, scale: &Scale, seed: u64, rep: u64) -> Sample {
     let jobs = synth_jobs(cfg, scale, seed, rep);
     let cluster = cfg.cluster();
-    let m = simulate(&mrcp_sim_config(scale, jobs.len()), &cluster, jobs);
+    let mut sim = mrcp_sim_config(scale, jobs.len());
+    apply_solver_tuning(&mut sim, &cfg.solver);
+    let m = simulate(&sim, &cluster, jobs);
     Sample {
         p_late: m.p_late,
         n_late: m.late as f64,
@@ -1125,6 +1142,45 @@ fn run_ablation_panel(scale: &Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// The self-tuning ablation: the Table 3 default point under every
+/// {prop_scheduling, lns} combination, driven through the workload-level
+/// [`SolverTuning`] knobs exactly as a TOML config would set them. The
+/// layers must not move P or T at equal budget — they only change how fast
+/// the solver reaches the same schedules.
+fn run_lns_panel(scale: &Scale, seed: u64) -> FigureResult {
+    use workload::OnOff;
+
+    let base = capped(SyntheticConfig::default(), scale);
+    let mut points = Vec::new();
+    for (label, sched, lns) in [
+        ("sched+lns (default)", true, true),
+        ("sched only", true, false),
+        ("lns only", false, true),
+        ("neither (static solver)", false, false),
+    ] {
+        let cfg = SyntheticConfig {
+            solver: SolverTuning {
+                prop_scheduling: OnOff(sched),
+                lns: OnOff(lns),
+            },
+            ..base.clone()
+        };
+        let agg = replicate(scale, |rep| mrcp_synth_sample(&cfg, scale, seed, rep));
+        points.push(PointResult {
+            label: "table3-default".into(),
+            series: label.into(),
+            agg,
+        });
+    }
+
+    FigureResult {
+        name: "lns".into(),
+        title: "Solver self-tuning ablation at the Table 3 default point".into(),
+        expectation: "P and T tie across all four settings; the layers trade search effort, not schedule quality".into(),
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1141,6 +1197,7 @@ mod tests {
         assert!(names.contains(&"faults"), "failure sweep registered");
         assert!(names.contains(&"overload"), "overload sweep registered");
         assert!(names.contains(&"cells"), "federation sweep registered");
+        assert!(names.contains(&"lns"), "self-tuning ablation registered");
         assert!(figure_by_name("fig7").is_some());
         assert!(figure_by_name("nope").is_none());
     }

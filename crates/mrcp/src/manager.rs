@@ -154,10 +154,25 @@ impl fmt::Display for SchedulingError {
 
 impl std::error::Error for SchedulingError {}
 
+/// The rung of the degradation ladder that served a round's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundRung {
+    /// The §V.D split model (schedule-then-matchmake).
+    SplitCp,
+    /// The monolithic multi-resource CP model.
+    FullCp,
+    /// Pure-LNS repair of the greedy incumbent (strong filtering inside
+    /// small frozen windows at a fraction of full-CP cost).
+    Lns,
+    /// Greedy EDF, the unconditional fallback.
+    Greedy,
+}
+
 /// What a scheduling round yields: the placements (task, resource, start),
-/// the solver outcome they came from, and whether the primary rung of the
-/// degradation ladder was abandoned along the way.
-type RoundResult = (Vec<(TaskId, ResourceId, SimTime)>, Outcome, bool);
+/// the solver outcome they came from, whether the primary rung of the
+/// degradation ladder was abandoned along the way, and which rung finally
+/// served the schedule.
+type RoundResult = (Vec<(TaskId, ResourceId, SimTime)>, Outcome, bool, RoundRung);
 
 /// Adaptive effort scaling — the paper's §VII future-work item
 /// "mechanisms that can reduce matchmaking and scheduling times when λ is
@@ -192,6 +207,14 @@ pub struct SolveBudget {
     /// search; >1 spawns diversified workers sharing the incumbent bound,
     /// see [`cpsolve::portfolio`]).
     pub workers: usize,
+    /// Cost-aware propagator scheduling: demote strong-but-redundant
+    /// propagators that stop earning their keep on the instance (see
+    /// [`cpsolve::SchedulingOptions`]; never changes verdicts).
+    pub prop_scheduling: bool,
+    /// Large-neighborhood search: enables both the LNS phase inside each
+    /// CP solve and the LNS rung of the degradation ladder (see
+    /// [`cpsolve::lns`]).
+    pub lns: bool,
 }
 
 impl Default for SolveBudget {
@@ -203,6 +226,8 @@ impl Default for SolveBudget {
             adaptive: None,
             warm_start: true,
             workers: 1,
+            prop_scheduling: true,
+            lns: true,
         }
     }
 }
@@ -224,6 +249,11 @@ impl SolveBudget {
             fail_limit: fails,
             time_limit: self.time_limit_ms.map(Duration::from_millis),
             warm_start: self.warm_start,
+            prop_scheduling: self.prop_scheduling,
+            lns: cpsolve::LnsParams {
+                enabled: self.lns,
+                ..cpsolve::LnsParams::default()
+            },
             ..Default::default()
         }
     }
@@ -452,6 +482,8 @@ pub struct ManagerStats {
     pub warm_rounds: u64,
     /// Round-cache invalidations from resource availability changes.
     pub cache_invalidations: u64,
+    /// Rounds served by the pure-LNS rung of the degradation ladder.
+    pub lns_rounds: u64,
 }
 
 impl ManagerStats {
@@ -478,6 +510,7 @@ impl ManagerStats {
         self.max_round_solve = self.max_round_solve.max(other.max_round_solve);
         self.warm_rounds += other.warm_rounds;
         self.cache_invalidations += other.cache_invalidations;
+        self.lns_rounds += other.lns_rounds;
     }
 }
 
@@ -1463,7 +1496,7 @@ impl MrcpRm {
             .as_ref()
             .is_some_and(|h| h.iter().any(|x| x.is_some()));
 
-        let (placements, outcome, degraded) =
+        let (placements, outcome, degraded, rung) =
             match Self::solve_round(&self.cfg, &up, &inputs, &params, pressure, hints.as_deref()) {
                 Ok(round) => round,
                 Err(err) => {
@@ -1521,6 +1554,9 @@ impl MrcpRm {
         self.stats.total_nodes += outcome.stats.nodes;
         self.stats.max_tasks_in_model = self.stats.max_tasks_in_model.max(n_tasks);
         self.last_error = None;
+        if rung == RoundRung::Lns {
+            self.stats.lns_rounds += 1;
+        }
         if degraded {
             self.stats.degraded_rounds += 1;
         } else {
@@ -1641,10 +1677,12 @@ impl MrcpRm {
     }
 
     /// How hard the budget controller is currently squeezing: 0 = none,
-    /// 1 = skip the full-CP second chance, 2 = greedy only.
+    /// 1 = skip the full-CP second chance, 2 = skip both CP rungs and go
+    /// straight to the LNS repair rung, 3 = greedy only.
     fn pressure_level(&self) -> u8 {
         match self.cfg.controller {
-            Some(ctl) if self.budget_scale <= ctl.min_scale => 2,
+            Some(ctl) if self.budget_scale <= ctl.min_scale => 3,
+            Some(_) if self.budget_scale < 0.25 => 2,
             Some(_) if self.budget_scale < 0.5 => 1,
             _ => 0,
         }
@@ -1678,14 +1716,18 @@ impl MrcpRm {
 
     /// One pass down the degradation ladder: the configured CP path first
     /// (§V.D split model when `use_split`, else the full model), then the
-    /// full CP model as a second chance, and finally greedy EDF — which
-    /// cannot time out and succeeds on any consistent state. Each CP rung's
-    /// result is audited (when `verify_schedules`) before being accepted;
-    /// an audit failure falls through to the next rung rather than
-    /// installing a bad plan. Under budget-controller `pressure` the ladder
-    /// is entered lower down: level 1 skips the full-CP second chance,
-    /// level 2 goes straight to greedy. Returns the placements, the solver
-    /// outcome they came from, and whether the primary rung was abandoned.
+    /// full CP model as a second chance, then a **pure-LNS repair** of the
+    /// greedy incumbent (strong propagation confined to small frozen
+    /// windows — far cheaper than full CP but usually far better than
+    /// greedy), and finally greedy EDF — which cannot time out and
+    /// succeeds on any consistent state. Each rung's result is audited
+    /// (when `verify_schedules`) before being accepted; an audit failure
+    /// falls through to the next rung rather than installing a bad plan.
+    /// Under budget-controller `pressure` the ladder is entered lower
+    /// down: level 1 skips the full-CP second chance, level 2 skips both
+    /// CP rungs and opens with LNS, level 3 goes straight to greedy.
+    /// Returns the placements, the solver outcome they came from, whether
+    /// the primary rung was abandoned, and which rung served the round.
     fn solve_round(
         cfg: &MrcpConfig,
         resources: &[Resource],
@@ -1709,11 +1751,11 @@ impl MrcpRm {
 
         let mut degraded = false;
         // Rung 1: the §V.D split path, when configured and not under
-        // maximum pressure.
+        // heavy pressure.
         if cfg.use_split && pressure < 2 {
             match split_solve_portfolio(resources, inputs, &pp, hints) {
                 Ok(s) if audit_ok(&s.placements).is_ok() => {
-                    return Ok((s.placements, s.outcome, false));
+                    return Ok((s.placements, s.outcome, false, RoundRung::SplitCp));
                 }
                 _ => degraded = true,
             }
@@ -1736,36 +1778,56 @@ impl MrcpRm {
                 })
                 .collect::<Vec<_>>()
         };
+        // Hint-fed incumbent on the full model (hints carry the real
+        // resource assignment too); shared by the full-CP and LNS rungs.
+        let hinted_initial = hints.and_then(|h| {
+            let rindex: HashMap<ResourceId, u32> = mm
+                .res_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r, i as u32))
+                .collect();
+            let full: Vec<Hint> = h
+                .iter()
+                .map(|o| o.and_then(|(r, s)| rindex.get(&r).map(|&i| (ResRef(i), s.as_millis()))))
+                .collect();
+            greedy_edf_with_hints(&mm.model, &full).ok()
+        });
         if pressure == 0 {
             let mut pp = pp.clone();
-            // Full model: hints carry the real resource assignment too.
-            if let Some(h) = hints {
-                let rindex: HashMap<ResourceId, u32> = mm
-                    .res_ids
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &r)| (r, i as u32))
-                    .collect();
-                let full: Vec<Hint> = h
-                    .iter()
-                    .map(|o| {
-                        o.and_then(|(r, s)| rindex.get(&r).map(|&i| (ResRef(i), s.as_millis())))
-                    })
-                    .collect();
-                if let Ok(sol) = greedy_edf_with_hints(&mm.model, &full) {
-                    pp.base.initial = Some(sol);
-                }
-            }
+            pp.base.initial = hinted_initial.clone();
             let out = solve_portfolio(&mm.model, &pp);
             if let Some(best) = out.best.as_ref() {
                 let placements = placements_of(&mm, best);
                 if audit_ok(&placements).is_ok() {
-                    return Ok((placements, out, degraded));
+                    return Ok((placements, out, degraded, RoundRung::FullCp));
                 }
             }
         }
 
-        // Rung 3: greedy EDF, wrapped as a feasible outcome. An audit
+        // Rung 3: pure-LNS repair — all budget in the LNS phase, repairing
+        // the greedy (or hint-fed) incumbent through restricted window
+        // re-solves. The primary rung at pressure 2; a second chance when
+        // the CP rungs above came back empty or failed their audit.
+        if cfg.budget.lns && pressure < 3 {
+            let mut lp = pp.clone();
+            lp.base.warm_start = true;
+            lp.base.initial = hinted_initial;
+            lp.base.lns = cpsolve::LnsParams {
+                enabled: true,
+                budget_frac: 1.0,
+                ..lp.base.lns
+            };
+            let out = solve_portfolio(&mm.model, &lp);
+            if let Some(best) = out.best.as_ref() {
+                let placements = placements_of(&mm, best);
+                if audit_ok(&placements).is_ok() {
+                    return Ok((placements, out, degraded, RoundRung::Lns));
+                }
+            }
+        }
+
+        // Rung 4: greedy EDF, wrapped as a feasible outcome. An audit
         // failure here is terminal — nothing further to fall back to.
         // Pressure-escalated rounds land here by design and count as
         // degraded, like any other round the CP rungs did not serve.
@@ -1777,7 +1839,7 @@ impl MrcpRm {
             best: Some(g),
             stats: SolveStats::default(),
         };
-        Ok((placements, outcome, true))
+        Ok((placements, outcome, true, RoundRung::Greedy))
     }
 
     /// The current plan for unstarted tasks, sorted by start time.
@@ -2268,7 +2330,8 @@ mod tests {
     #[test]
     fn forced_unknown_budget_falls_back_to_greedy() {
         // node_limit 0 + warm starts off force Status::Unknown from every CP
-        // rung; the greedy rung must still produce a full schedule.
+        // rung; with the LNS rung also disabled, the greedy rung must still
+        // produce a full schedule.
         let cfg = MrcpConfig {
             budget: SolveBudget {
                 node_limit: 0,
@@ -2276,7 +2339,8 @@ mod tests {
                 time_limit_ms: Some(0),
                 adaptive: None,
                 warm_start: false,
-                workers: 1,
+                lns: false,
+                ..SolveBudget::default()
             },
             ..Default::default()
         };
@@ -2311,6 +2375,7 @@ mod tests {
             }),
             warm_start: true,
             workers: 1,
+            ..SolveBudget::default()
         };
         // At or below the reference size: unscaled.
         assert_eq!(base.params_for(50).node_limit, 10_000);
@@ -2602,7 +2667,7 @@ mod tests {
     #[test]
     fn max_pressure_goes_straight_to_greedy() {
         // min_scale = 1.0 keeps the scale at the floor from the start, so
-        // every round runs at pressure level 2: greedy only, counted as
+        // every round runs at pressure level 3: greedy only, counted as
         // degraded, but still a complete schedule.
         let cfg = MrcpConfig {
             controller: Some(BudgetController {
@@ -2620,6 +2685,33 @@ mod tests {
         let plan = rm.reschedule(SimTime::ZERO);
         assert_eq!(plan.len(), 9, "greedy still schedules everything");
         assert_eq!(rm.stats().degraded_rounds, 1);
+        assert_eq!(rm.stats().failed_rounds, 0);
+    }
+
+    #[test]
+    fn pressure_two_serves_round_via_lns_rung() {
+        // A scale strictly between min_scale and 0.25 puts the round at
+        // pressure level 2: both CP rungs are skipped and the LNS repair
+        // rung serves the round — a full schedule, counted in lns_rounds
+        // and not as degraded (LNS is the primary rung at this level).
+        let cfg = MrcpConfig {
+            controller: Some(BudgetController {
+                latency_ceiling: Duration::from_secs(3600),
+                alpha: 0.3,
+                min_scale: 0.1,
+            }),
+            ..Default::default()
+        };
+        let mut rm = MrcpRm::new(cfg, homogeneous_cluster(2, 1, 1));
+        rm.budget_scale = 0.2;
+        for i in 0..3 {
+            rm.submit(mk_job(i, 0, 0, 10_000, &[10, 20], &[5]), SimTime::ZERO)
+                .unwrap();
+        }
+        let plan = rm.reschedule(SimTime::ZERO);
+        assert_eq!(plan.len(), 9, "LNS repair still schedules everything");
+        assert_eq!(rm.stats().lns_rounds, 1, "round served by the LNS rung");
+        assert_eq!(rm.stats().degraded_rounds, 0);
         assert_eq!(rm.stats().failed_rounds, 0);
     }
 

@@ -30,6 +30,7 @@ fn workload(n: usize, lambda: f64, arrival: ArrivalConfig, seed: u64) -> (Vec<Re
         deadline_multiplier: 2.0,
         arrival,
         cells: Default::default(),
+        solver: Default::default(),
     };
     let cluster = cfg.cluster();
     let mut gen = SyntheticGenerator::new(cfg, StdRng::seed_from_u64(seed));
@@ -47,6 +48,7 @@ fn protected(policy: AdmissionPolicy, max_pending: usize) -> SimConfig {
         adaptive: None,
         warm_start: true,
         workers: 1,
+        ..SolveBudget::default()
     };
     cfg.manager.admission = AdmissionConfig {
         policy,

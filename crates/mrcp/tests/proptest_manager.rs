@@ -83,6 +83,7 @@ fn audited_config() -> SimConfig {
             adaptive: None,
             warm_start: true,
             workers: 1,
+            ..SolveBudget::default()
         },
         ..Default::default()
     };

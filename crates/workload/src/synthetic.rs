@@ -136,6 +136,38 @@ pub struct SyntheticConfig {
     /// [`cell_size`](Self::cell_size) resources.
     #[serde(default)]
     pub cells: CellCount,
+    /// Solver self-tuning layers (cost-aware propagator scheduling and the
+    /// LNS repair rung). Both default to on; configs written before the
+    /// knobs existed deserialize to the defaults.
+    #[serde(default)]
+    pub solver: SolverTuning,
+}
+
+/// On/off switches for the solver's self-tuning layers, TOML-addressable so
+/// experiment configs can run ablations without code changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SolverTuning {
+    /// Cost-aware propagator scheduling: demote strong filters whose
+    /// measured pruning yield stops paying for their cost.
+    #[serde(default)]
+    pub prop_scheduling: OnOff,
+    /// The LNS repair rung and in-solve LNS phase.
+    #[serde(default)]
+    pub lns: OnOff,
+}
+
+/// A boolean knob whose *absence* means "on", newtyped for the same reason
+/// as [`CellCount`]: the vendored serde subset maps a missing
+/// `#[serde(default)]` field to `Default::default()`, and a bare `bool`
+/// would default to `false` — silently disabling the feature in every
+/// config written before the knob existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnOff(pub bool);
+
+impl Default for OnOff {
+    fn default() -> Self {
+        OnOff(true)
+    }
 }
 
 /// Cell count for the federation extension, newtyped so that configs
@@ -166,6 +198,7 @@ impl Default for SyntheticConfig {
             reduce_capacity: 2,
             arrival: ArrivalConfig::default(),
             cells: CellCount(1),
+            solver: SolverTuning::default(),
         }
     }
 }
@@ -719,6 +752,35 @@ mod tests {
         let json = serde_json::to_string(&sharded).unwrap();
         let back: SyntheticConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.cells, CellCount(4));
+    }
+
+    #[test]
+    fn solver_tuning_defaults_on_and_round_trips() {
+        // Configs written before the solver knobs existed (no `solver` key
+        // at all) deserialize with both layers ON — absence means "use the
+        // self-tuning solver", not "disable it".
+        let cfg = SyntheticConfig::default();
+        let mut tree = serde::Serialize::serialize_value(&cfg);
+        let serde::Value::Map(entries) = &mut tree else {
+            panic!("config serializes to a map");
+        };
+        entries.retain(|(k, _)| k != "solver");
+        let legacy = serde_json::to_string(&tree).unwrap();
+        assert!(!legacy.contains("solver"), "failed to strip solver key");
+        let back: SyntheticConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.solver.prop_scheduling, OnOff(true));
+        assert_eq!(back.solver.lns, OnOff(true));
+        // Explicit ablation settings survive a round trip.
+        let ablated = SyntheticConfig {
+            solver: SolverTuning {
+                prop_scheduling: OnOff(false),
+                lns: OnOff(true),
+            },
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&ablated).unwrap();
+        let back: SyntheticConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.solver, ablated.solver);
     }
 
     #[test]

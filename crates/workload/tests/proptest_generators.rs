@@ -36,6 +36,7 @@ fn synth_config() -> impl Strategy<Value = SyntheticConfig> {
                 reduce_capacity: cr,
                 arrival: Default::default(),
                 cells: Default::default(),
+                solver: Default::default(),
             },
         )
 }
