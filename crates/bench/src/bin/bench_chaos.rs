@@ -25,6 +25,7 @@ use cluster::{
     simulate_cluster_chaos, ChaosConfig, ChaosSimConfig, ClusterConfig, ClusterSimConfig,
     HealthConfig, RebalanceConfig, RetryPolicy,
 };
+use desim::stats::sample_quantile;
 use desim::{RngStreams, SimTime};
 use mrcp::SimConfig;
 use serde_json::Value;
@@ -72,15 +73,6 @@ fn chaos_at(rate: f64, rep: u64) -> ChaosConfig {
         cell_mttr: (rate > 0.0).then(|| SimTime::from_secs(20)),
         seed: 0xC4A0_5000 + rep,
     }
-}
-
-/// Sorted-sample quantile (nearest-rank); `q` in [0, 1].
-fn quantile(sorted: &[u64], q: f64) -> Option<u64> {
-    if sorted.is_empty() {
-        return None;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    Some(sorted[idx])
 }
 
 fn opt_uint(v: Option<u64>) -> Value {
@@ -157,11 +149,11 @@ fn sweep_rate(rate: f64, n_jobs: usize, reps: u64) -> Value {
         ("retry_amplification".into(), Value::Float(amplification)),
         (
             "failover_p50_ms".into(),
-            opt_uint(quantile(&failover_ms, 0.5)),
+            opt_uint(sample_quantile(&failover_ms, 0.5)),
         ),
         (
             "failover_p95_ms".into(),
-            opt_uint(quantile(&failover_ms, 0.95)),
+            opt_uint(sample_quantile(&failover_ms, 0.95)),
         ),
         ("failovers".into(), Value::UInt(failovers)),
         ("cell_crashes".into(), Value::UInt(crashes)),

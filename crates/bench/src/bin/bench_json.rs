@@ -37,6 +37,7 @@ use bench::batch_scenario;
 use cpsolve::portfolio::{solve_portfolio, PortfolioParams};
 use cpsolve::search::{solve, SolveParams};
 use cpsolve::LnsParams;
+use desim::stats::sample_quantile;
 use desim::SimTime;
 use mrcp::modelmap::{build_model, JobInput, TaskInput};
 use mrcp::{MrcpConfig, MrcpRm};
@@ -63,10 +64,10 @@ fn job_inputs(jobs: &[workload::Job]) -> Vec<JobInput<'_>> {
 }
 
 /// Sorted-sample quantile (nearest-rank); `q` in [0, 1].
-fn quantile(sorted: &[u64], q: f64) -> u64 {
-    assert!(!sorted.is_empty());
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+/// Nearest-rank quantile via the workspace-shared helper; panics on an
+/// empty sample set (a bench that produced no samples is a bug).
+fn quantile(samples: &[u64], q: f64) -> u64 {
+    sample_quantile(samples, q).expect("bench produced samples")
 }
 
 fn median(samples: &mut [u64]) -> u64 {

@@ -19,6 +19,7 @@
 //! the JSON shape is identical (checked by CI's key probe).
 
 use cluster::{simulate_cluster, simulate_cluster_durable, ClusterConfig, ClusterSimConfig};
+use desim::stats::sample_quantile;
 use desim::{RngStreams, SimTime};
 use durability::{
     scratch_dir, DurabilityConfig, DurableRm, ManagerEvent, StoreConfig, Wal, WalConfig,
@@ -50,10 +51,10 @@ fn scenario(n_jobs: usize, rep: u64) -> (Vec<Resource>, Vec<Job>) {
 }
 
 /// Sorted-sample quantile (nearest-rank); `q` in [0, 1].
-fn quantile(sorted: &[u64], q: f64) -> u64 {
-    assert!(!sorted.is_empty());
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+/// Nearest-rank quantile via the workspace-shared helper; panics on an
+/// empty sample set (a bench that produced no samples is a bug).
+fn quantile(samples: &[u64], q: f64) -> u64 {
+    sample_quantile(samples, q).expect("bench produced samples")
 }
 
 /// A typical WAL payload: one mid-size job submission, pre-encoded.

@@ -1,0 +1,281 @@
+//! Closed-loop ingest ramp: drive the service layer's ramp harness at a
+//! rising offered rate, once with batched ingest and once with batch
+//! size 1 (call-per-arrival), and write a machine-readable
+//! `BENCH_service.json` with the knee of each mode's P-vs-rate curve.
+//!
+//! The manager pays a per-round scheduling overhead (`PerTask`: a fixed
+//! base plus a marginal per-task cost — the paper's observation that model
+//! generation and solve time are dominated by fixed per-round work).
+//! Batching amortizes the base across a burst, so the batched mode's knee
+//! sits well above the call-per-arrival knee on the same workload; the
+//! headline `max_sustained_rps` and `speedup_vs_batch1` quantify it.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin bench_service -- \
+//!       [--smoke] [--out PATH] [--spec PATH]
+//!
+//! `--spec` points at a ramp spec (see `crates/bench/specs/
+//! service_ramp.toml`, which is also the embedded default). `--smoke`
+//! shrinks the ramp to two rungs for CI; the JSON shape is identical.
+
+use mrcp::{IngestConfig, MrcpConfig, MrcpRm, OverheadModel, SimConfig, SolveBudget};
+use serde_json::Value;
+use service::ramp::{ramp, RampConfig, RampReport, RungReport};
+use workload::{parse_service_spec, ServiceSpec};
+
+use desim::SimTime;
+
+/// The default spec, committed alongside the benches so a run is
+/// reproducible from the repository alone.
+const DEFAULT_SPEC: &str = include_str!("../../specs/service_ramp.toml");
+
+/// Per-solve scheduling overhead: four seconds of fixed work plus 50 ms
+/// per task in the model, charged for admission probes and replan rounds
+/// alike. The fixed base is what batching amortizes: call-per-arrival
+/// ingestion pays it once per job, a coalesced flush once per burst.
+const ROUND_BASE: SimTime = SimTime::from_secs(4);
+const ROUND_PER_TASK: SimTime = SimTime::from_millis(50);
+
+/// Deterministic manager: one portfolio worker, node-capped, no
+/// wall-clock budget — reruns of the bench reproduce the same JSON.
+fn sim_config(ingest: Option<IngestConfig>) -> SimConfig {
+    SimConfig {
+        manager: MrcpConfig {
+            budget: SolveBudget {
+                node_limit: 2_000,
+                fail_limit: 2_000,
+                time_limit_ms: None,
+                adaptive: None,
+                warm_start: true,
+                workers: 1,
+                ..SolveBudget::default()
+            },
+            ..Default::default()
+        },
+        overhead: OverheadModel::PerTask {
+            base: ROUND_BASE,
+            per_task: ROUND_PER_TASK,
+        },
+        ingest,
+        ..Default::default()
+    }
+}
+
+fn ramp_config(spec: &ServiceSpec, smoke: bool) -> RampConfig {
+    let k = &spec.ramp;
+    let mut cfg = RampConfig {
+        initial_rps: k.initial_rps,
+        increment_rps: k.increment_rps,
+        max_rps: k.max_rps,
+        jobs_per_rung: k.jobs_per_rung,
+        slo_p_late: k.slo_p_late,
+        slo_shed_frac: k.slo_shed_frac,
+        slo_p99_planned_us: k.slo_p99_planned_ms * 1000,
+        seed: k.seed,
+    };
+    if smoke {
+        // Two rungs, few jobs: shape-only, finishes in seconds.
+        cfg.increment_rps = cfg.initial_rps;
+        cfg.max_rps = cfg.initial_rps * 2.0;
+        cfg.jobs_per_rung = cfg.jobs_per_rung.min(8);
+    }
+    cfg
+}
+
+fn run_mode(spec: &ServiceSpec, smoke: bool, ingest: Option<IngestConfig>) -> RampReport {
+    let sim = sim_config(ingest);
+    let cfg = ramp_config(spec, smoke);
+    let resources = spec.workload.cluster();
+    ramp(&spec.workload, &sim, &resources, &cfg, |mc| {
+        MrcpRm::new(mc, resources.clone())
+    })
+}
+
+fn rung_row(r: &RungReport) -> Value {
+    Value::Map(vec![
+        ("rps".into(), Value::Float(r.rps)),
+        ("arrived".into(), Value::UInt(r.arrived)),
+        ("admitted".into(), Value::UInt(r.admitted)),
+        ("refused".into(), Value::UInt(r.refused)),
+        ("shed_frac".into(), Value::Float(r.shed_frac)),
+        ("p_late".into(), Value::Float(r.p_late)),
+        (
+            "mean_turnaround_s".into(),
+            Value::Float(r.mean_turnaround_s),
+        ),
+        ("batches".into(), Value::UInt(r.batches)),
+        ("max_batch".into(), Value::UInt(r.max_batch as u64)),
+        (
+            "p50_ingest_to_admitted_us".into(),
+            Value::UInt(r.p50_ingest_to_admitted_us),
+        ),
+        (
+            "p95_ingest_to_admitted_us".into(),
+            Value::UInt(r.p95_ingest_to_admitted_us),
+        ),
+        (
+            "p99_ingest_to_admitted_us".into(),
+            Value::UInt(r.p99_ingest_to_admitted_us),
+        ),
+        (
+            "p50_ingest_to_planned_us".into(),
+            Value::UInt(r.p50_ingest_to_planned_us),
+        ),
+        (
+            "p95_ingest_to_planned_us".into(),
+            Value::UInt(r.p95_ingest_to_planned_us),
+        ),
+        (
+            "p99_ingest_to_planned_us".into(),
+            Value::UInt(r.p99_ingest_to_planned_us),
+        ),
+        ("invocations".into(), Value::UInt(r.invocations)),
+        ("end_time_s".into(), Value::Float(r.end_time_s)),
+        ("sustained".into(), Value::Bool(r.sustained)),
+    ])
+}
+
+fn mode_doc(name: &str, max_batch: usize, report: &RampReport) -> Value {
+    Value::Map(vec![
+        ("mode".into(), Value::Str(name.into())),
+        ("max_batch".into(), Value::UInt(max_batch as u64)),
+        (
+            "rungs".into(),
+            Value::Seq(report.rungs.iter().map(rung_row).collect()),
+        ),
+        (
+            "max_sustained_rps".into(),
+            report
+                .max_sustained_rps
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "knee_rps".into(),
+            report.knee_rps.map(Value::Float).unwrap_or(Value::Null),
+        ),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_service.json");
+    let mut spec_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--spec" => spec_path = Some(args.next().expect("--spec needs a path")),
+            other => panic!("unknown argument {other:?} (use --smoke / --out PATH / --spec PATH)"),
+        }
+    }
+    let spec_text = match &spec_path {
+        Some(p) => std::fs::read_to_string(p).expect("read spec file"),
+        None => DEFAULT_SPEC.to_string(),
+    };
+    let spec = parse_service_spec(&spec_text).expect("valid ramp spec");
+
+    let batched_ingest = IngestConfig {
+        max_batch: spec.service.max_batch,
+        max_linger: SimTime::from_millis(spec.service.max_linger_ms),
+    };
+    let batch1_ingest = IngestConfig {
+        max_batch: 1,
+        max_linger: SimTime::ZERO,
+    };
+
+    eprintln!(
+        "bench_service: ramp {}..{} rps step {}, {} jobs/rung, batch {} linger {}{}",
+        spec.ramp.initial_rps,
+        spec.ramp.max_rps,
+        spec.ramp.increment_rps,
+        ramp_config(&spec, smoke).jobs_per_rung,
+        spec.service.max_batch,
+        SimTime::from_millis(spec.service.max_linger_ms),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    eprintln!("bench_service: ramping batched mode...");
+    let batched = run_mode(&spec, smoke, Some(batched_ingest));
+    eprintln!(
+        "bench_service: batched knee at {:?} rps ({} rungs)",
+        batched.max_sustained_rps,
+        batched.rungs.len()
+    );
+    eprintln!("bench_service: ramping batch-1 mode...");
+    let batch1 = run_mode(&spec, smoke, Some(batch1_ingest));
+    eprintln!(
+        "bench_service: batch-1 knee at {:?} rps ({} rungs)",
+        batch1.max_sustained_rps,
+        batch1.rungs.len()
+    );
+
+    let speedup = match (batched.max_sustained_rps, batch1.max_sustained_rps) {
+        (Some(b), Some(s)) if s > 0.0 => Some(b / s),
+        _ => None,
+    };
+    if let Some(s) = speedup {
+        eprintln!("bench_service: batched sustains {s:.2}x the batch-1 rate at equal SLOs");
+    }
+
+    let doc = Value::Map(vec![
+        ("schema".into(), Value::Str("bench_service/v1".into())),
+        ("smoke".into(), Value::Bool(smoke)),
+        (
+            "spec".into(),
+            Value::Map(vec![
+                (
+                    "max_batch".into(),
+                    Value::UInt(spec.service.max_batch as u64),
+                ),
+                (
+                    "max_linger_ms".into(),
+                    Value::UInt(spec.service.max_linger_ms.max(0) as u64),
+                ),
+                (
+                    "jobs_per_rung".into(),
+                    Value::UInt(ramp_config(&spec, smoke).jobs_per_rung as u64),
+                ),
+                ("slo_p_late".into(), Value::Float(spec.ramp.slo_p_late)),
+                (
+                    "slo_shed_frac".into(),
+                    Value::Float(spec.ramp.slo_shed_frac),
+                ),
+                (
+                    "slo_p99_planned_ms".into(),
+                    Value::UInt(spec.ramp.slo_p99_planned_ms),
+                ),
+                ("seed".into(), Value::UInt(spec.ramp.seed)),
+                (
+                    "resources".into(),
+                    Value::UInt(u64::from(spec.workload.resources)),
+                ),
+            ]),
+        ),
+        (
+            "modes".into(),
+            Value::Seq(vec![
+                mode_doc("batched", spec.service.max_batch, &batched),
+                mode_doc("batch1", 1, &batch1),
+            ]),
+        ),
+        (
+            "max_sustained_rps".into(),
+            batched
+                .max_sustained_rps
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "speedup_vs_batch1".into(),
+            speedup.map(Value::Float).unwrap_or(Value::Null),
+        ),
+    ]);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
+    // Self-check: the file we are about to write must re-parse.
+    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
+    std::fs::write(&out_path, json + "\n").expect("write output file");
+    eprintln!("bench_service: wrote {out_path}");
+}

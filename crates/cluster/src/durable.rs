@@ -734,6 +734,24 @@ impl ResourceManager for DurableFederation {
         out
     }
 
+    fn submit_batch(
+        &mut self,
+        jobs: Vec<Job>,
+        now: SimTime,
+    ) -> Vec<Result<AdmissionOutcome, ManagerError>> {
+        // One manifest record for the whole burst: the federation routes a
+        // batch against a single load snapshot, so replay must re-present
+        // it as a batch — decomposing into singleton submits would replay
+        // with different (sequential) routing decisions.
+        self.cmd(ManagerEvent::SubmitBatch {
+            jobs: jobs.clone(),
+            now,
+        });
+        let out = self.fed.submit_batch(jobs, now);
+        self.maybe_snapshot();
+        out
+    }
+
     fn activate_due(&mut self, now: SimTime) -> usize {
         self.cmd(ManagerEvent::ActivateDue { now });
         let n = self.fed.activate_due(now);

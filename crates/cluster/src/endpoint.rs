@@ -65,6 +65,16 @@ pub enum CellRequest {
         /// Submission time.
         now: SimTime,
     },
+    /// A coalesced burst of arrivals routed to this cell: sequential
+    /// [`MrcpRm::submit_with_admission`] calls at one timestamp, shipped
+    /// as a single RPC so a burst costs one delivery per touched cell
+    /// instead of one per job.
+    SubmitBatch {
+        /// The arriving jobs, in submission order.
+        jobs: Vec<Job>,
+        /// Shared submission time.
+        now: SimTime,
+    },
     /// [`MrcpRm::submit`] (migration re-submits bypass admission).
     Submit {
         /// The migrated job.
@@ -140,6 +150,9 @@ pub enum CellRequest {
 pub enum CellResponse {
     /// Answer to [`CellRequest::SubmitWithAdmission`].
     Admission(AdmissionOutcome),
+    /// Answer to [`CellRequest::SubmitBatch`]: one outcome per job, in
+    /// submission order.
+    AdmissionBatch(Vec<Result<AdmissionOutcome, ManagerError>>),
     /// Answer to [`CellRequest::Submit`].
     Submitted(Submitted),
     /// Answer to [`CellRequest::ActivateDue`]: jobs activated.
@@ -175,6 +188,11 @@ pub fn apply_request(rm: &mut MrcpRm, req: &CellRequest) -> CellResponse {
                 Err(e) => CellResponse::Err(e),
             }
         }
+        CellRequest::SubmitBatch { jobs, now } => CellResponse::AdmissionBatch(
+            jobs.iter()
+                .map(|j| rm.submit_with_admission(j.clone(), *now))
+                .collect(),
+        ),
         CellRequest::Submit { job, now } => match rm.submit(job.clone(), *now) {
             Ok(s) => CellResponse::Submitted(s),
             Err(e) => CellResponse::Err(e),

@@ -49,7 +49,7 @@ use mrcp::manager::{
 };
 use mrcp::sim_driver::{simulate_with, JobOutcome, ResourceManager, RunMetrics, SimConfig};
 use mrcp::AdmissionPolicy;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use workload::{Job, JobId, Resource, ResourceId, TaskId};
 
@@ -251,7 +251,14 @@ impl Federation {
     /// job spills to the alternate when the primary's probe rejects and
     /// the alternate's admits. Returns `(cell, spilled)`.
     fn route(&self, job: &Job, now: SimTime) -> (usize, bool) {
-        let (primary, alternate) = two_choices(&self.loads());
+        self.route_from(&self.loads(), job, now)
+    }
+
+    /// [`route`](Self::route) against caller-supplied load estimates —
+    /// the batched path routes a whole burst against one load snapshot it
+    /// updates incrementally, instead of re-deriving fleet loads per job.
+    fn route_from(&self, loads: &[f64], job: &Job, now: SimTime) -> (usize, bool) {
+        let (primary, alternate) = two_choices(loads);
         let Some(alt) = alternate else {
             return (primary, false);
         };
@@ -298,6 +305,20 @@ impl Federation {
                     now: *now,
                 },
             ),
+            CellRequest::SubmitBatch { jobs, now } => {
+                // A batch applies as its sequential composition, so the
+                // WAL holds one event per job in submission order — replay
+                // needs no batch-aware machinery.
+                for job in jobs {
+                    j.cell_event(
+                        cell,
+                        &ManagerEvent::SubmitWithAdmission {
+                            job: job.clone(),
+                            now: *now,
+                        },
+                    );
+                }
+            }
             CellRequest::Submit { job, now } => j.cell_event(
                 cell,
                 &ManagerEvent::Submit {
@@ -919,6 +940,177 @@ impl ResourceManager for Federation {
             self.cells[target].dirty = true;
         }
         Ok(out)
+    }
+
+    /// Batched routing: one pass routes the whole burst against a load
+    /// snapshot updated incrementally per placement, and each touched
+    /// cell receives a single [`CellRequest::SubmitBatch`] RPC instead of
+    /// one delivery per job — so a burst of B jobs over K cells costs at
+    /// most K deliveries. Per-job semantics are preserved: the cell
+    /// applies its group as sequential admissions, outcomes scatter back
+    /// in input order, and every map/journal/metric update matches what
+    /// the sequential path would have recorded. Routing *decisions* may
+    /// differ from sequential submission at K ≥ 2 (later jobs see
+    /// estimated, not applied, loads of earlier ones); at K = 1 the paths
+    /// coincide exactly, which keeps the `cells = 1 ⇔ single manager`
+    /// anchor intact in service mode.
+    fn submit_batch(
+        &mut self,
+        jobs: Vec<Job>,
+        now: SimTime,
+    ) -> Vec<Result<AdmissionOutcome, ManagerError>> {
+        if jobs.len() <= 1 {
+            return jobs
+                .into_iter()
+                .map(|j| self.submit_with_admission(j, now))
+                .collect();
+        }
+        let n = jobs.len();
+        let mut results: Vec<Option<Result<AdmissionOutcome, ManagerError>>> = vec![None; n];
+        // Fleet-wide duplicate screening, extended to twins inside the
+        // batch itself (the per-cell checks cannot see either).
+        let mut batch_jobs: HashSet<JobId> = HashSet::new();
+        let mut batch_tasks: HashSet<TaskId> = HashSet::new();
+        // Load snapshot + per-cell up-slot counts for the incremental
+        // estimate: placing a job adds its outstanding work per slot.
+        let mut est_loads = self.loads();
+        let slots: Vec<f64> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let down = c.rm.down_resources();
+                f64::from(
+                    c.rm.resources()
+                        .iter()
+                        .filter(|r| !down.contains(&r.id))
+                        .map(|r| r.map_capacity + r.reduce_capacity)
+                        .sum::<u32>(),
+                )
+            })
+            .collect();
+        // (input index, job id, task ids, spilled) per destination cell.
+        type BatchJobMeta = (usize, JobId, Vec<TaskId>, bool);
+        let mut group_meta: Vec<Vec<BatchJobMeta>> = vec![Vec::new(); self.cells.len()];
+        let mut group_jobs: Vec<Vec<Job>> = vec![Vec::new(); self.cells.len()];
+        for (idx, job) in jobs.into_iter().enumerate() {
+            if self.job_cell.contains_key(&job.id) || batch_jobs.contains(&job.id) {
+                results[idx] = Some(Err(ManagerError::DuplicateJob(job.id)));
+                continue;
+            }
+            if let Some(t) = job
+                .tasks()
+                .find(|t| self.task_cell.contains_key(&t.id) || batch_tasks.contains(&t.id))
+            {
+                results[idx] = Some(Err(ManagerError::DuplicateTask(t.id)));
+                continue;
+            }
+            batch_jobs.insert(job.id);
+            batch_tasks.extend(job.tasks().map(|t| t.id));
+            let (cell, spilled) = self.route_from(&est_loads, &job, now);
+            if slots[cell] > 0.0 {
+                let work: f64 = job.tasks().map(|t| t.exec_time.as_secs_f64()).sum();
+                est_loads[cell] += work / slots[cell];
+            }
+            group_meta[cell].push((idx, job.id, job.tasks().map(|t| t.id).collect(), spilled));
+            group_jobs[cell].push(job);
+        }
+        for cell in 0..self.cells.len() {
+            let meta = std::mem::take(&mut group_meta[cell]);
+            if meta.is_empty() {
+                continue;
+            }
+            let req = CellRequest::SubmitBatch {
+                jobs: std::mem::take(&mut group_jobs[cell]),
+                now,
+            };
+            // Same failover shape as the single-job path: best-effort to
+            // the routed cell, whole-group reroute to the best untried
+            // routable cell when the target is unreachable, and a forced
+            // must-answer restore of the original target as last resort.
+            let mut target = cell;
+            let first_target = cell;
+            let mut tried = vec![cell];
+            let mut rerouted = false;
+            let resp = loop {
+                match self.call_cell(target, &req, now, CallMode::BestEffort) {
+                    Some(resp) => break resp,
+                    None => {
+                        let loads = self.loads();
+                        let next = (0..self.cells.len())
+                            .filter(|c| !tried.contains(c) && self.health[*c].routable())
+                            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)));
+                        match next {
+                            Some(c) => {
+                                self.metrics.reroutes += 1;
+                                rerouted = true;
+                                target = c;
+                                tried.push(c);
+                            }
+                            None => {
+                                target = first_target;
+                                rerouted = false;
+                                break self.call_cell_must(first_target, &req, now);
+                            }
+                        }
+                    }
+                }
+            };
+            let outs = match resp {
+                CellResponse::AdmissionBatch(outs) if outs.len() == meta.len() => outs,
+                CellResponse::Err(e) => {
+                    for (idx, ..) in meta {
+                        results[idx] = Some(Err(e));
+                    }
+                    continue;
+                }
+                _ => {
+                    let e = self.bad_response();
+                    for (idx, ..) in meta {
+                        results[idx] = Some(Err(e));
+                    }
+                    continue;
+                }
+            };
+            let mut any_admitted = false;
+            for ((idx, job_id, task_ids, spilled), out) in meta.into_iter().zip(outs) {
+                // A reroute invalidates the probe-based spill judgment,
+                // exactly as in the single-job path.
+                let spilled = spilled && !rerouted;
+                match out {
+                    Ok(out) => {
+                        if let Some(j) = self.journal.as_mut() {
+                            j.routed(job_id, target, spilled);
+                        }
+                        for ab in &out.shed {
+                            self.forget(ab);
+                        }
+                        if out.submitted.is_some() {
+                            self.job_cell.insert(job_id, target);
+                            for t in task_ids {
+                                self.task_cell.insert(t, target);
+                            }
+                            self.metrics.jobs_routed[target] += 1;
+                            if spilled {
+                                self.metrics.spills += 1;
+                            }
+                            self.cells[target].dirty = true;
+                            any_admitted = true;
+                        } else if !out.shed.is_empty() {
+                            self.cells[target].dirty = true;
+                        }
+                        results[idx] = Some(Ok(out));
+                    }
+                    Err(e) => results[idx] = Some(Err(e)),
+                }
+            }
+            if any_admitted {
+                self.note_fleet_depth();
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batched job received an outcome"))
+            .collect()
     }
 
     fn activate_due(&mut self, now: SimTime) -> usize {

@@ -3,6 +3,7 @@
 //! stay in each cell's [`mrcp::ManagerStats`]; this struct covers only
 //! what exists *between* cells.
 
+use desim::stats::sample_quantile;
 use std::time::Duration;
 
 /// Counters and latency samples accumulated by a [`crate::Federation`].
@@ -104,15 +105,4 @@ impl ClusterMetrics {
         }
         self.rpc_attempts as f64 / self.rpc_commands as f64
     }
-}
-
-/// Nearest-rank quantile over an unsorted sample set.
-fn sample_quantile(samples: &[u64], q: f64) -> Option<u64> {
-    if samples.is_empty() {
-        return None;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-    Some(sorted[idx])
 }

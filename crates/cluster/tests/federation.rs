@@ -318,3 +318,88 @@ fn strict_both_cells_rejecting_counts_the_job_once() {
     );
     assert_eq!(m.completed, 1);
 }
+
+/// A wall-clock-free manager config: one portfolio worker, no time
+/// budget, no adaptive controller. Batched rounds carry more jobs per
+/// solve, so any wall-clock-sensitive knob would make the *schedule*
+/// (not just the zeroed timing metrics) jitter run-to-run.
+fn det_sim() -> SimConfig {
+    use mrcp::SolveBudget;
+    let mut cfg = SimConfig::default();
+    cfg.manager.budget = SolveBudget {
+        node_limit: 2_000,
+        fail_limit: 2_000,
+        time_limit_ms: None,
+        adaptive: None,
+        warm_start: true,
+        workers: 1,
+        ..SolveBudget::default()
+    };
+    cfg
+}
+
+fn det_cluster_cfg(cells: usize) -> ClusterSimConfig {
+    ClusterSimConfig {
+        sim: det_sim(),
+        cluster: ClusterConfig {
+            cells,
+            rebalance: RebalanceConfig::default(),
+        },
+    }
+}
+
+/// With batched ingest on, the cells=1 federation must still collapse to
+/// the plain single-manager driver: both sides coalesce the same bursts
+/// (the driver's flush schedule is manager-agnostic) and a one-cell
+/// federation applies a batch exactly as the bare manager does.
+#[test]
+fn batched_single_cell_federation_matches_batched_plain_driver() {
+    use mrcp::IngestConfig;
+    let ingest = Some(IngestConfig {
+        max_batch: 8,
+        max_linger: SimTime::from_millis(200),
+    });
+    // lambda high enough that real multi-job batches form.
+    let (resources, jobs) = small_workload(30, 4, 10.0, 23);
+    let mut sim = det_sim();
+    sim.ingest = ingest;
+    let plain = simulate(&sim, &resources, jobs.clone());
+    let mut fed_cfg = det_cluster_cfg(1);
+    fed_cfg.sim.ingest = ingest;
+    let (fed, _cm) = simulate_cluster(&fed_cfg, &resources, jobs);
+    assert_eq!(
+        plain.deterministic_signature(),
+        fed.deterministic_signature(),
+        "cells=1 federation must stay metric-identical under batched ingest"
+    );
+}
+
+/// Batched multi-cell runs are deterministic per seed, and the burst
+/// coalescing visibly amortizes the CP solve: fewer scheduling rounds
+/// than the legacy one-arrival-one-round path on the same workload.
+#[test]
+fn batched_multi_cell_run_is_deterministic_and_coalesces_rounds() {
+    use mrcp::IngestConfig;
+    let (resources, jobs) = small_workload(40, 4, 10.0, 29);
+    let mut cfg = det_cluster_cfg(2);
+    cfg.sim.ingest = Some(IngestConfig {
+        max_batch: 16,
+        max_linger: SimTime::from_millis(500),
+    });
+    let (m1, c1) = simulate_cluster(&cfg, &resources, jobs.clone());
+    let (m2, c2) = simulate_cluster(&cfg, &resources, jobs.clone());
+    assert_eq!(m1.deterministic_signature(), m2.deterministic_signature());
+    assert_eq!(c1.jobs_routed, c2.jobs_routed);
+    assert_eq!(c1.spills, c2.spills);
+    assert_eq!(c1.rounds, c2.rounds);
+
+    let (legacy, _cl) = simulate_cluster(&det_cluster_cfg(2), &resources, jobs);
+    assert!(
+        m1.invocations < legacy.invocations,
+        "batching must coalesce bursts into fewer scheduling rounds \
+         ({} batched vs {} legacy)",
+        m1.invocations,
+        legacy.invocations
+    );
+    assert_eq!(m1.arrived, legacy.arrived, "same arrivals either way");
+}

@@ -196,3 +196,50 @@ proptest! {
         );
     }
 }
+
+/// Batched ingest + crashes: the manifest logs each coalesced burst as a
+/// single `SubmitBatch` record, so replay re-routes it against one load
+/// snapshot exactly as the live run did. Decomposing the burst into
+/// singleton submits would replay with sequential routing and diverge.
+#[test]
+fn batched_crashed_run_matches_batched_crash_free_run() {
+    use mrcp::IngestConfig;
+    let mut cfg = cluster_cfg(2);
+    cfg.sim.ingest = Some(IngestConfig {
+        max_batch: 8,
+        max_linger: SimTime::from_secs(20),
+    });
+    // lambda 0.05 → ~20s inter-arrival: the generous linger makes real
+    // multi-job batches form even on the sparse workload.
+    let (resources, jobs) = small_workload(25, 4, 42);
+    let (baseline, base_cm) = simulate_cluster(&cfg, &resources, jobs.clone());
+
+    let mut crashed_cfg = cfg.clone();
+    crashed_cfg.sim.manager_crashes = ManagerCrashConfig {
+        at_commands: vec![1, 5, 12, 21],
+        mttf: Some(SimTime::from_secs(40)),
+        seed: 7,
+    };
+    let dir = scratch_dir("fed-batch-eq");
+    let durability = DurabilityConfig {
+        store: StoreConfig {
+            snapshot_every: 5,
+            wal: WalConfig { sync_every: 2 },
+        },
+        lose_unsynced_on_crash: true,
+    };
+    let (interrupted, _outcomes, fed) =
+        simulate_cluster_durable(&crashed_cfg, &resources, jobs, &dir, durability);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(fed.crashes() > 0, "the crash schedule must actually fire");
+    assert_eq!(
+        baseline.deterministic_signature(),
+        interrupted.deterministic_signature(),
+        "{} fleet crashes changed a batched-ingest outcome",
+        fed.crashes()
+    );
+    let cm = fed.federation().cluster_metrics();
+    assert_eq!(base_cm.jobs_routed, cm.jobs_routed);
+    assert_eq!(base_cm.spills, cm.spills);
+}

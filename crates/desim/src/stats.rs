@@ -295,6 +295,142 @@ impl Tally {
     }
 }
 
+/// Nearest-rank quantile over an unsorted sample set, `q` clamped to
+/// [0, 1]; `None` when empty. Shared by the federation's round/failover
+/// latency metrics and the bench harnesses so every quantile printed by
+/// this workspace means the same thing.
+pub fn sample_quantile(samples: &[u64], q: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
+}
+
+/// HDR-style log-bucketed latency histogram: fixed memory regardless of
+/// sample count, with bounded relative error on quantiles. Buckets are
+/// base-2 magnitudes split into `SUBBUCKETS` linear sub-buckets, giving a
+/// worst-case quantile error of 1/SUBBUCKETS ≈ 3% — plenty for latency
+/// reporting, and unlike [`Tally`] it never grows under a sustained load
+/// test recording one sample per request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// `counts[m * SUBBUCKETS + s]` = samples whose magnitude is `m` and
+    /// sub-bucket `s`.
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Linear sub-buckets per power-of-two magnitude (relative error 1/32).
+const SUBBUCKETS: usize = 32;
+/// Magnitudes tracked: values up to 2^40 (≈ 12.7 days in microseconds).
+const MAGNITUDES: usize = 41;
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: vec![0; MAGNITUDES * SUBBUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        // Magnitude = floor(log2(v)) for v >= SUBBUCKETS; small values get
+        // exact buckets (one per integer) in the first magnitudes.
+        let v = value.max(1);
+        let mag = (63 - v.leading_zeros()) as usize;
+        if mag < SUBBUCKETS.trailing_zeros() as usize {
+            // v < SUBBUCKETS: exact.
+            return v as usize;
+        }
+        let sub = ((v >> (mag - SUBBUCKETS.trailing_zeros() as usize)) as usize) - SUBBUCKETS;
+        let idx = (mag - SUBBUCKETS.trailing_zeros() as usize + 1) * SUBBUCKETS + sub;
+        idx.min(MAGNITUDES * SUBBUCKETS - 1)
+    }
+
+    /// Lower edge of the bucket holding `value` — the value a quantile
+    /// query reports for samples in that bucket.
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < SUBBUCKETS {
+            return idx as u64;
+        }
+        let mag = idx / SUBBUCKETS - 1 + SUBBUCKETS.trailing_zeros() as usize;
+        let sub = (idx % SUBBUCKETS) as u64;
+        (SUBBUCKETS as u64 + sub) << (mag - SUBBUCKETS.trailing_zeros() as usize)
+    }
+
+    /// Record one sample (e.g. a latency in microseconds).
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Exact smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// The `q`-quantile (nearest-rank over buckets; `q` clamped to [0,1]),
+    /// accurate to the bucket width (≤ ~3% relative error). `None` when
+    /// empty. The extremes are exact: q=0 reports `min`, q=1 reports `max`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn absorb(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Batch-means analysis for one long steady-state run: the autocorrelated
 /// within-run sequence is split into `k` contiguous batches whose means are
 /// approximately independent, giving a defensible CI without independent
@@ -462,6 +598,92 @@ mod tests {
             bm.push(1.0);
         }
         assert_eq!(bm.batches(), 2, "5 trailing samples stay unbatched");
+    }
+
+    #[test]
+    fn sample_quantile_nearest_rank() {
+        assert_eq!(sample_quantile(&[], 0.5), None);
+        assert_eq!(sample_quantile(&[7], 0.0), Some(7));
+        assert_eq!(sample_quantile(&[7], 1.0), Some(7));
+        let xs = [50, 10, 40, 20, 30];
+        assert_eq!(sample_quantile(&xs, 0.0), Some(10));
+        assert_eq!(sample_quantile(&xs, 0.5), Some(30));
+        assert_eq!(sample_quantile(&xs, 1.0), Some(50));
+        // q outside [0,1] clamps instead of panicking
+        assert_eq!(sample_quantile(&xs, 2.0), Some(50));
+        assert_eq!(sample_quantile(&xs, -1.0), Some(10));
+    }
+
+    #[test]
+    fn log_histogram_small_values_exact() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 1, 3, 2, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5));
+        // Values < 32 land in exact buckets, so quantiles are exact.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(5));
+        assert_eq!(LogHistogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn log_histogram_quantile_relative_error_bounded() {
+        let mut h = LogHistogram::new();
+        // Deterministic spread over several magnitudes.
+        let xs: Vec<u64> = (1..=2000).map(|i| (i * i * 37) % 900_000 + 1).collect();
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let exact = sorted[((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1];
+            let approx = h.quantile(q).unwrap();
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                rel <= 1.0 / 32.0 + 1e-9,
+                "q={q}: approx {approx} vs exact {exact} (rel {rel})"
+            );
+            assert!(approx <= exact, "bucket floor never overshoots");
+        }
+    }
+
+    #[test]
+    fn log_histogram_absorb_matches_combined() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 97 + 3;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.absorb(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn log_histogram_handles_extremes() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
     }
 
     #[test]

@@ -164,6 +164,20 @@ impl ResourceManager for DurableRm {
         out
     }
 
+    fn submit_batch(
+        &mut self,
+        jobs: Vec<Job>,
+        now: SimTime,
+    ) -> Vec<Result<AdmissionOutcome, ManagerError>> {
+        self.log(ManagerEvent::SubmitBatch {
+            jobs: jobs.clone(),
+            now,
+        });
+        let out = self.rm.submit_batch(jobs, now);
+        self.after_apply();
+        out
+    }
+
     fn activate_due(&mut self, now: SimTime) -> usize {
         self.log(ManagerEvent::ActivateDue { now });
         let n = self.rm.activate_due(now);

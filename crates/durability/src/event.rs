@@ -3,7 +3,7 @@
 //!
 //! Two replay surfaces share the vocabulary:
 //!
-//! * **Surface commands** — the nine [`ResourceManager`] methods the
+//! * **Surface commands** — the ten [`ResourceManager`] methods the
 //!   simulation driver invokes. [`apply_surface`] re-executes them
 //!   against any manager, which is how a whole fleet (or a single
 //!   manager) is rebuilt from its command log.
@@ -86,6 +86,16 @@ pub enum ManagerEvent {
         /// Repair time.
         now: SimTime,
     },
+    /// [`ResourceManager::submit_batch`] — one coalesced arrival burst.
+    /// Logged as a single record (not decomposed into per-job submits)
+    /// because a batching-aware manager may route the burst differently
+    /// than a sequence of singleton submits; replay must preserve that.
+    SubmitBatch {
+        /// The arriving jobs, in submission order.
+        jobs: Vec<Job>,
+        /// Shared submission time of the burst.
+        now: SimTime,
+    },
     /// Cell event: [`MrcpRm::take_unstarted_job`] — the rebalancer pulled
     /// this job out of the cell for migration.
     TakeUnstartedJob {
@@ -120,6 +130,7 @@ const TAG_RES_UP: u8 = 8;
 const TAG_TAKE_JOB: u8 = 9;
 const TAG_SUBMIT: u8 = 10;
 const TAG_SET_WORKERS: u8 = 11;
+const TAG_SUBMIT_BATCH: u8 = 12;
 
 impl ManagerEvent {
     /// Append this event's encoding to `e`.
@@ -167,6 +178,14 @@ impl ManagerEvent {
                 e.u8(TAG_RES_UP);
                 e.u32(resource.0);
                 e.time(*now);
+            }
+            ManagerEvent::SubmitBatch { jobs, now } => {
+                e.u8(TAG_SUBMIT_BATCH);
+                e.time(*now);
+                e.usize(jobs.len());
+                for job in jobs {
+                    e.job(job);
+                }
             }
             ManagerEvent::TakeUnstartedJob { job } => {
                 e.u8(TAG_TAKE_JOB);
@@ -218,6 +237,15 @@ impl ManagerEvent {
                 resource: ResourceId(d.u32()?),
                 now: d.time()?,
             },
+            TAG_SUBMIT_BATCH => {
+                let now = d.time()?;
+                let n = d.usize()?;
+                let mut jobs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    jobs.push(d.job()?);
+                }
+                ManagerEvent::SubmitBatch { jobs, now }
+            }
             TAG_TAKE_JOB => ManagerEvent::TakeUnstartedJob {
                 job: JobId(d.u32()?),
             },
@@ -249,6 +277,9 @@ pub fn apply_surface<R: ResourceManager>(rm: &mut R, ev: &ManagerEvent) {
     match ev {
         ManagerEvent::SubmitWithAdmission { job, now } => {
             let _ = rm.submit_with_admission(job.clone(), *now);
+        }
+        ManagerEvent::SubmitBatch { jobs, now } => {
+            let _ = rm.submit_batch(jobs.clone(), *now);
         }
         ManagerEvent::ActivateDue { now } => {
             let _ = rm.activate_due(*now);
@@ -289,6 +320,9 @@ pub fn apply_cell(rm: &mut MrcpRm, ev: &ManagerEvent) {
     match ev {
         ManagerEvent::SubmitWithAdmission { job, now } => {
             let _ = rm.submit_with_admission(job.clone(), *now);
+        }
+        ManagerEvent::SubmitBatch { jobs, now } => {
+            let _ = rm.submit_batch(jobs.clone(), *now);
         }
         ManagerEvent::ActivateDue { now } => {
             let _ = rm.activate_due(*now);
@@ -389,6 +423,14 @@ mod tests {
                 now: t,
             },
             ManagerEvent::SetWorkers { workers: 3 },
+            ManagerEvent::SubmitBatch {
+                jobs: vec![sample_job(), sample_job()],
+                now: t,
+            },
+            ManagerEvent::SubmitBatch {
+                jobs: vec![],
+                now: t,
+            },
         ];
         for ev in &events {
             let bytes = ev.to_bytes();

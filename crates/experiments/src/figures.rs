@@ -132,6 +132,12 @@ pub fn all_figures() -> Vec<Figure> {
             run: run_chaos_sweep,
         },
         Figure {
+            name: "service",
+            title: "Extra: ingest mode sweep — batched arrival coalescing vs call-per-arrival under per-solve overhead",
+            expectation: "not in the paper — with admission probes charged to the manager, per-arrival ingestion saturates at a low λ while batched coalescing amortizes the probe base and keeps P bounded well past it (see BENCH_service.json for the full ramp)",
+            run: run_service_sweep,
+        },
+        Figure {
             name: "lns",
             title: "Extra: solver self-tuning ablation (propagator scheduling × LNS rung)",
             expectation: "not in the paper — P and T statistically tie across all four {sched, lns} settings at equal budget; the layers buy solver speed, not schedule quality",
@@ -1142,6 +1148,89 @@ fn run_ablation_panel(scale: &Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// Extra panel: the ingest-mode sweep behind `BENCH_service.json`. The
+/// bench spec's small workload is pushed through rising arrival rates
+/// under [`OverheadModel::PerTask`], which charges every admission probe
+/// and replan round to a single-server manager. Per-arrival ingestion
+/// pays the probe base once per job and saturates early; the batched
+/// front door (flush on `max_batch` or linger) pays it once per burst,
+/// so its P stays bounded well past the per-arrival knee.
+fn run_service_sweep(scale: &Scale, seed: u64) -> FigureResult {
+    use desim::SimTime;
+    use mrcp::{IngestConfig, OverheadModel};
+
+    // The committed ramp spec's workload (crates/bench/specs/
+    // service_ramp.toml), small enough that a probe's cost is dominated
+    // by the fixed base — the quantity batching amortizes.
+    let base_cfg = SyntheticConfig {
+        resources: 8,
+        maps_per_job: (1, 4),
+        reduces_per_job: (1, 2),
+        e_max: 10,
+        map_capacity: 2,
+        reduce_capacity: 2,
+        s_max: 1,
+        p_future_start: 0.0,
+        deadline_multiplier: 4.0,
+        ..Default::default()
+    };
+    let overhead = OverheadModel::PerTask {
+        base: SimTime::from_secs(4),
+        per_task: SimTime::from_millis(50),
+    };
+    let modes: [(&str, Option<IngestConfig>); 2] = [
+        (
+            "batched ingest (max_batch=16, linger=8s)",
+            Some(IngestConfig {
+                max_batch: 16,
+                max_linger: SimTime::from_secs(8),
+            }),
+        ),
+        ("per-arrival ingest", None),
+    ];
+
+    let mut points = Vec::new();
+    for &lambda in &[0.2f64, 0.4, 0.6] {
+        let cfg = SyntheticConfig {
+            lambda,
+            ..base_cfg.clone()
+        };
+        let cluster = cfg.cluster();
+        for (series, ingest) in &modes {
+            let agg: MetricAgg = replicate(scale, |rep| {
+                let jobs = synth_jobs(&cfg, scale, seed, rep);
+                let mut sim = mrcp_sim_config(scale, jobs.len());
+                // Deterministic budget: the ingest equivalence anchors
+                // (batch-1 ≡ legacy) assume wall-clock-free solves.
+                sim.manager.budget.time_limit_ms = None;
+                sim.overhead = overhead;
+                sim.ingest = *ingest;
+                let m = simulate(&sim, &cluster, jobs);
+                Sample {
+                    p_late: m.p_late,
+                    n_late: m.late as f64,
+                    turnaround_s: m.mean_turnaround_s,
+                    overhead_s: m.o_per_job_s,
+                    rejected_frac: turned_away(&m),
+                }
+            });
+            points.push(PointResult {
+                label: format!("λ={lambda}"),
+                series: (*series).into(),
+                agg,
+            });
+        }
+    }
+    FigureResult {
+        name: "service".into(),
+        title: "Ingest mode sweep: batched coalescing vs call-per-arrival".into(),
+        expectation:
+            "per-arrival P climbs steeply once λ × probe cost ≳ 1; batched stays bounded well past that knee"
+                .into(),
+        points,
+    }
+}
+
 /// The self-tuning ablation: the Table 3 default point under every
 /// {prop_scheduling, lns} combination, driven through the workload-level
 /// [`SolverTuning`] knobs exactly as a TOML config would set them. The
@@ -1198,6 +1287,7 @@ mod tests {
         assert!(names.contains(&"overload"), "overload sweep registered");
         assert!(names.contains(&"cells"), "federation sweep registered");
         assert!(names.contains(&"lns"), "self-tuning ablation registered");
+        assert!(names.contains(&"service"), "ingest mode sweep registered");
         assert!(figure_by_name("fig7").is_some());
         assert!(figure_by_name("nope").is_none());
     }

@@ -1,0 +1,234 @@
+//! The closed-loop ramp: step the offered arrival rate upward rung by
+//! rung until the service-level objectives break, and report the knee.
+//!
+//! Each rung replays a freshly generated synthetic workload (same
+//! generator family, rung-specific seed, rung-specific `lambda`) through
+//! [`mrcp::simulate_with`] with the manager wrapped in an
+//! [`InstrumentedRm`], so every rung yields both the paper's run metrics
+//! (`P`, `T`, shed fractions) and the ingest latency histograms. A rung is
+//! *sustained* when all three SLOs hold:
+//!
+//! * `p_late ≤ slo_p_late` — the fraction of admitted jobs that missed
+//!   their deadline,
+//! * `shed_frac ≤ slo_shed_frac` — the fraction of arrivals refused or
+//!   shed by admission control,
+//! * `p99(ingest→planned) ≤ slo_p99_planned_us` — the tail of the
+//!   arrival-to-first-planning-round latency.
+//!
+//! The ramp climbs while rungs sustain; the first broken rung is recorded
+//! (it shows *how* the service fails) and the climb stops. The **knee** is
+//! the last sustained rate — `BENCH_service.json`'s `max_sustained_rps`.
+
+use crate::instrument::{IngestMetrics, InstrumentedRm};
+use desim::stats::LogHistogram;
+use mrcp::sim_driver::ResourceManager;
+use mrcp::{simulate_with, MrcpConfig, RunMetrics, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::{Resource, SyntheticConfig, SyntheticGenerator};
+
+/// Ramp schedule and SLO thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampConfig {
+    /// Offered rate of the first rung, jobs per simulated second.
+    pub initial_rps: f64,
+    /// Rate step between rungs.
+    pub increment_rps: f64,
+    /// Hard ceiling; the ramp stops here even if still sustaining.
+    pub max_rps: f64,
+    /// Jobs generated per rung (closed loop: the rung runs until its
+    /// workload drains, so offered rate — not run length — is the knob).
+    pub jobs_per_rung: usize,
+    /// SLO: max fraction of admitted jobs finishing late.
+    pub slo_p_late: f64,
+    /// SLO: max fraction of arrivals rejected or shed.
+    pub slo_shed_frac: f64,
+    /// SLO: max p99 arrival→first-planning-round latency, simulated µs.
+    pub slo_p99_planned_us: u64,
+    /// Base seed; rung `i` draws its workload from `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        RampConfig {
+            initial_rps: 0.05,
+            increment_rps: 0.05,
+            max_rps: 1.0,
+            jobs_per_rung: 60,
+            slo_p_late: 0.3,
+            slo_shed_frac: 0.2,
+            slo_p99_planned_us: 120_000_000, // 120 simulated seconds
+            seed: 42,
+        }
+    }
+}
+
+/// One rung's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungReport {
+    /// Offered rate, jobs per simulated second.
+    pub rps: f64,
+    /// Arrivals this rung offered.
+    pub arrived: u64,
+    /// Jobs admission accepted.
+    pub admitted: u64,
+    /// Jobs refused or shed; `shed_frac` is this over `arrived`.
+    pub refused: u64,
+    /// Refused fraction of arrivals.
+    pub shed_frac: f64,
+    /// Fraction of measured jobs that missed their deadline.
+    pub p_late: f64,
+    /// Mean turnaround of completed jobs, simulated seconds.
+    pub mean_turnaround_s: f64,
+    /// Batches the ingest layer flushed (0 without batching).
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: usize,
+    /// Ingest→admitted latency quantiles, simulated µs.
+    pub p50_ingest_to_admitted_us: u64,
+    pub p95_ingest_to_admitted_us: u64,
+    pub p99_ingest_to_admitted_us: u64,
+    /// Ingest→planned latency quantiles, simulated µs.
+    pub p50_ingest_to_planned_us: u64,
+    pub p95_ingest_to_planned_us: u64,
+    pub p99_ingest_to_planned_us: u64,
+    /// Scheduling rounds the run needed.
+    pub invocations: u64,
+    /// Virtual length of the rung, seconds.
+    pub end_time_s: f64,
+    /// Whether every SLO held.
+    pub sustained: bool,
+}
+
+/// The whole ramp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RampReport {
+    /// Per-rung measurements, in climb order. The last entry is the
+    /// first broken rung unless the ramp topped out still sustaining.
+    pub rungs: Vec<RungReport>,
+    /// The knee: the highest offered rate that met every SLO.
+    pub max_sustained_rps: Option<f64>,
+    /// The first offered rate that broke an SLO (`None` if the ramp
+    /// reached `max_rps` without breaking).
+    pub knee_rps: Option<f64>,
+}
+
+fn q(hist: &LogHistogram, quantile: f64) -> u64 {
+    hist.quantile(quantile).unwrap_or(0)
+}
+
+fn rung_report(
+    rps: f64,
+    metrics: &RunMetrics,
+    ingest: &IngestMetrics,
+    cfg: &RampConfig,
+) -> RungReport {
+    let arrived = metrics.arrived as u64;
+    let refused = metrics.jobs_rejected + metrics.jobs_shed;
+    let shed_frac = if arrived == 0 {
+        0.0
+    } else {
+        refused as f64 / arrived as f64
+    };
+    let p99_planned = q(&ingest.ingest_to_planned_us, 0.99);
+    let sustained = metrics.p_late <= cfg.slo_p_late
+        && shed_frac <= cfg.slo_shed_frac
+        && p99_planned <= cfg.slo_p99_planned_us
+        && ingest.admitted > 0;
+    RungReport {
+        rps,
+        arrived,
+        admitted: ingest.admitted,
+        refused,
+        shed_frac,
+        p_late: metrics.p_late,
+        mean_turnaround_s: metrics.mean_turnaround_s,
+        batches: ingest.batches,
+        max_batch: ingest.max_batch,
+        p50_ingest_to_admitted_us: q(&ingest.ingest_to_admitted_us, 0.50),
+        p95_ingest_to_admitted_us: q(&ingest.ingest_to_admitted_us, 0.95),
+        p99_ingest_to_admitted_us: q(&ingest.ingest_to_admitted_us, 0.99),
+        p50_ingest_to_planned_us: q(&ingest.ingest_to_planned_us, 0.50),
+        p95_ingest_to_planned_us: q(&ingest.ingest_to_planned_us, 0.95),
+        p99_ingest_to_planned_us: p99_planned,
+        invocations: metrics.invocations,
+        end_time_s: metrics.end_time_s,
+        sustained,
+    }
+}
+
+/// Run one rung at `rps` and measure it.
+pub fn run_rung<M, F>(
+    workload: &SyntheticConfig,
+    sim: &SimConfig,
+    resources: &[Resource],
+    cfg: &RampConfig,
+    rung_idx: usize,
+    rps: f64,
+    build: F,
+) -> RungReport
+where
+    M: ResourceManager,
+    F: FnOnce(MrcpConfig) -> M,
+{
+    let mut wl = workload.clone();
+    wl.lambda = rps;
+    let mut gen = SyntheticGenerator::new(
+        wl,
+        StdRng::seed_from_u64(cfg.seed.wrapping_add(rung_idx as u64)),
+    );
+    let jobs = gen.take_jobs(cfg.jobs_per_rung);
+    let (metrics, _outcomes, rm) =
+        simulate_with(sim, resources, jobs, |mc| InstrumentedRm::new(build(mc)));
+    let (_inner, ingest) = rm.into_parts();
+    rung_report(rps, &metrics, &ingest, cfg)
+}
+
+/// Climb the ramp until an SLO breaks or `max_rps` is reached.
+///
+/// `build` constructs the manager under test from the driver's
+/// [`MrcpConfig`] — pass the [`mrcp::MrcpRm`] constructor for a single
+/// manager or a federation factory for the sharded fleet. Whether
+/// ingest batching is active is decided by `sim.ingest`, exactly as in
+/// [`mrcp::simulate_with`].
+pub fn ramp<M, F>(
+    workload: &SyntheticConfig,
+    sim: &SimConfig,
+    resources: &[Resource],
+    cfg: &RampConfig,
+    mut build: F,
+) -> RampReport
+where
+    M: ResourceManager,
+    F: FnMut(MrcpConfig) -> M,
+{
+    assert!(cfg.initial_rps > 0.0, "ramp must start above zero rps");
+    assert!(cfg.increment_rps > 0.0, "ramp must climb");
+    let mut rungs = Vec::new();
+    let mut max_sustained = None;
+    let mut knee = None;
+    let mut rung_idx = 0usize;
+    loop {
+        let rps = cfg.initial_rps + cfg.increment_rps * rung_idx as f64;
+        // Tolerate float drift at the ceiling.
+        if rps > cfg.max_rps * (1.0 + 1e-9) {
+            break;
+        }
+        let report = run_rung(workload, sim, resources, cfg, rung_idx, rps, &mut build);
+        let sustained = report.sustained;
+        rungs.push(report);
+        if sustained {
+            max_sustained = Some(rps);
+        } else {
+            knee = Some(rps);
+            break;
+        }
+        rung_idx += 1;
+    }
+    RampReport {
+        rungs,
+        max_sustained_rps: max_sustained,
+        knee_rps: knee,
+    }
+}

@@ -1,0 +1,373 @@
+//! A hand-rolled parser for the service/ramp spec file — the TOML subset
+//! the ingest benchmarks consume.
+//!
+//! The workspace vendors no TOML crate, so this module parses exactly the
+//! dialect the specs need and nothing more: `[section]` headers,
+//! `key = value` lines with integer or float values, `#` comments, and
+//! blank lines. Three sections are recognised:
+//!
+//! ```toml
+//! [service]           # ingest batching knobs
+//! max_batch = 32
+//! max_linger_ms = 500
+//! queue_cap = 1024
+//!
+//! [ramp]              # closed-loop ramp schedule + SLOs
+//! initial_rps = 0.1
+//! increment_rps = 0.1
+//! max_rps = 2.0
+//! jobs_per_rung = 60
+//! slo_p_late = 0.3
+//! slo_shed_frac = 0.2
+//! slo_p99_planned_ms = 120000
+//! seed = 42
+//!
+//! [workload]          # overrides onto SyntheticConfig::default()
+//! resources = 4
+//! maps_min = 1
+//! maps_max = 6
+//! reduces_min = 1
+//! reduces_max = 3
+//! e_max = 10
+//! map_capacity = 2
+//! reduce_capacity = 2
+//! s_max = 100
+//! ```
+//!
+//! Unknown sections or keys are errors — a misspelled knob silently
+//! falling back to its default would invalidate a benchmark run.
+
+use crate::synthetic::SyntheticConfig;
+use std::fmt;
+
+/// `[service]` — ingest batching knobs (defaults mirror the simulation
+/// driver's `IngestConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceKnobs {
+    /// Flush a batch at this many buffered arrivals.
+    pub max_batch: usize,
+    /// Flush a batch once its oldest arrival waited this long, ms.
+    pub max_linger_ms: i64,
+    /// Bounded front-door queue depth.
+    pub queue_cap: usize,
+}
+
+impl Default for ServiceKnobs {
+    fn default() -> Self {
+        ServiceKnobs {
+            max_batch: 32,
+            max_linger_ms: 50,
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// `[ramp]` — closed-loop ramp schedule and SLO thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampKnobs {
+    /// Offered rate of the first rung, jobs per simulated second.
+    pub initial_rps: f64,
+    /// Rate step between rungs.
+    pub increment_rps: f64,
+    /// Ramp ceiling.
+    pub max_rps: f64,
+    /// Jobs generated per rung.
+    pub jobs_per_rung: usize,
+    /// SLO: max late fraction.
+    pub slo_p_late: f64,
+    /// SLO: max refused/shed fraction of arrivals.
+    pub slo_shed_frac: f64,
+    /// SLO: max p99 ingest→planned latency, simulated ms.
+    pub slo_p99_planned_ms: u64,
+    /// Base workload seed; rung `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for RampKnobs {
+    fn default() -> Self {
+        RampKnobs {
+            initial_rps: 0.05,
+            increment_rps: 0.05,
+            max_rps: 1.0,
+            jobs_per_rung: 60,
+            slo_p_late: 0.3,
+            slo_shed_frac: 0.2,
+            slo_p99_planned_ms: 120_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The whole parsed spec.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceSpec {
+    /// Ingest batching knobs.
+    pub service: ServiceKnobs,
+    /// Ramp schedule and SLOs.
+    pub ramp: RampKnobs,
+    /// Workload template (defaults overridden by `[workload]` keys; the
+    /// per-rung offered rate replaces `lambda`).
+    pub workload: SyntheticConfig,
+}
+
+/// A parse failure: line number (1-based) and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "service spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A scalar value from the spec: every knob is numeric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Num {
+    Int(i64),
+    Float(f64),
+}
+
+impl Num {
+    fn as_f64(self) -> f64 {
+        match self {
+            Num::Int(i) => i as f64,
+            Num::Float(f) => f,
+        }
+    }
+
+    fn as_usize(self, line: usize, key: &str) -> Result<usize, SpecError> {
+        match self {
+            Num::Int(i) if i >= 0 => Ok(i as usize),
+            _ => Err(err(line, format!("`{key}` must be a non-negative integer"))),
+        }
+    }
+
+    fn as_u64(self, line: usize, key: &str) -> Result<u64, SpecError> {
+        match self {
+            Num::Int(i) if i >= 0 => Ok(i as u64),
+            _ => Err(err(line, format!("`{key}` must be a non-negative integer"))),
+        }
+    }
+
+    fn as_u32(self, line: usize, key: &str) -> Result<u32, SpecError> {
+        match self {
+            Num::Int(i) if (0..=i64::from(u32::MAX)).contains(&i) => Ok(i as u32),
+            _ => Err(err(line, format!("`{key}` must fit in a u32"))),
+        }
+    }
+
+    fn as_i64(self, line: usize, key: &str) -> Result<i64, SpecError> {
+        match self {
+            Num::Int(i) => Ok(i),
+            Num::Float(_) => Err(err(line, format!("`{key}` must be an integer"))),
+        }
+    }
+}
+
+fn parse_num(raw: &str, line: usize) -> Result<Num, SpecError> {
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(Num::Int(i));
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Num::Float(f));
+        }
+    }
+    Err(err(line, format!("`{raw}` is not a finite number")))
+}
+
+/// Parse a spec from its text. Missing sections and keys keep their
+/// defaults; unknown ones are rejected.
+pub fn parse_service_spec(text: &str) -> Result<ServiceSpec, SpecError> {
+    let mut spec = ServiceSpec::default();
+    let mut section: Option<String> = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        // Values are numeric, so `#` anywhere starts a comment.
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let Some(name) = name.strip_suffix(']') else {
+                return Err(err(lineno, "unterminated section header"));
+            };
+            let name = name.trim();
+            if !matches!(name, "service" | "ramp" | "workload") {
+                return Err(err(lineno, format!("unknown section `[{name}]`")));
+            }
+            section = Some(name.to_string());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, "expected `key = value`"));
+        };
+        let key = key.trim();
+        let num = parse_num(value.trim(), lineno)?;
+        let Some(section) = section.as_deref() else {
+            return Err(err(lineno, "key before any [section] header"));
+        };
+        apply_key(&mut spec, section, key, num, lineno)?;
+    }
+    validate(&spec)?;
+    Ok(spec)
+}
+
+fn apply_key(
+    spec: &mut ServiceSpec,
+    section: &str,
+    key: &str,
+    num: Num,
+    line: usize,
+) -> Result<(), SpecError> {
+    match (section, key) {
+        ("service", "max_batch") => spec.service.max_batch = num.as_usize(line, key)?,
+        ("service", "max_linger_ms") => spec.service.max_linger_ms = num.as_i64(line, key)?,
+        ("service", "queue_cap") => spec.service.queue_cap = num.as_usize(line, key)?,
+        ("ramp", "initial_rps") => spec.ramp.initial_rps = num.as_f64(),
+        ("ramp", "increment_rps") => spec.ramp.increment_rps = num.as_f64(),
+        ("ramp", "max_rps") => spec.ramp.max_rps = num.as_f64(),
+        ("ramp", "jobs_per_rung") => spec.ramp.jobs_per_rung = num.as_usize(line, key)?,
+        ("ramp", "slo_p_late") => spec.ramp.slo_p_late = num.as_f64(),
+        ("ramp", "slo_shed_frac") => spec.ramp.slo_shed_frac = num.as_f64(),
+        ("ramp", "slo_p99_planned_ms") => spec.ramp.slo_p99_planned_ms = num.as_u64(line, key)?,
+        ("ramp", "seed") => spec.ramp.seed = num.as_u64(line, key)?,
+        ("workload", "lambda") => spec.workload.lambda = num.as_f64(),
+        ("workload", "resources") => spec.workload.resources = num.as_u32(line, key)?,
+        ("workload", "maps_min") => spec.workload.maps_per_job.0 = num.as_i64(line, key)?,
+        ("workload", "maps_max") => spec.workload.maps_per_job.1 = num.as_i64(line, key)?,
+        ("workload", "reduces_min") => spec.workload.reduces_per_job.0 = num.as_i64(line, key)?,
+        ("workload", "reduces_max") => spec.workload.reduces_per_job.1 = num.as_i64(line, key)?,
+        ("workload", "e_max") => spec.workload.e_max = num.as_i64(line, key)?,
+        ("workload", "map_capacity") => spec.workload.map_capacity = num.as_u32(line, key)?,
+        ("workload", "reduce_capacity") => spec.workload.reduce_capacity = num.as_u32(line, key)?,
+        ("workload", "s_max") => spec.workload.s_max = num.as_i64(line, key)?,
+        ("workload", "p_future_start") => spec.workload.p_future_start = num.as_f64(),
+        ("workload", "deadline_multiplier") => spec.workload.deadline_multiplier = num.as_f64(),
+        _ => {
+            return Err(err(
+                line,
+                format!("unknown key `{key}` in section `[{section}]`"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn validate(spec: &ServiceSpec) -> Result<(), SpecError> {
+    if spec.service.max_batch == 0 {
+        return Err(err(0, "service.max_batch must be >= 1"));
+    }
+    if spec.service.max_linger_ms < 0 {
+        return Err(err(0, "service.max_linger_ms must be non-negative"));
+    }
+    if spec.ramp.initial_rps <= 0.0 || spec.ramp.increment_rps <= 0.0 {
+        return Err(err(0, "ramp rates must be positive"));
+    }
+    if spec.ramp.max_rps < spec.ramp.initial_rps {
+        return Err(err(0, "ramp.max_rps must be >= ramp.initial_rps"));
+    }
+    if spec.ramp.jobs_per_rung == 0 {
+        return Err(err(0, "ramp.jobs_per_rung must be >= 1"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "\
+# ingest ramp spec
+[service]
+max_batch = 16        # flush threshold
+max_linger_ms = 250
+queue_cap = 64
+
+[ramp]
+initial_rps = 0.1
+increment_rps = 0.2
+max_rps = 2.5
+jobs_per_rung = 40
+slo_p_late = 0.25
+slo_shed_frac = 0.1
+slo_p99_planned_ms = 90000
+seed = 7
+
+[workload]
+resources = 8
+maps_min = 2
+maps_max = 12
+reduces_min = 1
+reduces_max = 4
+e_max = 15
+map_capacity = 2
+reduce_capacity = 2
+s_max = 200
+";
+
+    #[test]
+    fn full_spec_round_trips_every_field() {
+        let spec = parse_service_spec(FULL).unwrap();
+        assert_eq!(spec.service.max_batch, 16);
+        assert_eq!(spec.service.max_linger_ms, 250);
+        assert_eq!(spec.service.queue_cap, 64);
+        assert_eq!(spec.ramp.initial_rps, 0.1);
+        assert_eq!(spec.ramp.increment_rps, 0.2);
+        assert_eq!(spec.ramp.max_rps, 2.5);
+        assert_eq!(spec.ramp.jobs_per_rung, 40);
+        assert_eq!(spec.ramp.slo_p_late, 0.25);
+        assert_eq!(spec.ramp.slo_shed_frac, 0.1);
+        assert_eq!(spec.ramp.slo_p99_planned_ms, 90_000);
+        assert_eq!(spec.ramp.seed, 7);
+        assert_eq!(spec.workload.resources, 8);
+        assert_eq!(spec.workload.maps_per_job, (2, 12));
+        assert_eq!(spec.workload.reduces_per_job, (1, 4));
+        assert_eq!(spec.workload.e_max, 15);
+        assert_eq!(spec.workload.s_max, 200);
+    }
+
+    #[test]
+    fn empty_spec_is_all_defaults() {
+        let spec = parse_service_spec("").unwrap();
+        assert_eq!(spec, ServiceSpec::default());
+    }
+
+    #[test]
+    fn unknown_key_and_section_are_rejected() {
+        let bad_key = "[service]\nmax_bacth = 3\n";
+        assert!(parse_service_spec(bad_key).is_err());
+        let bad_section = "[servise]\nmax_batch = 3\n";
+        assert!(parse_service_spec(bad_section).is_err());
+        let no_section = "max_batch = 3\n";
+        assert!(parse_service_spec(no_section).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let text = "[ramp]\ninitial_rps = 0.1\nincrement_rps == 0.2\n";
+        let e = parse_service_spec(text).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn semantic_validation_catches_bad_ramps() {
+        assert!(parse_service_spec("[service]\nmax_batch = 0\n").is_err());
+        assert!(parse_service_spec("[ramp]\nmax_rps = 0.01\n").is_err());
+        assert!(parse_service_spec("[ramp]\njobs_per_rung = 0\n").is_err());
+    }
+}

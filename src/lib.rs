@@ -17,6 +17,9 @@
 //! * [`mrcp`] — the MRCP-RM resource manager (the paper's contribution),
 //! * [`cluster`] — the multi-cell federation sharding the pool across
 //!   several MRCP-RM instances (extension),
+//! * [`service`] — the async ingest front door: batched arrival
+//!   coalescing and closed-loop ramp harness ahead of any resource
+//!   manager (extension),
 //! * [`baselines`] — MinEDF-WC, MinEDF, EDF, FCFS, and the LP-based
 //!   comparator of the paper's preliminary work,
 //! * [`lpsolve`] — a from-scratch two-phase simplex LP solver,
@@ -52,4 +55,5 @@ pub use desim;
 pub use experiments;
 pub use lpsolve;
 pub use mrcp;
+pub use service;
 pub use workload;
