@@ -164,16 +164,8 @@ fn sweep_rate(rate: f64, n_jobs: usize, reps: u64) -> Value {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path = String::from("BENCH_chaos.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (use --smoke / --out PATH)"),
-        }
-    }
+    let args = bench::common::parse_args("bench_chaos", "BENCH_chaos.json", false);
+    let (smoke, out_path) = (args.smoke, args.out_path);
 
     let (rates, n_jobs, reps): (&[f64], usize, u64) = if smoke {
         (&[0.0, 0.2], 12, 2)
@@ -194,9 +186,5 @@ fn main() {
         ("sweep".into(), Value::Seq(sweep)),
     ]);
 
-    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
-    // Self-check: the file we are about to write must re-parse.
-    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
-    std::fs::write(&out_path, json + "\n").expect("write output file");
-    eprintln!("bench_chaos: wrote {out_path}");
+    bench::common::write_json("bench_chaos", &out_path, &doc);
 }

@@ -110,16 +110,8 @@ fn sweep_cell_count(cells: u32, sizes: &[usize], reps: u64) -> Value {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path = String::from("BENCH_cluster.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (use --smoke / --out PATH)"),
-        }
-    }
+    let args = bench::common::parse_args("bench_cluster", "BENCH_cluster.json", false);
+    let (smoke, out_path) = (args.smoke, args.out_path);
 
     let (cell_counts, sizes, reps): (&[u32], &[usize], u64) = if smoke {
         (&[1, 2], &[10], 2)
@@ -142,9 +134,5 @@ fn main() {
         ("sweep".into(), Value::Seq(sweep)),
     ]);
 
-    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
-    // Self-check: the file we are about to write must re-parse.
-    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
-    std::fs::write(&out_path, json + "\n").expect("write output file");
-    eprintln!("bench_cluster: wrote {out_path}");
+    bench::common::write_json("bench_cluster", &out_path, &doc);
 }

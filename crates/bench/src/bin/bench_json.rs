@@ -334,16 +334,8 @@ fn bench_rounds(n: usize, reps: u64) -> Value {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path = String::from("BENCH_solver.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (use --smoke / --out PATH)"),
-        }
-    }
+    let args = bench::common::parse_args("bench_json", "BENCH_solver.json", false);
+    let (smoke, out_path) = (args.smoke, args.out_path);
 
     // Smoke trims the portfolio/rounds/lns reps, but keeps the full size
     // and rep set for `sizes`: CI compares its nodes_p50 and p50_us against
@@ -367,9 +359,5 @@ fn main() {
         ("rounds".into(), bench_rounds(top, reps)),
     ]);
 
-    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
-    // Self-check: the file we are about to write must re-parse.
-    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
-    std::fs::write(&out_path, json + "\n").expect("write output file");
-    eprintln!("bench_json: wrote {out_path}");
+    bench::common::write_json("bench_json", &out_path, &doc);
 }

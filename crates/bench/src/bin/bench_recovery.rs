@@ -166,16 +166,8 @@ fn bench_recovery(events: u64) -> Value {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path = String::from("BENCH_recovery.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (use --smoke / --out PATH)"),
-        }
-    }
+    let args = bench::common::parse_args("bench_recovery", "BENCH_recovery.json", false);
+    let (smoke, out_path) = (args.smoke, args.out_path);
 
     let (batched_events, synced_events, round_jobs, round_reps, recover_sizes): (
         u64,
@@ -209,8 +201,5 @@ fn main() {
         ("recovery".into(), Value::Seq(recovery)),
     ]);
 
-    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
-    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
-    std::fs::write(&out_path, json + "\n").expect("write output file");
-    eprintln!("bench_recovery: wrote {out_path}");
+    bench::common::write_json("bench_recovery", &out_path, &doc);
 }

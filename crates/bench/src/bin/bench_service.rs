@@ -158,18 +158,8 @@ fn mode_doc(name: &str, max_batch: usize, report: &RampReport) -> Value {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut out_path = String::from("BENCH_service.json");
-    let mut spec_path: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            "--spec" => spec_path = Some(args.next().expect("--spec needs a path")),
-            other => panic!("unknown argument {other:?} (use --smoke / --out PATH / --spec PATH)"),
-        }
-    }
+    let args = bench::common::parse_args("bench_service", "BENCH_service.json", true);
+    let (smoke, out_path, spec_path) = (args.smoke, args.out_path, args.spec_path);
     let spec_text = match &spec_path {
         Some(p) => std::fs::read_to_string(p).expect("read spec file"),
         None => DEFAULT_SPEC.to_string(),
@@ -273,9 +263,5 @@ fn main() {
         ),
     ]);
 
-    let json = serde_json::to_string_pretty(&doc).expect("serialization cannot fail");
-    // Self-check: the file we are about to write must re-parse.
-    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
-    std::fs::write(&out_path, json + "\n").expect("write output file");
-    eprintln!("bench_service: wrote {out_path}");
+    bench::common::write_json("bench_service", &out_path, &doc);
 }

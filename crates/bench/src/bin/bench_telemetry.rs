@@ -1,0 +1,308 @@
+//! Live-scrape bench: runs a chaos federation with telemetry attached,
+//! serves the registry over a [`telemetry::TelemetrySink`], scrapes
+//! `/metrics` over HTTP *while the run is still going*, and then
+//! reconciles the registry's counters against the run's end-of-run
+//! structs ([`cluster::ClusterMetrics`], per-cell `ManagerStats`). Any
+//! mismatch panics — the registry is wired at the exact code points
+//! that mutate the end-of-run structs, so the two views must agree by
+//! construction — and a machine-readable `BENCH_telemetry.json` records
+//! the scrape latencies and the reconciliation table.
+//!
+//! The boundary runs hostile (drops, duplicates, hangs, latency) but
+//! without cell crashes: a crash resets the rebuilt cell's in-memory
+//! `ManagerStats` while the registry's counters are deliberately
+//! cumulative across rehydration, so strict per-cell equality only
+//! holds on a crash-free run. Crash-path telemetry is exercised by the
+//! cluster integration tests instead.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_telemetry -- [--smoke] [--out PATH]`
+
+use cluster::{
+    simulate_cluster_chaos_telemetry, ChaosConfig, ChaosSimConfig, ClusterConfig, ClusterSimConfig,
+    HealthConfig, RebalanceConfig, RetryPolicy,
+};
+use desim::{RngStreams, SimTime};
+use mrcp::SimConfig;
+use serde_json::Value;
+use std::time::{Duration, Instant};
+use telemetry::{http_get, EventFilter, SinkConfig, Telemetry, TelemetrySink, DEFAULT_QUEUE_CAP};
+use workload::{CellCount, Job, Resource, SyntheticConfig, SyntheticGenerator};
+
+/// Same federation shape as `bench_chaos`: 12 resources in 3 cells
+/// under a transient backlog, so there is real mid-run state to scrape.
+fn scenario(n_jobs: usize) -> (Vec<Resource>, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 4),
+        reduces_per_job: (1, 2),
+        e_max: 20,
+        p_future_start: 0.0,
+        s_max: 1,
+        deadline_multiplier: 2.5,
+        lambda: 2.0,
+        resources: 12,
+        map_capacity: 2,
+        reduce_capacity: 2,
+        cells: CellCount(3),
+        ..Default::default()
+    };
+    cfg.validate();
+    let rng = RngStreams::new(7_700).stream("bench-telemetry");
+    let jobs = SyntheticGenerator::new(cfg.clone(), rng).take_jobs(n_jobs);
+    (cfg.cluster(), jobs)
+}
+
+/// Hostile boundary, crash-free (see module docs).
+fn chaos() -> ChaosConfig {
+    ChaosConfig {
+        drop_prob: 0.15,
+        dup_prob: 0.15,
+        hang_prob: 0.03,
+        mean_latency: Some(SimTime::from_millis(10)),
+        call_deadline: SimTime::from_millis(200),
+        cell_mttf: None,
+        cell_mttr: None,
+        seed: 0xC4A0_7700,
+    }
+}
+
+fn reconcile_row(metric: &str, from_registry: u64, end_of_run: u64) -> Value {
+    Value::Map(vec![
+        ("metric".into(), Value::Str(metric.into())),
+        ("telemetry".into(), Value::UInt(from_registry)),
+        ("end_of_run".into(), Value::UInt(end_of_run)),
+        ("match".into(), Value::Bool(from_registry == end_of_run)),
+    ])
+}
+
+fn main() {
+    let args = bench::common::parse_args("bench_telemetry", "BENCH_telemetry.json", false);
+    let (smoke, out_path) = (args.smoke, args.out_path);
+    let n_jobs = if smoke { 16 } else { 60 };
+    eprintln!(
+        "bench_telemetry: {n_jobs} jobs, 3 cells, hostile boundary{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let tel = Telemetry::new();
+    let tail = tel.bus.subscribe(EventFilter::default(), DEFAULT_QUEUE_CAP);
+    let sink =
+        TelemetrySink::start(tel.registry.clone(), SinkConfig::loopback()).expect("bind sink");
+    let addr = sink.local_addr().expect("http enabled");
+    eprintln!("bench_telemetry: sink at http://{addr}/metrics");
+
+    let (resources, jobs) = scenario(n_jobs);
+    let cfg = ChaosSimConfig {
+        base: ClusterSimConfig {
+            sim: SimConfig::default(),
+            cluster: ClusterConfig {
+                cells: 3,
+                rebalance: RebalanceConfig::default(),
+            },
+        },
+        chaos: chaos(),
+        retry: RetryPolicy::default(),
+        health: HealthConfig::default(),
+    };
+    let run_tel = tel.clone();
+    let run_resources = resources.clone();
+    let worker = std::thread::spawn(move || {
+        simulate_cluster_chaos_telemetry(&cfg, &run_resources, jobs, &run_tel)
+    });
+
+    // Scrape while the run is in flight. Every poll is a full HTTP
+    // round trip against the live registry; a scrape that already sees
+    // round counters is a genuine mid-run observation.
+    let mut polls = 0u64;
+    let mut mid_run_scrapes = 0u64;
+    let mut scrape_us: Vec<u64> = Vec::new();
+    let mut events = Vec::new();
+    while !worker.is_finished() {
+        let t0 = Instant::now();
+        if let Ok(body) = http_get(addr, "/metrics") {
+            scrape_us.push(t0.elapsed().as_micros() as u64);
+            polls += 1;
+            if body.contains("mrcp_rounds_total") {
+                mid_run_scrapes += 1;
+            }
+        }
+        events.extend(tail.drain());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let run = worker.join().expect("chaos run thread");
+    events.extend(tail.drain());
+    assert!(
+        run.violations.is_empty(),
+        "invariants broken: {:#?}",
+        run.violations
+    );
+
+    // Final scrape: both encodings must serve and carry every layer.
+    let prom = http_get(addr, "/metrics").expect("final /metrics scrape");
+    let snap = http_get(addr, "/snapshot.json").expect("final /snapshot.json scrape");
+    for key in [
+        "mrcp_rounds_total",
+        "mrcp_admission_total",
+        "cpsolve_prop_runs_total",
+        "cluster_rpc_attempts_total",
+        "cluster_cell_health",
+    ] {
+        assert!(prom.contains(key), "final scrape lacks {key}");
+        assert!(snap.contains(key), "final snapshot lacks {key}");
+    }
+    sink.shutdown();
+
+    // Reconcile: the registry against the end-of-run structs.
+    let reg = &tel.registry;
+    let cm = run.federation.cluster_metrics();
+    let c = |name: &str| reg.counter(name, &[]).get();
+    let mut rows = vec![
+        reconcile_row("cluster_rounds_total", c("cluster_rounds_total"), cm.rounds),
+        reconcile_row(
+            "cluster_rpc_commands_total",
+            c("cluster_rpc_commands_total"),
+            cm.rpc_commands,
+        ),
+        reconcile_row(
+            "cluster_rpc_attempts_total",
+            c("cluster_rpc_attempts_total"),
+            cm.rpc_attempts,
+        ),
+        reconcile_row(
+            "cluster_rpc_retries_total",
+            c("cluster_rpc_retries_total"),
+            cm.rpc_retries,
+        ),
+        reconcile_row(
+            "cluster_rpc_drops_total",
+            c("cluster_rpc_drops_total"),
+            cm.rpc_drops,
+        ),
+        reconcile_row(
+            "cluster_rpc_timeouts_total",
+            c("cluster_rpc_timeouts_total"),
+            cm.rpc_timeouts,
+        ),
+        reconcile_row(
+            "cluster_rpc_dedup_hits_total",
+            c("cluster_rpc_dedup_hits_total"),
+            cm.rpc_dedup_hits,
+        ),
+        reconcile_row(
+            "cluster_reroutes_total",
+            c("cluster_reroutes_total"),
+            cm.reroutes,
+        ),
+        reconcile_row("cluster_spills_total", c("cluster_spills_total"), cm.spills),
+        reconcile_row(
+            "cluster_migrations_total",
+            c("cluster_migrations_total"),
+            cm.migrations,
+        ),
+        reconcile_row(
+            "cluster_cell_crashes_total",
+            c("cluster_cell_crashes_total"),
+            cm.cell_crashes,
+        ),
+        reconcile_row(
+            "cluster_failovers_total",
+            c("cluster_failovers_total"),
+            cm.failovers,
+        ),
+    ];
+    // Per-cell: one rung counter fires per solver invocation, so the
+    // rung sum must equal the cell's `ManagerStats::invocations`.
+    for (i, cell) in run.federation.cells().iter().enumerate() {
+        let scoped = tel.scoped("cell", i);
+        let rung_sum: u64 = ["split_cp", "full_cp", "lns", "greedy", "failed"]
+            .iter()
+            .map(|rung| {
+                scoped
+                    .registry
+                    .counter("mrcp_rounds_total", &[("rung", rung)])
+                    .get()
+            })
+            .sum();
+        let stats = cell.rm.stats();
+        rows.push(reconcile_row(
+            &format!("mrcp_rounds_total{{cell=\"{i}\"}}"),
+            rung_sum,
+            stats.invocations,
+        ));
+        rows.push(reconcile_row(
+            &format!("mrcp_warm_rounds_total{{cell=\"{i}\"}}"),
+            scoped.registry.counter("mrcp_warm_rounds_total", &[]).get(),
+            stats.warm_rounds,
+        ));
+    }
+    let all_match = rows.iter().all(|r| {
+        matches!(r, Value::Map(m) if m.iter().any(|(k, v)| k == "match" && *v == Value::Bool(true)))
+    });
+    assert!(
+        all_match,
+        "telemetry disagrees with end-of-run structs: {rows:#?}"
+    );
+
+    let dropped = tel.bus.dropped_events();
+    assert_eq!(dropped, 0, "event bus dropped {dropped} events");
+
+    scrape_us.sort_unstable();
+    let q = |f: f64| -> Value {
+        match desim::stats::sample_quantile(&scrape_us, f) {
+            Some(u) => Value::UInt(u),
+            None => Value::Null,
+        }
+    };
+    let mut by_kind: Vec<(String, u64)> = Vec::new();
+    for e in &events {
+        let name = e.kind.as_str().to_string();
+        match by_kind.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((name, 1)),
+        }
+    }
+    by_kind.sort();
+    eprintln!(
+        "bench_telemetry: {polls} scrapes ({mid_run_scrapes} mid-run with data), \
+         {} events tailed, all {} reconciliation rows match",
+        events.len(),
+        rows.len()
+    );
+
+    let doc = Value::Map(vec![
+        ("schema".into(), Value::Str("bench_telemetry/v1".into())),
+        ("smoke".into(), Value::Bool(smoke)),
+        ("n_jobs".into(), Value::UInt(n_jobs as u64)),
+        ("cells".into(), Value::UInt(3)),
+        (
+            "scrape".into(),
+            Value::Map(vec![
+                ("polls".into(), Value::UInt(polls)),
+                ("mid_run_scrapes".into(), Value::UInt(mid_run_scrapes)),
+                ("p50_us".into(), q(0.5)),
+                ("p95_us".into(), q(0.95)),
+                ("p99_us".into(), q(0.99)),
+            ]),
+        ),
+        ("reconcile".into(), Value::Seq(rows)),
+        ("all_match".into(), Value::Bool(all_match)),
+        (
+            "events".into(),
+            Value::Map(vec![
+                ("published".into(), Value::UInt(tel.bus.published())),
+                ("tailed".into(), Value::UInt(events.len() as u64)),
+                ("dropped".into(), Value::UInt(dropped)),
+                (
+                    "by_kind".into(),
+                    Value::Map(
+                        by_kind
+                            .into_iter()
+                            .map(|(k, n)| (k, Value::UInt(n)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+
+    bench::common::write_json("bench_telemetry", &out_path, &doc);
+}

@@ -1,0 +1,57 @@
+//! The boilerplate every `bench_*` binary shares: CLI parsing for the
+//! common `--smoke` / `--out PATH` flags (plus the optional
+//! `--spec PATH` some bins take) and the validated JSON write at the
+//! end of a run.
+
+use serde_json::Value;
+
+/// Parsed command line of a `bench_*` binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `--smoke`: shrink the run for CI; the JSON shape stays identical.
+    pub smoke: bool,
+    /// `--out PATH`: where to write the JSON document.
+    pub out_path: String,
+    /// `--spec PATH`: an external spec file, for bins that accept one.
+    pub spec_path: Option<String>,
+}
+
+/// Parse `std::env::args()` for a bench binary named `bin` whose default
+/// output file is `default_out`. `accept_spec` additionally allows
+/// `--spec PATH`. Unknown arguments panic with a usage hint, matching
+/// the behavior every bin had before this was shared.
+pub fn parse_args(bin: &str, default_out: &str, accept_spec: bool) -> BenchArgs {
+    let mut parsed = BenchArgs {
+        smoke: false,
+        out_path: default_out.to_string(),
+        spec_path: None,
+    };
+    let usage = if accept_spec {
+        "--smoke / --out PATH / --spec PATH"
+    } else {
+        "--smoke / --out PATH"
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--out" => parsed.out_path = args.next().expect("--out needs a path"),
+            "--spec" if accept_spec => {
+                parsed.spec_path = Some(args.next().expect("--spec needs a path"));
+            }
+            other => panic!("{bin}: unknown argument {other:?} (use {usage})"),
+        }
+    }
+    parsed
+}
+
+/// Serialize `doc`, self-check that it re-parses, and write it to
+/// `out_path` with a trailing newline — the closing ritual of every
+/// bench bin.
+pub fn write_json(bin: &str, out_path: &str, doc: &Value) {
+    let json = serde_json::to_string_pretty(doc).expect("serialization cannot fail");
+    // Self-check: the file we are about to write must re-parse.
+    let _: Value = serde_json::from_str(&json).expect("generated JSON re-parses");
+    std::fs::write(out_path, json + "\n").expect("write output file");
+    eprintln!("{bin}: wrote {out_path}");
+}

@@ -11,6 +11,8 @@
 //!   split scheduling/matchmaking on/off (§V.D), deferral on/off (§V.E),
 //!   warm start on/off, job orderings, and the solver-budget anytime curve.
 
+pub mod common;
+
 use desim::RngStreams;
 use workload::{Job, Resource, SyntheticConfig, SyntheticGenerator};
 

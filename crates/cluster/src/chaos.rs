@@ -453,19 +453,34 @@ pub fn simulate_cluster_chaos(
     resources: &[Resource],
     jobs: Vec<Job>,
 ) -> ChaosRun {
+    simulate_cluster_chaos_telemetry(cfg, resources, jobs, &telemetry::Telemetry::disabled())
+}
+
+/// [`simulate_cluster_chaos`] with live telemetry attached to the
+/// federation before the run starts. Telemetry is strictly
+/// observational, so the run is bit-identical to the plain variant —
+/// the determinism proptests hold the repo to that too.
+pub fn simulate_cluster_chaos_telemetry(
+    cfg: &ChaosSimConfig,
+    resources: &[Resource],
+    jobs: Vec<Job>,
+    tel: &telemetry::Telemetry,
+) -> ChaosRun {
     let (metrics, outcomes, federation, mut violations) = run_checked(
         cfg,
         resources,
         jobs,
         |mgr_cfg| {
-            Federation::with_chaos(
+            let mut fed = Federation::with_chaos(
                 &cfg.base.cluster,
                 mgr_cfg,
                 resources.to_vec(),
                 &cfg.chaos,
                 cfg.retry,
                 cfg.health,
-            )
+            );
+            fed.set_telemetry(tel);
+            fed
         },
         |fed: &Federation| fed,
     );
@@ -490,6 +505,26 @@ pub fn simulate_cluster_chaos_durable(
     dir: &Path,
     durability: DurabilityConfig,
 ) -> ChaosRun {
+    simulate_cluster_chaos_durable_telemetry(
+        cfg,
+        resources,
+        jobs,
+        dir,
+        durability,
+        &telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`simulate_cluster_chaos_durable`] with live telemetry attached (see
+/// [`simulate_cluster_chaos_telemetry`]).
+pub fn simulate_cluster_chaos_durable_telemetry(
+    cfg: &ChaosSimConfig,
+    resources: &[Resource],
+    jobs: Vec<Job>,
+    dir: &Path,
+    durability: DurabilityConfig,
+    tel: &telemetry::Telemetry,
+) -> ChaosRun {
     let (metrics, outcomes, durable, mut violations) = run_checked(
         cfg,
         resources,
@@ -503,6 +538,7 @@ pub fn simulate_cluster_chaos_durable(
                 durability,
             );
             d.enable_chaos(&cfg.chaos, cfg.retry, cfg.health);
+            d.set_telemetry(tel);
             d
         },
         |d: &DurableFederation| d.federation(),

@@ -150,6 +150,49 @@ impl FedRecord {
 /// cell. Owned by the [`Federation`] (as its `journal` field) so the
 /// routing and rebalance paths can append decision and cell records
 /// write-ahead of the state changes they describe.
+/// WAL-path instruments for the fleet journal (DESIGN.md §5k), using
+/// the same `durability_*` names as the single-manager store so a
+/// scrape sees one write-path surface regardless of which layer runs
+/// durable. Disabled until [`FedJournal::set_telemetry`].
+#[derive(Debug)]
+struct JTel {
+    bus: telemetry::EventBus,
+    /// `durability_wal_append_us` — wall latency of one WAL append
+    /// (manifest and per-cell logs alike).
+    wal_append_us: telemetry::Histogram,
+    /// `durability_wal_appends_total` — records written ahead.
+    wal_appends: telemetry::Counter,
+    /// `durability_snapshots_total` — fleet checkpoints taken.
+    snapshots: telemetry::Counter,
+    /// `durability_wal_records` — surface commands since the last
+    /// checkpoint: the snapshot age, i.e. the replay bound a crash
+    /// right now would pay.
+    wal_records: telemetry::Gauge,
+}
+
+impl JTel {
+    fn new(tel: &telemetry::Telemetry) -> JTel {
+        let reg = &tel.registry;
+        JTel {
+            bus: tel.bus.clone(),
+            wal_append_us: reg.histogram(
+                "durability_wal_append_us",
+                &[],
+                telemetry::LATENCY_US_BOUNDS,
+            ),
+            wal_appends: reg.counter("durability_wal_appends_total", &[]),
+            snapshots: reg.counter("durability_snapshots_total", &[]),
+            wal_records: reg.gauge("durability_wal_records", &[]),
+        }
+    }
+}
+
+impl Default for JTel {
+    fn default() -> JTel {
+        JTel::new(&telemetry::Telemetry::disabled())
+    }
+}
+
 #[derive(Debug)]
 pub struct FedJournal {
     cfg: StoreConfig,
@@ -165,6 +208,10 @@ pub struct FedJournal {
     base_idx: u64,
     /// Surface commands appended since the snapshot.
     cmds_since_snapshot: u64,
+    tel: JTel,
+    /// Simulated time of the last timed command logged, used to stamp
+    /// checkpoint events (the journal itself has no clock).
+    last_at_ms: i64,
 }
 
 impl FedJournal {
@@ -183,7 +230,16 @@ impl FedJournal {
             cell_seq: vec![0; k],
             base_idx: 0,
             cmds_since_snapshot: 0,
+            tel: JTel::default(),
+            last_at_ms: 0,
         })
+    }
+
+    /// Attach live WAL/checkpoint instruments. Strictly observational;
+    /// the on-disk format and behavior are unchanged.
+    pub fn set_telemetry(&mut self, tel: &telemetry::Telemetry) {
+        self.tel = JTel::new(tel);
+        self.tel.wal_records.set(self.cmds_since_snapshot as i64);
     }
 
     /// The store directory this journal writes under.
@@ -199,20 +255,29 @@ impl FedJournal {
     fn append_manifest(&mut self, rec: &FedRecord) {
         let mut e = Enc::new();
         rec.encode(&mut e);
+        let t0 = std::time::Instant::now();
         self.manifest
             .append(&e.finish())
             .unwrap_or_else(|e| panic!("durability: manifest append failed: {e}"));
+        self.tel
+            .wal_append_us
+            .record(t0.elapsed().as_micros() as u64);
+        self.tel.wal_appends.inc();
     }
 
     /// Log a fleet-surface command (write-ahead of its execution).
     /// Returns the command's global index.
     pub fn log_cmd(&mut self, ev: &ManagerEvent) -> u64 {
+        if let Some(now) = ev.time() {
+            self.last_at_ms = now.as_millis();
+        }
         let idx = self.base_idx + self.cmds_since_snapshot;
         self.append_manifest(&FedRecord::Cmd {
             idx,
             ev: ev.clone(),
         });
         self.cmds_since_snapshot += 1;
+        self.tel.wal_records.set(self.cmds_since_snapshot as i64);
         idx
     }
 
@@ -237,13 +302,38 @@ impl FedJournal {
     /// Log one event to `cell`'s own WAL (write-ahead of applying it to
     /// the cell's manager).
     pub fn cell_event(&mut self, cell: usize, ev: &ManagerEvent) {
+        if let Some(now) = ev.time() {
+            self.last_at_ms = now.as_millis();
+        }
         let mut e = Enc::new();
         e.u64(self.cell_seq[cell]);
         ev.encode(&mut e);
+        let t0 = std::time::Instant::now();
         self.cells[cell]
             .append(&e.finish())
             .unwrap_or_else(|e| panic!("durability: cell-{cell} WAL append failed: {e}"));
+        self.tel
+            .wal_append_us
+            .record(t0.elapsed().as_micros() as u64);
+        self.tel.wal_appends.inc();
         self.cell_seq[cell] += 1;
+    }
+
+    /// Record a checkpoint on the instruments: called right before this
+    /// journal is replaced by a fresh one at `base`.
+    fn note_checkpoint(&self, base: u64) {
+        self.tel.snapshots.inc();
+        self.tel.wal_records.set(0);
+        self.tel.bus.publish(telemetry::Event {
+            at_ms: self.last_at_ms,
+            kind: telemetry::EventKind::WalCheckpoint,
+            cell: None,
+            job: None,
+            detail: format!(
+                "base_idx {base}, {} records truncated",
+                self.cmds_since_snapshot
+            ),
+        });
     }
 
     /// Commands the snapshot does not yet cover.
@@ -517,6 +607,8 @@ fn restore_federation(
         chaos_active: false,
         retry: crate::endpoint::RetryPolicy::default(),
         health,
+        tel: super::federation::FedTel::disabled(k),
+        base_tel: telemetry::Telemetry::disabled(),
     })
 }
 
@@ -624,6 +716,19 @@ impl DurableFederation {
         &self.fed
     }
 
+    /// Attach live telemetry to the wrapped federation (see
+    /// [`Federation::set_telemetry`]) and to the fleet journal's WAL
+    /// write path. The attachment survives checkpoints and full-fleet
+    /// crash recovery: rebuilt journals and federations are re-wired,
+    /// and counters stay cumulative because the registry hands back the
+    /// same cells for the same instrument keys.
+    pub fn set_telemetry(&mut self, tel: &telemetry::Telemetry) {
+        self.fed.set_telemetry(tel);
+        if let Some(j) = self.fed.journal.as_mut() {
+            j.set_telemetry(tel);
+        }
+    }
+
     /// Crashes survived so far.
     pub fn crashes(&self) -> u64 {
         self.crashes
@@ -709,12 +814,16 @@ impl DurableFederation {
             &encode_fed_snapshot(base, &fed_image(&self.fed)),
         )
         .unwrap_or_else(|e| panic!("durability: fleet snapshot failed: {e}"));
+        if let Some(j) = self.fed.journal.as_ref() {
+            j.note_checkpoint(base);
+        }
         let k = self.fed.cells.len();
         let cfg = self.d_cfg.store;
         let mut journal = FedJournal::create(&self.dir, cfg, k)
             .unwrap_or_else(|e| panic!("durability: WAL reset failed: {e}"));
         journal.base_idx = base;
         journal.cell_seq = seq;
+        journal.set_telemetry(&self.fed.base_tel);
         self.fed.journal = Some(journal);
     }
 }
@@ -890,13 +999,18 @@ impl ResourceManager for DurableFederation {
             let ev = self.client_log[i].clone();
             apply_surface(&mut fed, &ev);
         }
+        // Replay ran with instruments detached (it must not double-count
+        // live metrics); re-attach the rebuilt fleet before it goes live.
+        let base_tel = self.fed.base_tel.clone();
         self.fed = fed;
+        self.fed.set_telemetry(&base_tel);
         // 4. Checkpoint the recovered fleet and reopen clean logs.
         let k = self.fed.cells.len();
         let mut journal = FedJournal::create(&self.dir, self.d_cfg.store, k)
             .unwrap_or_else(|e| panic!("durability: post-recovery WAL reset failed: {e}"));
         journal.base_idx = self.client_log.len() as u64;
         journal.cell_seq = img.cell_seq.clone();
+        journal.set_telemetry(&base_tel);
         self.fed.journal = Some(journal);
         self.checkpoint();
         self.crashes += 1;

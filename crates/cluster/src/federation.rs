@@ -85,6 +85,126 @@ enum CallMode {
     BestEffort,
 }
 
+/// Numeric encoding of [`HealthState`] for the per-cell health gauge:
+/// 0 Up, 1 Suspect, 2 Down, 3 Recovering.
+fn health_level(s: HealthState) -> i64 {
+    match s {
+        HealthState::Up => 0,
+        HealthState::Suspect => 1,
+        HealthState::Down => 2,
+        HealthState::Recovering => 3,
+    }
+}
+
+/// Stable identifier for a [`HealthState`] in breaker-transition events.
+fn health_name(s: HealthState) -> &'static str {
+    match s {
+        HealthState::Up => "up",
+        HealthState::Suspect => "suspect",
+        HealthState::Down => "down",
+        HealthState::Recovering => "recovering",
+    }
+}
+
+/// Federation-level telemetry (DESIGN.md §5k): live instruments mirroring
+/// [`ClusterMetrics`], recorded at the same sites that mutate it, so a
+/// mid-run scrape reconciles with [`Federation::cluster_metrics`].
+/// Per-cell *scheduling* instruments live in each cell's manager (scoped
+/// under a `cell` label by [`Federation::set_telemetry`]); this set covers
+/// only what exists between cells. Defaults to the disabled no-op set.
+#[derive(Debug, Clone)]
+pub(crate) struct FedTel {
+    bus: telemetry::EventBus,
+    spills: telemetry::Counter,
+    migrations: telemetry::Counter,
+    migration_probes: telemetry::Counter,
+    rounds: telemetry::Counter,
+    round_solve_us: telemetry::Histogram,
+    rpc_commands: telemetry::Counter,
+    rpc_attempts: telemetry::Counter,
+    rpc_retries: telemetry::Counter,
+    rpc_drops: telemetry::Counter,
+    rpc_timeouts: telemetry::Counter,
+    rpc_dedup_hits: telemetry::Counter,
+    rpc_escalations: telemetry::Counter,
+    reroutes: telemetry::Counter,
+    cell_crashes: telemetry::Counter,
+    cell_restores: telemetry::Counter,
+    rehydrations: telemetry::Counter,
+    rehydrate_mismatches: telemetry::Counter,
+    failovers: telemetry::Counter,
+    /// Per-cell circuit-breaker state, encoded by [`health_level`].
+    cell_health: Vec<telemetry::Gauge>,
+    /// Admitted submissions the router placed in each cell.
+    jobs_routed: Vec<telemetry::Counter>,
+    /// Jobs currently in the system fleet-wide.
+    fleet_depth: telemetry::Gauge,
+}
+
+impl FedTel {
+    fn new(tel: &telemetry::Telemetry, cells: usize) -> FedTel {
+        let reg = &tel.registry;
+        FedTel {
+            bus: tel.bus.clone(),
+            spills: reg.counter("cluster_spills_total", &[]),
+            migrations: reg.counter("cluster_migrations_total", &[]),
+            migration_probes: reg.counter("cluster_migration_probes_total", &[]),
+            rounds: reg.counter("cluster_rounds_total", &[]),
+            round_solve_us: reg.histogram(
+                "cluster_round_solve_us",
+                &[],
+                telemetry::LATENCY_US_BOUNDS,
+            ),
+            rpc_commands: reg.counter("cluster_rpc_commands_total", &[]),
+            rpc_attempts: reg.counter("cluster_rpc_attempts_total", &[]),
+            rpc_retries: reg.counter("cluster_rpc_retries_total", &[]),
+            rpc_drops: reg.counter("cluster_rpc_drops_total", &[]),
+            rpc_timeouts: reg.counter("cluster_rpc_timeouts_total", &[]),
+            rpc_dedup_hits: reg.counter("cluster_rpc_dedup_hits_total", &[]),
+            rpc_escalations: reg.counter("cluster_rpc_escalations_total", &[]),
+            reroutes: reg.counter("cluster_reroutes_total", &[]),
+            cell_crashes: reg.counter("cluster_cell_crashes_total", &[]),
+            cell_restores: reg.counter("cluster_cell_restores_total", &[]),
+            rehydrations: reg.counter("cluster_rehydrations_total", &[]),
+            rehydrate_mismatches: reg.counter("cluster_rehydrate_mismatches_total", &[]),
+            failovers: reg.counter("cluster_failovers_total", &[]),
+            cell_health: (0..cells)
+                .map(|i| reg.gauge("cluster_cell_health", &[("cell", i.to_string().as_str())]))
+                .collect(),
+            jobs_routed: (0..cells)
+                .map(|i| {
+                    reg.counter(
+                        "cluster_jobs_routed_total",
+                        &[("cell", i.to_string().as_str())],
+                    )
+                })
+                .collect(),
+            fleet_depth: reg.gauge("cluster_fleet_depth", &[]),
+        }
+    }
+
+    pub(crate) fn disabled(cells: usize) -> FedTel {
+        FedTel::new(&telemetry::Telemetry::disabled(), cells)
+    }
+
+    fn event(
+        &self,
+        now: SimTime,
+        kind: telemetry::EventKind,
+        cell: Option<u32>,
+        job: Option<u64>,
+        detail: &str,
+    ) {
+        self.bus.publish(telemetry::Event {
+            at_ms: now.as_millis(),
+            kind,
+            cell,
+            job,
+            detail: detail.to_string(),
+        });
+    }
+}
+
 /// K sharded [`MrcpRm`]s behind the driver's [`ResourceManager`] surface.
 #[derive(Debug)]
 pub struct Federation {
@@ -118,6 +238,14 @@ pub struct Federation {
     pub(crate) retry: RetryPolicy,
     /// Per-cell circuit breakers.
     pub(crate) health: Vec<CellHealth>,
+    /// Live federation-level instruments (disabled by default; see
+    /// [`Federation::set_telemetry`]). Strictly observational.
+    pub(crate) tel: FedTel,
+    /// The base telemetry handle, kept so a rehydrated cell's rebuilt
+    /// manager can be re-attached under its `cell=<i>` scope (the
+    /// registry hands back the same underlying instrument cells, so
+    /// counters stay cumulative across the swap).
+    pub(crate) base_tel: telemetry::Telemetry,
 }
 
 impl Federation {
@@ -159,7 +287,35 @@ impl Federation {
             chaos_active: false,
             retry: RetryPolicy::default(),
             health,
+            tel: FedTel::disabled(k),
+            base_tel: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attach live telemetry: the federation-level instruments register
+    /// in `tel.registry` directly, and each cell's manager registers its
+    /// own set through a registry scoped with a `cell=<i>` label (so
+    /// `mrcp_rounds_total{cell="2",rung="lns"}` is cell 2's LNS rounds).
+    /// Recording happens at the same sites that mutate [`ClusterMetrics`]
+    /// and each cell's [`ManagerStats`], so mid-run scrapes reconcile
+    /// with the end-of-run structs. Strictly observational: no routing,
+    /// health, or scheduling decision reads these instruments, so runs
+    /// with telemetry attached are bit-identical to runs without.
+    pub fn set_telemetry(&mut self, tel: &telemetry::Telemetry) {
+        self.base_tel = tel.clone();
+        self.tel = FedTel::new(tel, self.cells.len());
+        for (i, c) in self.cells.iter_mut().enumerate() {
+            c.rm.set_telemetry(&tel.scoped("cell", i));
+        }
+        for (i, h) in self.health.iter().enumerate() {
+            self.tel.cell_health[i].set(health_level(h.state()));
+        }
+        self.tel.fleet_depth.set(
+            self.cells
+                .iter()
+                .map(|c| c.rm.jobs_in_system())
+                .sum::<usize>() as i64,
+        );
     }
 
     /// A federation whose cell boundaries inject faults per `chaos`
@@ -288,6 +444,23 @@ impl Federation {
     fn note_fleet_depth(&mut self) {
         let depth: usize = self.cells.iter().map(|c| c.rm.jobs_in_system()).sum();
         self.max_fleet_depth = self.max_fleet_depth.max(depth);
+        self.tel.fleet_depth.set(depth as i64);
+    }
+
+    /// Mirror a health-state mutation into the live gauge, publishing a
+    /// breaker-transition event when the state actually changed.
+    fn note_health(&mut self, i: usize, before: HealthState, now: SimTime) {
+        let after = self.health[i].state();
+        self.tel.cell_health[i].set(health_level(after));
+        if after != before {
+            self.tel.event(
+                now,
+                telemetry::EventKind::BreakerTransition,
+                Some(i as u32),
+                None,
+                health_name(after),
+            );
+        }
     }
 
     /// Journal the cell events `req`'s application implies — called
@@ -400,8 +573,18 @@ impl Federation {
     /// threshold crossed).
     fn mark_down(&mut self, i: usize, now: SimTime) {
         if self.health[i].state() != HealthState::Down {
+            let before = self.health[i].state();
             self.health[i].force_down(now);
             self.metrics.cell_crashes += 1;
+            self.tel.cell_crashes.inc();
+            self.tel.event(
+                now,
+                telemetry::EventKind::CellCrash,
+                Some(i as u32),
+                None,
+                "circuit opened",
+            );
+            self.note_health(i, before, now);
         }
     }
 
@@ -411,9 +594,11 @@ impl Federation {
     fn supervisor_restore(&mut self, i: usize, now: SimTime) {
         let began = self.cells[i].endpoint.down_since();
         let lost = self.cells[i].endpoint.restart(now);
+        let before = self.health[i].state();
         self.health[i].begin_recovery(now);
+        self.note_health(i, before, now);
         if lost {
-            self.rehydrate(i);
+            self.rehydrate(i, now);
         }
         if let Some(t0) = began {
             self.metrics
@@ -421,6 +606,14 @@ impl Federation {
                 .push((now - t0).as_millis().max(0) as u64);
         }
         self.metrics.cell_restores += 1;
+        self.tel.cell_restores.inc();
+        self.tel.event(
+            now,
+            telemetry::EventKind::CellRestore,
+            Some(i as u32),
+            None,
+            "supervisor restart",
+        );
         self.cells[i].dirty = true;
     }
 
@@ -430,8 +623,16 @@ impl Federation {
     /// durable store (the state is simply kept); with a journal the
     /// rebuilt state is cross-checked against the live image before the
     /// swap, so a divergence is counted instead of silently adopted.
-    fn rehydrate(&mut self, i: usize) {
+    fn rehydrate(&mut self, i: usize, now: SimTime) {
         self.metrics.rehydrations += 1;
+        self.tel.rehydrations.inc();
+        self.tel.event(
+            now,
+            telemetry::EventKind::Rehydration,
+            Some(i as u32),
+            None,
+            "rebuilding cell state",
+        );
         let Some(j) = self.journal.as_ref() else {
             return; // ideal store: nothing was actually lost
         };
@@ -450,8 +651,14 @@ impl Federation {
             Ok((rebuilt, _replayed)) => {
                 if canonical(rebuilt.image()) == canonical(self.cells[i].rm.image()) {
                     self.cells[i].rm = rebuilt;
+                    // The rebuilt manager replayed with telemetry off (no
+                    // double counting); re-attach its live instruments.
+                    self.cells[i]
+                        .rm
+                        .set_telemetry(&self.base_tel.scoped("cell", i));
                 } else {
                     self.metrics.rehydrate_mismatches += 1;
+                    self.tel.rehydrate_mismatches.inc();
                     self.last_error = Some(ManagerError::Inconsistent(
                         "rehydrated cell diverged from the live fleet state",
                     ));
@@ -459,6 +666,7 @@ impl Federation {
             }
             Err(_) => {
                 self.metrics.rehydrate_mismatches += 1;
+                self.tel.rehydrate_mismatches.inc();
                 self.last_error = Some(ManagerError::Inconsistent(
                     "cell rehydration from the durable store failed",
                 ));
@@ -481,15 +689,18 @@ impl Federation {
         let seq = self.cells[i].next_seq;
         self.cells[i].next_seq += 1;
         self.metrics.rpc_commands += 1;
+        self.tel.rpc_commands.inc();
         let mut applied_any = false;
         let mut crash_seen = false;
         for attempt in 1..=self.retry.max_attempts.max(1) {
             if attempt > 1 {
                 self.metrics.rpc_retries += 1;
+                self.tel.rpc_retries.inc();
                 self.metrics.rpc_latency_ms_total +=
                     self.retry.backoff(seq, attempt - 1).as_millis().max(0) as u64;
             }
             self.metrics.rpc_attempts += 1;
+            self.tel.rpc_attempts.inc();
             let d = Self::deliver_to(&mut self.cells[i], seq, req, now, false);
             self.metrics.rpc_latency_ms_total += d.latency.as_millis().max(0) as u64;
             if d.applied {
@@ -498,10 +709,13 @@ impl Federation {
             }
             if d.deduped {
                 self.metrics.rpc_dedup_hits += 1;
+                self.tel.rpc_dedup_hits.inc();
             }
             match d.outcome {
                 Ok(resp) => {
+                    let before = self.health[i].state();
                     self.health[i].on_success(now);
+                    self.note_health(i, before, now);
                     return Some(resp);
                 }
                 Err(RpcError::CellDown) => {
@@ -513,15 +727,30 @@ impl Federation {
                 }
                 Err(e) => {
                     match e {
-                        RpcError::Dropped => self.metrics.rpc_drops += 1,
-                        RpcError::Timeout => self.metrics.rpc_timeouts += 1,
+                        RpcError::Dropped => {
+                            self.metrics.rpc_drops += 1;
+                            self.tel.rpc_drops.inc();
+                        }
+                        RpcError::Timeout => {
+                            self.metrics.rpc_timeouts += 1;
+                            self.tel.rpc_timeouts.inc();
+                        }
                         RpcError::CellDown => unreachable!("handled above"),
                     }
                     let before = self.health[i].state();
                     let after = self.health[i].on_failure(now);
                     if after == HealthState::Down && before != HealthState::Down {
                         self.metrics.cell_crashes += 1;
+                        self.tel.cell_crashes.inc();
+                        self.tel.event(
+                            now,
+                            telemetry::EventKind::CellCrash,
+                            Some(i as u32),
+                            None,
+                            "failure threshold crossed",
+                        );
                     }
+                    self.note_health(i, before, now);
                 }
             }
         }
@@ -533,20 +762,25 @@ impl Federation {
         // supervisor restarts a dead cell, rehydrates it, and uses the
         // reliable channel.
         self.metrics.rpc_escalations += 1;
+        self.tel.rpc_escalations.inc();
         if crash_seen || self.health[i].state() == HealthState::Down {
             self.supervisor_restore(i, now);
         }
         self.metrics.rpc_attempts += 1;
+        self.tel.rpc_attempts.inc();
         let d = Self::deliver_to(&mut self.cells[i], seq, req, now, true);
         if d.applied {
             self.log_applied(i, req);
         }
         if d.deduped {
             self.metrics.rpc_dedup_hits += 1;
+            self.tel.rpc_dedup_hits.inc();
         }
         match d.outcome {
             Ok(resp) => {
+                let before = self.health[i].state();
                 self.health[i].on_success(now);
+                self.note_health(i, before, now);
                 Some(resp)
             }
             Err(_) => {
@@ -592,7 +826,9 @@ impl Federation {
                 // supervisor's restart probe doubles as the first
                 // success, closing the circuit.
                 self.supervisor_restore(i, now);
+                let before = self.health[i].state();
                 self.health[i].on_success(now);
+                self.note_health(i, before, now);
             }
         }
         for i in 0..self.cells.len() {
@@ -618,7 +854,9 @@ impl Federation {
             });
             if stranded {
                 self.supervisor_restore(i, now);
+                let before = self.health[i].state();
                 self.health[i].on_success(now);
+                self.note_health(i, before, now);
             }
         }
     }
@@ -672,6 +910,14 @@ impl Federation {
                     }
                     self.cells[dest].dirty = true;
                     self.metrics.failovers += 1;
+                    self.tel.failovers.inc();
+                    self.tel.event(
+                        now,
+                        telemetry::EventKind::Failover,
+                        Some(i as u32),
+                        Some(u64::from(p.job.0)),
+                        "unstarted job moved to survivor",
+                    );
                     let from = crash_t.unwrap_or(self.health[i].since());
                     self.metrics
                         .failover_latencies_ms
@@ -760,10 +1006,11 @@ impl Federation {
         }
         if active > 0 {
             self.metrics.rounds += 1;
-            self.metrics
-                .round_latencies_us
-                .push(t0.elapsed().as_micros() as u64);
+            let us = t0.elapsed().as_micros() as u64;
+            self.metrics.round_latencies_us.push(us);
             self.metrics.max_cells_active = self.metrics.max_cells_active.max(active);
+            self.tel.rounds.inc();
+            self.tel.round_solve_us.record(us);
         }
         Ok(())
     }
@@ -815,6 +1062,7 @@ impl Federation {
             dests.sort_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)));
             for &d in dests.iter().take(self.rebalance.probe_fanout.max(1)) {
                 self.metrics.migration_probes += 1;
+                self.tel.migration_probes.inc();
                 if self.cells[d].rm.probe_admission(&job, now).is_err() {
                     continue;
                 }
@@ -846,6 +1094,7 @@ impl Federation {
                         self.cells[src].dirty = true;
                         self.cells[d].dirty = true;
                         self.metrics.migrations += 1;
+                        self.tel.migrations.inc();
                         moved += 1;
                     }
                     // Unreachable — the ids were just removed from `src`
@@ -897,6 +1146,7 @@ impl ResourceManager for Federation {
                     match next {
                         Some(c) => {
                             self.metrics.reroutes += 1;
+                            self.tel.reroutes.inc();
                             spilled = false;
                             target = c;
                             tried.push(c);
@@ -931,8 +1181,10 @@ impl ResourceManager for Federation {
                 self.task_cell.insert(t, target);
             }
             self.metrics.jobs_routed[target] += 1;
+            self.tel.jobs_routed[target].inc();
             if spilled {
                 self.metrics.spills += 1;
+                self.tel.spills.inc();
             }
             self.cells[target].dirty = true;
             self.note_fleet_depth();
@@ -1042,6 +1294,7 @@ impl ResourceManager for Federation {
                         match next {
                             Some(c) => {
                                 self.metrics.reroutes += 1;
+                                self.tel.reroutes.inc();
                                 rerouted = true;
                                 target = c;
                                 tried.push(c);
@@ -1090,8 +1343,10 @@ impl ResourceManager for Federation {
                                 self.task_cell.insert(t, target);
                             }
                             self.metrics.jobs_routed[target] += 1;
+                            self.tel.jobs_routed[target].inc();
                             if spilled {
                                 self.metrics.spills += 1;
+                                self.tel.spills.inc();
                             }
                             self.cells[target].dirty = true;
                             any_admitted = true;
@@ -1191,6 +1446,7 @@ impl ResourceManager for Federation {
         self.task_cell.remove(&task);
         if let Some(c) = &done {
             self.job_cell.remove(&c.job);
+            self.note_fleet_depth();
         }
         Ok(done)
     }
@@ -1224,6 +1480,7 @@ impl ResourceManager for Federation {
         if let FailureAction::JobAbandoned(ab) = &action {
             let ab = ab.clone();
             self.forget(&ab);
+            self.note_fleet_depth();
         }
         Ok(action)
     }

@@ -54,7 +54,8 @@ pub mod router;
 pub use cell::Cell;
 pub use chaos::{
     check_conservation, check_federation, simulate_cluster_chaos, simulate_cluster_chaos_durable,
-    ChaosConfig, ChaosRun, ChaosSimConfig,
+    simulate_cluster_chaos_durable_telemetry, simulate_cluster_chaos_telemetry, ChaosConfig,
+    ChaosRun, ChaosSimConfig,
 };
 pub use durable::{recover_cell, simulate_cluster_durable, DurableFederation, FedJournal};
 pub use endpoint::{

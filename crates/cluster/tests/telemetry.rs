@@ -1,0 +1,235 @@
+#![allow(clippy::field_reassign_with_default)]
+//! Live-telemetry integration tests: mid-run instruments must reconcile
+//! with the end-of-run structs at every layer, events must tail without
+//! overflow at the default queue capacity, and crash rehydration must
+//! keep counters cumulative.
+
+use cluster::{
+    simulate_cluster_chaos_durable_telemetry, simulate_cluster_chaos_telemetry, ChaosConfig,
+    ChaosSimConfig, ClusterConfig, ClusterSimConfig, HealthConfig, HealthState, RebalanceConfig,
+    RetryPolicy,
+};
+use desim::SimTime;
+use durability::{scratch_dir, DurabilityConfig, StoreConfig, WalConfig};
+use mrcp::{MrcpConfig, SimConfig, SolveBudget};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use telemetry::{EventFilter, EventKind, Telemetry, DEFAULT_QUEUE_CAP};
+use workload::{Job, Resource, SyntheticConfig, SyntheticGenerator};
+
+fn det_sim() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.manager = MrcpConfig {
+        budget: SolveBudget {
+            node_limit: 2_000,
+            fail_limit: 2_000,
+            time_limit_ms: None,
+            adaptive: None,
+            warm_start: true,
+            workers: 1,
+            ..SolveBudget::default()
+        },
+        ..Default::default()
+    };
+    cfg
+}
+
+fn chaos_cfg(cells: usize, chaos: ChaosConfig) -> ChaosSimConfig {
+    ChaosSimConfig {
+        base: ClusterSimConfig {
+            sim: det_sim(),
+            cluster: ClusterConfig {
+                cells,
+                rebalance: RebalanceConfig::default(),
+            },
+        },
+        chaos,
+        retry: RetryPolicy::default(),
+        health: HealthConfig::default(),
+    }
+}
+
+fn small_workload(n: usize, m: u32, seed: u64) -> (Vec<Resource>, Vec<Job>) {
+    let cfg = SyntheticConfig {
+        maps_per_job: (1, 6),
+        reduces_per_job: (1, 3),
+        e_max: 10,
+        lambda: 0.05,
+        resources: m,
+        map_capacity: 2,
+        reduce_capacity: 2,
+        s_max: 100,
+        ..Default::default()
+    };
+    let cluster = cfg.cluster();
+    let mut gen = SyntheticGenerator::new(cfg, StdRng::seed_from_u64(seed));
+    (cluster, gen.take_jobs(n))
+}
+
+/// Crash-free hostile boundary: per-cell `ManagerStats` survive to the
+/// end of the run, so every registry counter must match its end-of-run
+/// mirror *exactly*.
+#[test]
+fn registry_reconciles_with_end_of_run_structs() {
+    let chaos = ChaosConfig {
+        drop_prob: 0.2,
+        dup_prob: 0.2,
+        hang_prob: 0.05,
+        mean_latency: Some(SimTime::from_millis(10)),
+        call_deadline: SimTime::from_millis(150),
+        seed: 21,
+        ..Default::default()
+    };
+    let cfg = chaos_cfg(3, chaos);
+    let (resources, jobs) = small_workload(25, 6, 33);
+
+    let tel = Telemetry::new();
+    let tail = tel.bus.subscribe(EventFilter::default(), DEFAULT_QUEUE_CAP);
+    let run = simulate_cluster_chaos_telemetry(&cfg, &resources, jobs, &tel);
+    assert!(run.violations.is_empty(), "{:#?}", run.violations);
+
+    let reg = &tel.registry;
+    let cm = run.federation.cluster_metrics();
+    let c = |name: &str| reg.counter(name, &[]).get();
+    assert_eq!(c("cluster_rounds_total"), cm.rounds);
+    assert_eq!(c("cluster_rpc_commands_total"), cm.rpc_commands);
+    assert_eq!(c("cluster_rpc_attempts_total"), cm.rpc_attempts);
+    assert_eq!(c("cluster_rpc_retries_total"), cm.rpc_retries);
+    assert_eq!(c("cluster_rpc_drops_total"), cm.rpc_drops);
+    assert_eq!(c("cluster_rpc_timeouts_total"), cm.rpc_timeouts);
+    assert_eq!(c("cluster_rpc_dedup_hits_total"), cm.rpc_dedup_hits);
+    assert_eq!(c("cluster_reroutes_total"), cm.reroutes);
+    assert_eq!(c("cluster_spills_total"), cm.spills);
+    assert_eq!(c("cluster_migrations_total"), cm.migrations);
+    // Breaker-opens count as "crashes" even without process faults; the
+    // counter must still mirror the struct exactly.
+    assert_eq!(c("cluster_cell_crashes_total"), cm.cell_crashes);
+    assert_eq!(c("cluster_cell_restores_total"), cm.cell_restores);
+    assert!(cm.rpc_drops > 0, "drop_prob=0.2 must drop something");
+
+    // Per-cell: exactly one rung counter fires per solver invocation,
+    // and per-cell routed counters mirror the router's tally.
+    for (i, cell) in run.federation.cells().iter().enumerate() {
+        let scoped = tel.scoped("cell", i);
+        let stats = cell.rm.stats();
+        let rung_sum: u64 = ["split_cp", "full_cp", "lns", "greedy", "failed"]
+            .iter()
+            .map(|rung| {
+                scoped
+                    .registry
+                    .counter("mrcp_rounds_total", &[("rung", rung)])
+                    .get()
+            })
+            .sum();
+        assert_eq!(rung_sum, stats.invocations, "cell {i} rounds disagree");
+        assert_eq!(
+            scoped.registry.counter("mrcp_warm_rounds_total", &[]).get(),
+            stats.warm_rounds,
+            "cell {i} warm rounds disagree"
+        );
+        assert_eq!(
+            reg.counter("cluster_jobs_routed_total", &[("cell", &i.to_string())])
+                .get(),
+            cm.jobs_routed[i],
+            "cell {i} routed tally disagrees"
+        );
+    }
+
+    // The health gauge mirrors each breaker's final state (0 Up,
+    // 1 Suspect, 2 Down, 3 Recovering).
+    for (i, state) in run.federation.health().iter().enumerate() {
+        let level = match state {
+            HealthState::Up => 0,
+            HealthState::Suspect => 1,
+            HealthState::Down => 2,
+            HealthState::Recovering => 3,
+        };
+        assert_eq!(
+            reg.gauge("cluster_cell_health", &[("cell", &i.to_string())])
+                .get(),
+            level,
+            "cell {i} health gauge diverged from the breaker"
+        );
+    }
+
+    // Default queue capacity absorbs a default-size run without drops.
+    let events = tail.drain();
+    assert_eq!(tel.bus.dropped_events(), 0, "event bus overflowed");
+    assert_eq!(events.len() as u64, tel.bus.published());
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::RoundSolved),
+        "rounds must publish events"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::AdmissionAdmitted),
+        "admissions must publish events"
+    );
+}
+
+/// Crash + rehydration under a durable store: the registry's counters
+/// are cumulative across cell rebuilds, breaker transitions and
+/// recovery events reach subscribers, and nothing drops.
+#[test]
+fn crash_rehydration_keeps_counters_cumulative_and_events_flowing() {
+    let chaos = ChaosConfig {
+        cell_mttf: Some(SimTime::from_secs(60)),
+        cell_mttr: Some(SimTime::from_secs(30)),
+        seed: 13,
+        ..Default::default()
+    };
+    let cfg = chaos_cfg(2, chaos);
+    let (resources, jobs) = small_workload(30, 4, 19);
+    let dir = scratch_dir("telemetry-rehydrate");
+    let durability = DurabilityConfig {
+        store: StoreConfig {
+            snapshot_every: 16,
+            wal: WalConfig::default(),
+        },
+        ..Default::default()
+    };
+
+    let tel = Telemetry::new();
+    let tail = tel.bus.subscribe(
+        EventFilter {
+            kinds: Some(vec![
+                EventKind::CellCrash,
+                EventKind::CellRestore,
+                EventKind::Rehydration,
+                EventKind::BreakerTransition,
+                EventKind::WalCheckpoint,
+            ]),
+            cell: None,
+        },
+        DEFAULT_QUEUE_CAP,
+    );
+    let run =
+        simulate_cluster_chaos_durable_telemetry(&cfg, &resources, jobs, &dir, durability, &tel);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(run.violations.is_empty(), "{:#?}", run.violations);
+
+    let reg = &tel.registry;
+    let cm = run.federation.cluster_metrics();
+    let c = |name: &str| reg.counter(name, &[]).get();
+    assert!(cm.cell_crashes > 0, "MTTF=60s over this run must crash");
+    assert_eq!(c("cluster_cell_crashes_total"), cm.cell_crashes);
+    assert_eq!(c("cluster_cell_restores_total"), cm.cell_restores);
+    assert_eq!(c("cluster_rehydrations_total"), cm.rehydrations);
+    assert_eq!(c("cluster_rehydrate_mismatches_total"), 0);
+    assert_eq!(c("cluster_failovers_total"), cm.failovers);
+    // The WAL write path was live: appends at least equal rehydrated
+    // commands, and at least one checkpoint fired per rebuild.
+    assert!(c("durability_wal_appends_total") > 0, "WAL appends unseen");
+
+    let events = tail.drain();
+    assert_eq!(tel.bus.dropped_events(), 0, "event bus overflowed");
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+    assert_eq!(count(EventKind::CellCrash), cm.cell_crashes);
+    assert_eq!(count(EventKind::CellRestore), cm.cell_restores);
+    assert_eq!(count(EventKind::Rehydration), cm.rehydrations);
+    assert!(
+        count(EventKind::BreakerTransition) >= cm.cell_crashes,
+        "every crash opens a breaker"
+    );
+}

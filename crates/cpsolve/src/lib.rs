@@ -51,6 +51,7 @@ pub mod brute;
 pub mod greedy;
 pub mod lns;
 pub mod model;
+pub mod observe;
 pub mod portfolio;
 pub mod props;
 pub mod search;
@@ -59,6 +60,7 @@ pub mod state;
 
 pub use lns::LnsParams;
 pub use model::{JobRef, Model, ModelBuilder, ResRef, SlotKind, TaskRef};
+pub use observe::{record_solve, SolveTel};
 pub use portfolio::{solve_portfolio, PortfolioParams};
 pub use props::{
     PropClass, PropClassStats, SchedStats, SchedulingOptions, N_PROP_CLASSES, PROP_CLASSES,

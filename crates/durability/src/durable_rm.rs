@@ -64,6 +64,39 @@ impl DurabilityConfig {
     }
 }
 
+/// Recovery-path instruments (DESIGN.md §5k). Disabled by default;
+/// [`DurableRm::set_telemetry`] swaps in live cells.
+#[derive(Debug)]
+struct DurTel {
+    bus: telemetry::EventBus,
+    /// `durability_recoveries_total` — crash/recover cycles survived.
+    recoveries: telemetry::Counter,
+    /// `durability_replayed_total` — WAL commands replayed across all
+    /// recoveries (re-deliveries not included).
+    replayed: telemetry::Counter,
+    /// `durability_recovery_us` — wall latency of one full recovery
+    /// (truncate + restore + replay + checkpoint).
+    recovery_us: telemetry::Histogram,
+}
+
+impl DurTel {
+    fn new(tel: &telemetry::Telemetry) -> DurTel {
+        let reg = &tel.registry;
+        DurTel {
+            bus: tel.bus.clone(),
+            recoveries: reg.counter("durability_recoveries_total", &[]),
+            replayed: reg.counter("durability_replayed_total", &[]),
+            recovery_us: reg.histogram("durability_recovery_us", &[], telemetry::LATENCY_US_BOUNDS),
+        }
+    }
+}
+
+impl Default for DurTel {
+    fn default() -> DurTel {
+        DurTel::new(&telemetry::Telemetry::disabled())
+    }
+}
+
 /// An [`MrcpRm`] with a write-ahead log and snapshots underneath.
 #[derive(Debug)]
 pub struct DurableRm {
@@ -86,6 +119,12 @@ pub struct DurableRm {
     /// Wall time spent inside recoveries (truncate + restore + replay +
     /// checkpoint), summed over every crash.
     recovery_time: std::time::Duration,
+    /// Recovery-path instruments; disabled until `set_telemetry`.
+    tel: DurTel,
+    /// The handle to re-attach the rebuilt manager and store with after
+    /// each recovery (replay itself runs with instruments detached so
+    /// live counters are not double-counted).
+    base_tel: telemetry::Telemetry,
 }
 
 impl DurableRm {
@@ -110,7 +149,22 @@ impl DurableRm {
             crashes: 0,
             replayed: 0,
             recovery_time: std::time::Duration::ZERO,
+            tel: DurTel::default(),
+            base_tel: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attach live instruments to the wrapped manager, the durable
+    /// store, and the recovery path (DESIGN.md §5k). The attachment
+    /// survives [`crash_and_recover`](ResourceManager::crash_and_recover):
+    /// the rebuilt manager and store are re-wired after every recovery,
+    /// and counters stay cumulative because the registry hands back the
+    /// same cells for the same instrument keys.
+    pub fn set_telemetry(&mut self, tel: &telemetry::Telemetry) {
+        self.base_tel = tel.clone();
+        self.rm.set_telemetry(tel);
+        self.store.set_telemetry(tel);
+        self.tel = DurTel::new(tel);
     }
 
     /// The wrapped manager.
@@ -254,7 +308,7 @@ impl ResourceManager for DurableRm {
         self.rm.stats()
     }
 
-    fn crash_and_recover(&mut self, _now: SimTime) -> bool {
+    fn crash_and_recover(&mut self, now: SimTime) -> bool {
         let t0 = std::time::Instant::now();
         // 1. Fail-stop: the in-memory manager dies. Under power-loss
         //    semantics the unsynced WAL tail dies with it.
@@ -273,7 +327,8 @@ impl ResourceManager for DurableRm {
         .unwrap_or_else(|e| panic!("durability: recovery failed: {e}"));
         self.store = store;
         self.rm = rm;
-        self.replayed += recovered.min(self.journal.len() as u64);
+        let replayed = recovered.min(self.journal.len() as u64);
+        self.replayed += replayed;
         // 3. Client re-delivery: re-apply (and re-log) every command the
         //    recovered state does not reflect.
         for i in recovered as usize..self.journal.len() {
@@ -288,6 +343,23 @@ impl ResourceManager for DurableRm {
             .unwrap_or_else(|e| panic!("durability: post-recovery checkpoint failed: {e}"));
         self.crashes += 1;
         self.recovery_time += t0.elapsed();
+        // Replay ran with instruments detached (it must not double-count
+        // live metrics); re-attach now that the state is current again.
+        self.rm.set_telemetry(&self.base_tel);
+        self.store.set_telemetry(&self.base_tel);
+        self.tel.recoveries.inc();
+        self.tel.replayed.add(replayed);
+        self.tel.recovery_us.record(t0.elapsed().as_micros() as u64);
+        self.tel.bus.publish(telemetry::Event {
+            at_ms: now.as_millis(),
+            kind: telemetry::EventKind::ManagerRecovery,
+            cell: None,
+            job: None,
+            detail: format!(
+                "replayed {replayed} of {} journaled commands",
+                self.journal.len()
+            ),
+        });
         true
     }
 }

@@ -133,6 +133,27 @@ const TAG_SET_WORKERS: u8 = 11;
 const TAG_SUBMIT_BATCH: u8 = 12;
 
 impl ManagerEvent {
+    /// The simulated time the command carries, when it carries one.
+    /// Untimed cell commands (`TaskDurationRevised`, `TakeUnstartedJob`,
+    /// `SetWorkers`) return `None`; consumers keep the last seen time.
+    pub fn time(&self) -> Option<SimTime> {
+        match self {
+            ManagerEvent::SubmitWithAdmission { now, .. }
+            | ManagerEvent::ActivateDue { now }
+            | ManagerEvent::Reschedule { now }
+            | ManagerEvent::TaskStarted { now, .. }
+            | ManagerEvent::TaskCompleted { now, .. }
+            | ManagerEvent::TaskFailed { now, .. }
+            | ManagerEvent::ResourceDown { now, .. }
+            | ManagerEvent::ResourceUp { now, .. }
+            | ManagerEvent::SubmitBatch { now, .. }
+            | ManagerEvent::Submit { now, .. } => Some(*now),
+            ManagerEvent::TaskDurationRevised { .. }
+            | ManagerEvent::TakeUnstartedJob { .. }
+            | ManagerEvent::SetWorkers { .. } => None,
+        }
+    }
+
     /// Append this event's encoding to `e`.
     pub fn encode(&self, e: &mut Enc) {
         match self {

@@ -18,7 +18,48 @@ use mrcp::manager::{ManagerError, MrcpConfig};
 use mrcp::MrcpRm;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 use workload::Resource;
+
+/// Instruments for the store's write path (DESIGN.md §5k). Disabled by
+/// default; [`ManagerStore::set_telemetry`] swaps in live cells.
+#[derive(Debug)]
+struct StoreTel {
+    bus: telemetry::EventBus,
+    /// `durability_wal_append_us` — wall latency of one WAL append.
+    wal_append_us: telemetry::Histogram,
+    /// `durability_wal_appends_total` — commands written ahead.
+    wal_appends: telemetry::Counter,
+    /// `durability_snapshots_total` — checkpoints taken.
+    snapshots: telemetry::Counter,
+    /// `durability_wal_records` — commands logged since the last
+    /// checkpoint: the snapshot age in commands, i.e. the replay bound
+    /// a crash right now would pay.
+    wal_records: telemetry::Gauge,
+}
+
+impl StoreTel {
+    fn new(tel: &telemetry::Telemetry) -> StoreTel {
+        let reg = &tel.registry;
+        StoreTel {
+            bus: tel.bus.clone(),
+            wal_append_us: reg.histogram(
+                "durability_wal_append_us",
+                &[],
+                telemetry::LATENCY_US_BOUNDS,
+            ),
+            wal_appends: reg.counter("durability_wal_appends_total", &[]),
+            snapshots: reg.counter("durability_snapshots_total", &[]),
+            wal_records: reg.gauge("durability_wal_records", &[]),
+        }
+    }
+}
+
+impl Default for StoreTel {
+    fn default() -> StoreTel {
+        StoreTel::new(&telemetry::Telemetry::disabled())
+    }
+}
 
 /// Store knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +88,10 @@ pub struct ManagerStore {
     wal: Wal,
     /// Command index the current snapshot was taken at.
     base_idx: u64,
+    tel: StoreTel,
+    /// Simulated time of the last timed command appended, used to stamp
+    /// checkpoint events (the store itself has no clock).
+    last_at_ms: i64,
 }
 
 fn snapshot_path(dir: &Path) -> PathBuf {
@@ -72,7 +117,17 @@ impl ManagerStore {
             cfg,
             wal,
             base_idx: 0,
+            tel: StoreTel::default(),
+            last_at_ms: 0,
         })
+    }
+
+    /// Attach live instruments (WAL append latency, checkpoint counter,
+    /// replay-bound gauge). Telemetry is strictly observational; the
+    /// store's on-disk format and behavior are unchanged.
+    pub fn set_telemetry(&mut self, tel: &telemetry::Telemetry) {
+        self.tel = StoreTel::new(tel);
+        self.tel.wal_records.set(self.wal.records() as i64);
     }
 
     /// The command index the next [`append`](Self::append) will be
@@ -84,10 +139,20 @@ impl ManagerStore {
     /// Append one command to the WAL (write-ahead: call this *before*
     /// applying the command to the manager).
     pub fn append(&mut self, ev: &ManagerEvent) -> io::Result<()> {
+        if let Some(now) = ev.time() {
+            self.last_at_ms = now.as_millis();
+        }
         let mut e = Enc::new();
         e.u64(self.next_idx());
         ev.encode(&mut e);
-        self.wal.append(&e.finish())
+        let t0 = Instant::now();
+        let out = self.wal.append(&e.finish());
+        self.tel
+            .wal_append_us
+            .record(t0.elapsed().as_micros() as u64);
+        self.tel.wal_appends.inc();
+        self.tel.wal_records.set(self.wal.records() as i64);
+        out
     }
 
     /// Snapshot now if the WAL has grown past the configured bound.
@@ -102,12 +167,22 @@ impl ManagerStore {
     /// Force a snapshot at the current command index and reset the WAL.
     pub fn checkpoint(&mut self, rm: &MrcpRm) -> io::Result<()> {
         let base = self.next_idx();
+        let truncated = self.wal.records();
         write_blob(
             &snapshot_path(&self.dir),
             &encode_manager_snapshot(base, &rm.image()),
         )?;
         self.base_idx = base;
         self.wal = Wal::create(&wal_path(&self.dir), self.cfg.wal)?;
+        self.tel.snapshots.inc();
+        self.tel.wal_records.set(0);
+        self.tel.bus.publish(telemetry::Event {
+            at_ms: self.last_at_ms,
+            kind: telemetry::EventKind::WalCheckpoint,
+            cell: None,
+            job: None,
+            detail: format!("base_idx {base}, {truncated} records truncated"),
+        });
         Ok(())
     }
 
@@ -168,6 +243,8 @@ impl ManagerStore {
             // Placeholder; checkpoint() replaces it immediately.
             wal: Wal::create(&wal_path(dir), cfg.wal)?,
             base_idx: next,
+            tel: StoreTel::default(),
+            last_at_ms: 0,
         };
         store.checkpoint(&rm)?;
         Ok((store, rm, next))

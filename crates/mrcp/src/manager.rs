@@ -168,6 +168,18 @@ enum RoundRung {
     Greedy,
 }
 
+impl RoundRung {
+    /// Stable identifier used as the `rung` telemetry label.
+    fn name(self) -> &'static str {
+        match self {
+            RoundRung::SplitCp => "split_cp",
+            RoundRung::FullCp => "full_cp",
+            RoundRung::Lns => "lns",
+            RoundRung::Greedy => "greedy",
+        }
+    }
+}
+
 /// What a scheduling round yields: the placements (task, resource, start),
 /// the solver outcome they came from, whether the primary rung of the
 /// degradation ladder was abandoned along the way, and which rung finally
@@ -643,6 +655,93 @@ pub enum Submitted {
     Deferred(SimTime),
 }
 
+/// The manager's live-telemetry instrument set (DESIGN.md §5k): every
+/// counter here is recorded at the *same code point* that mutates the
+/// corresponding [`ManagerStats`] field, so a mid-run scrape always
+/// reconciles with the end-of-run struct. Handles are registered once
+/// (at [`MrcpRm::set_telemetry`]); recording is atomic adds only, so a
+/// scheduling round never blocks on observability. Defaults to the
+/// disabled no-op set.
+#[derive(Debug, Clone)]
+pub(crate) struct ManagerTel {
+    bus: telemetry::EventBus,
+    /// Rounds served, labeled by degradation-ladder rung.
+    rounds_split: telemetry::Counter,
+    rounds_full: telemetry::Counter,
+    rounds_lns: telemetry::Counter,
+    rounds_greedy: telemetry::Counter,
+    rounds_failed: telemetry::Counter,
+    round_solve_us: telemetry::Histogram,
+    admitted: telemetry::Counter,
+    renegotiated: telemetry::Counter,
+    rejected: telemetry::Counter,
+    shed: telemetry::Counter,
+    warm_rounds: telemetry::Counter,
+    cache_invalidations: telemetry::Counter,
+    tasks_failed: telemetry::Counter,
+    tasks_requeued: telemetry::Counter,
+    jobs_abandoned: telemetry::Counter,
+    jobs_in_system: telemetry::Gauge,
+    resources_down: telemetry::Gauge,
+    budget_scale_milli: telemetry::Gauge,
+    budget_adaptations: telemetry::Counter,
+    solve: cpsolve::SolveTel,
+}
+
+impl ManagerTel {
+    fn new(tel: &telemetry::Telemetry) -> ManagerTel {
+        let reg = &tel.registry;
+        ManagerTel {
+            bus: tel.bus.clone(),
+            rounds_split: reg.counter("mrcp_rounds_total", &[("rung", "split_cp")]),
+            rounds_full: reg.counter("mrcp_rounds_total", &[("rung", "full_cp")]),
+            rounds_lns: reg.counter("mrcp_rounds_total", &[("rung", "lns")]),
+            rounds_greedy: reg.counter("mrcp_rounds_total", &[("rung", "greedy")]),
+            rounds_failed: reg.counter("mrcp_rounds_total", &[("rung", "failed")]),
+            round_solve_us: reg.histogram("mrcp_round_solve_us", &[], telemetry::LATENCY_US_BOUNDS),
+            admitted: reg.counter("mrcp_admission_total", &[("verdict", "admitted")]),
+            renegotiated: reg.counter("mrcp_admission_total", &[("verdict", "renegotiated")]),
+            rejected: reg.counter("mrcp_admission_total", &[("verdict", "rejected")]),
+            shed: reg.counter("mrcp_jobs_shed_total", &[]),
+            warm_rounds: reg.counter("mrcp_warm_rounds_total", &[]),
+            cache_invalidations: reg.counter("mrcp_cache_invalidations_total", &[]),
+            tasks_failed: reg.counter("mrcp_tasks_failed_total", &[]),
+            tasks_requeued: reg.counter("mrcp_tasks_requeued_total", &[]),
+            jobs_abandoned: reg.counter("mrcp_jobs_abandoned_total", &[]),
+            jobs_in_system: reg.gauge("mrcp_jobs_in_system", &[]),
+            resources_down: reg.gauge("mrcp_resources_down", &[]),
+            budget_scale_milli: reg.gauge("mrcp_budget_scale_milli", &[]),
+            budget_adaptations: reg.counter("mrcp_budget_adaptations_total", &[]),
+            solve: cpsolve::SolveTel::new(reg),
+        }
+    }
+
+    fn rung_counter(&self, rung: RoundRung) -> &telemetry::Counter {
+        match rung {
+            RoundRung::SplitCp => &self.rounds_split,
+            RoundRung::FullCp => &self.rounds_full,
+            RoundRung::Lns => &self.rounds_lns,
+            RoundRung::Greedy => &self.rounds_greedy,
+        }
+    }
+
+    fn event(&self, now: SimTime, kind: telemetry::EventKind, job: Option<u64>, detail: &str) {
+        self.bus.publish(telemetry::Event {
+            at_ms: now.as_millis(),
+            kind,
+            cell: None,
+            job,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+impl Default for ManagerTel {
+    fn default() -> ManagerTel {
+        ManagerTel::new(&telemetry::Telemetry::disabled())
+    }
+}
+
 /// Outcome of [`MrcpRm::submit_with_admission`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdmissionOutcome {
@@ -746,6 +845,10 @@ pub struct MrcpRm {
     /// cold (first round, failed round, or invalidated).
     cache: Option<RoundCache>,
     stats: ManagerStats,
+    /// Live instruments mirroring `stats` (disabled by default; see
+    /// [`MrcpRm::set_telemetry`]). Strictly observational: never read
+    /// back by any scheduling decision.
+    tel: ManagerTel,
 }
 
 impl MrcpRm {
@@ -765,7 +868,23 @@ impl MrcpRm {
             latency_ewma_s: None,
             cache: None,
             stats: ManagerStats::default(),
+            tel: ManagerTel::default(),
         }
+    }
+
+    /// Attach live telemetry: registers this manager's instruments in
+    /// `tel.registry` and publishes events on `tel.bus`. Recording is
+    /// atomic adds at the same sites that mutate [`ManagerStats`], so a
+    /// mid-run scrape reconciles with [`MrcpRm::stats`]. Pass
+    /// [`telemetry::Telemetry::disabled`] (the default) for bit-exact
+    /// no-op behaviour.
+    pub fn set_telemetry(&mut self, tel: &telemetry::Telemetry) {
+        self.tel = ManagerTel::new(tel);
+        self.tel.jobs_in_system.set(self.jobs.len() as i64);
+        self.tel.resources_down.set(self.down.len() as i64);
+        self.tel
+            .budget_scale_milli
+            .set((self.budget_scale * 1000.0).round() as i64);
     }
 
     /// The configuration in use.
@@ -896,6 +1015,7 @@ impl MrcpRm {
             self.schedule.remove(&t.id);
         }
         self.deferred.retain(|&(_, j)| j != id);
+        self.tel.jobs_in_system.set(self.jobs.len() as i64);
         Ok(state.job)
     }
 
@@ -938,6 +1058,7 @@ impl MrcpRm {
             },
         );
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.jobs.len());
+        self.tel.jobs_in_system.set(self.jobs.len() as i64);
         match deferral {
             Some(act) => {
                 self.deferred.push((act, id));
@@ -980,10 +1101,24 @@ impl MrcpRm {
                 match self.shed_victim() {
                     Some((victim, victim_deadline)) if victim_deadline > job.deadline => {
                         self.stats.jobs_shed += 1;
+                        self.tel.shed.inc();
+                        self.tel.event(
+                            now,
+                            telemetry::EventKind::JobShed,
+                            Some(u64::from(victim.0)),
+                            "queue full",
+                        );
                         shed.push(self.evict(victim)?);
                     }
                     _ => {
                         self.stats.jobs_rejected += 1;
+                        self.tel.rejected.inc();
+                        self.tel.event(
+                            now,
+                            telemetry::EventKind::AdmissionRejected,
+                            Some(u64::from(job.id.0)),
+                            "queue full",
+                        );
                         return Ok(AdmissionOutcome {
                             decision: AdmissionDecision::Reject {
                                 reason: RejectReason::QueueFull,
@@ -1005,6 +1140,13 @@ impl MrcpRm {
                     // Renegotiation needs a finite deadline to offer.
                     if policy == AdmissionPolicy::Renegotiate && earliest < SimTime::MAX {
                         self.stats.jobs_renegotiated += 1;
+                        self.tel.renegotiated.inc();
+                        self.tel.event(
+                            now,
+                            telemetry::EventKind::AdmissionRenegotiated,
+                            Some(u64::from(job.id.0)),
+                            "deadline pushed to earliest feasible",
+                        );
                         let original = job.deadline;
                         job.deadline = earliest.max(original);
                         AdmissionDecision::AdmitDegraded {
@@ -1013,6 +1155,13 @@ impl MrcpRm {
                         }
                     } else {
                         self.stats.jobs_rejected += 1;
+                        self.tel.rejected.inc();
+                        self.tel.event(
+                            now,
+                            telemetry::EventKind::AdmissionRejected,
+                            Some(u64::from(job.id.0)),
+                            "admission probe refused",
+                        );
                         return Ok(AdmissionOutcome {
                             decision: AdmissionDecision::Reject {
                                 reason,
@@ -1026,7 +1175,18 @@ impl MrcpRm {
             },
         };
 
+        let job_id = u64::from(job.id.0);
         let submitted = self.submit(job, now)?;
+        self.tel.admitted.inc();
+        self.tel.event(
+            now,
+            telemetry::EventKind::AdmissionAdmitted,
+            Some(job_id),
+            match decision {
+                AdmissionDecision::AdmitDegraded { .. } => "admitted with renegotiated deadline",
+                _ => "admitted",
+            },
+        );
         Ok(AdmissionOutcome {
             decision,
             submitted: Some(submitted),
@@ -1175,6 +1335,7 @@ impl MrcpRm {
             self.schedule.remove(t);
         }
         self.deferred.retain(|&(_, j)| j != id);
+        self.tel.jobs_in_system.set(self.jobs.len() as i64);
         Ok(AbandonedJob {
             job: id,
             tasks,
@@ -1267,6 +1428,7 @@ impl MrcpRm {
             for t in &state.tasks {
                 self.task_owner.remove(&t.id);
             }
+            self.tel.jobs_in_system.set(self.jobs.len() as i64);
             Ok(Some(JobCompletion {
                 job,
                 completion: now,
@@ -1337,9 +1499,11 @@ impl MrcpRm {
             return Err(ManagerError::TaskNotRunning(task));
         }
         self.stats.tasks_failed += 1;
+        self.tel.tasks_failed.inc();
         t.failed_attempts += 1;
         if t.failed_attempts > self.cfg.retry_budget {
             self.stats.jobs_abandoned += 1;
+            self.tel.jobs_abandoned.inc();
             let state = self
                 .jobs
                 .remove(&job)
@@ -1350,6 +1514,7 @@ impl MrcpRm {
                 self.schedule.remove(id);
             }
             self.deferred.retain(|&(_, j)| j != job);
+            self.tel.jobs_in_system.set(self.jobs.len() as i64);
             return Ok(FailureAction::JobAbandoned(AbandonedJob {
                 job,
                 tasks,
@@ -1361,6 +1526,7 @@ impl MrcpRm {
         t.exec_time = t.nominal_exec;
         t.status = TaskStatus::Waiting;
         self.stats.tasks_requeued += 1;
+        self.tel.tasks_requeued.inc();
         Ok(FailureAction::Requeued { failed_attempts })
     }
 
@@ -1396,6 +1562,8 @@ impl MrcpRm {
         self.invalidate_round_cache();
         interrupted.sort_unstable();
         self.stats.tasks_requeued += interrupted.len() as u64;
+        self.tel.tasks_requeued.add(interrupted.len() as u64);
+        self.tel.resources_down.set(self.down.len() as i64);
         Ok(interrupted)
     }
 
@@ -1405,6 +1573,7 @@ impl MrcpRm {
     fn invalidate_round_cache(&mut self) {
         if self.cache.take().is_some() {
             self.stats.cache_invalidations += 1;
+            self.tel.cache_invalidations.inc();
         }
     }
 
@@ -1419,6 +1588,7 @@ impl MrcpRm {
             return Err(ManagerError::ResourceNotDown(rid));
         }
         self.invalidate_round_cache();
+        self.tel.resources_down.set(self.down.len() as i64);
         Ok(())
     }
 
@@ -1509,6 +1679,10 @@ impl MrcpRm {
                     let elapsed = t0.elapsed();
                     self.stats.total_solve += elapsed;
                     self.observe_round_latency(elapsed);
+                    self.tel.rounds_failed.inc();
+                    self.tel.round_solve_us.record(elapsed.as_micros() as u64);
+                    self.tel
+                        .event(now, telemetry::EventKind::RoundSolved, None, "round failed");
                     self.last_error = Some(err);
                     self.schedule.clear();
                     self.cache = None;
@@ -1526,6 +1700,7 @@ impl MrcpRm {
         }
         if warm {
             self.stats.warm_rounds += 1;
+            self.tel.warm_rounds.inc();
         }
 
         // Install: entries for unstarted tasks only. A placement that
@@ -1540,6 +1715,14 @@ impl MrcpRm {
                 let elapsed = t0.elapsed();
                 self.stats.total_solve += elapsed;
                 self.observe_round_latency(elapsed);
+                self.tel.rounds_failed.inc();
+                self.tel.round_solve_us.record(elapsed.as_micros() as u64);
+                self.tel.event(
+                    now,
+                    telemetry::EventKind::RoundSolved,
+                    None,
+                    "round failed: stale placement",
+                );
                 self.last_error = Some(err);
                 self.schedule.clear();
                 self.cache = None;
@@ -1554,6 +1737,19 @@ impl MrcpRm {
         self.stats.total_nodes += outcome.stats.nodes;
         self.stats.max_tasks_in_model = self.stats.max_tasks_in_model.max(n_tasks);
         self.last_error = None;
+        self.tel.rung_counter(rung).inc();
+        self.tel.round_solve_us.record(elapsed.as_micros() as u64);
+        self.tel.solve.record(&outcome.stats);
+        self.tel
+            .event(now, telemetry::EventKind::RoundSolved, None, rung.name());
+        if degraded {
+            self.tel.event(
+                now,
+                telemetry::EventKind::LadderEscalation,
+                None,
+                rung.name(),
+            );
+        }
         if rung == RoundRung::Lns {
             self.stats.lns_rounds += 1;
         }
@@ -1711,6 +1907,10 @@ impl MrcpRm {
         }
         if self.budget_scale != old {
             self.stats.budget_adaptations += 1;
+            self.tel.budget_adaptations.inc();
+            self.tel
+                .budget_scale_milli
+                .set((self.budget_scale * 1000.0).round() as i64);
         }
     }
 

@@ -86,6 +86,54 @@ pub struct FrontDoorReport {
     pub flushes: u64,
 }
 
+/// Front-door telemetry (DESIGN.md §5k): live instruments mirroring
+/// [`FrontDoorReport`], recorded at the same sites that mutate it, so a
+/// mid-run scrape reconciles with the end-of-run report. Defaults to the
+/// disabled no-op set; strictly observational.
+#[derive(Debug, Clone)]
+struct SvcTel {
+    bus: telemetry::EventBus,
+    /// Jobs currently buffered in the submission queue.
+    queue_depth: telemetry::Gauge,
+    offered: telemetry::Counter,
+    delivered: telemetry::Counter,
+    shed: telemetry::Counter,
+    flushes: telemetry::Counter,
+    /// Batch size at each worker flush.
+    flush_jobs: telemetry::Histogram,
+}
+
+impl SvcTel {
+    fn new(tel: &telemetry::Telemetry) -> SvcTel {
+        let reg = &tel.registry;
+        SvcTel {
+            bus: tel.bus.clone(),
+            queue_depth: reg.gauge("service_queue_depth", &[]),
+            offered: reg.counter("service_offered_total", &[]),
+            delivered: reg.counter("service_delivered_total", &[]),
+            shed: reg.counter("service_shed_total", &[]),
+            flushes: reg.counter("service_flushes_total", &[]),
+            flush_jobs: reg.histogram("service_flush_jobs", &[], telemetry::SIZE_BOUNDS),
+        }
+    }
+
+    fn event(&self, at: SimTime, kind: telemetry::EventKind, job: Option<u64>, detail: &str) {
+        self.bus.publish(telemetry::Event {
+            at_ms: at.as_millis(),
+            kind,
+            cell: None,
+            job,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+impl Default for SvcTel {
+    fn default() -> SvcTel {
+        SvcTel::new(&telemetry::Telemetry::disabled())
+    }
+}
+
 struct State {
     queue: VecDeque<Job>,
     /// Wall instant the oldest queued job arrived — the linger anchor.
@@ -112,12 +160,25 @@ pub struct IngestService<M> {
     shared: Arc<Shared>,
     cap: usize,
     worker: Option<JoinHandle<InstrumentedRm<M>>>,
+    tel: SvcTel,
+    /// Wall instant the service started — anchor for event timestamps.
+    epoch: Instant,
+    sim_speed: f64,
 }
 
 impl<M: ResourceManager + Send + 'static> IngestService<M> {
     /// Start the worker thread that owns `rm` (wrapped in an
     /// [`InstrumentedRm`]) and begin accepting submissions.
     pub fn start(rm: M, cfg: FrontDoorConfig) -> Self {
+        Self::start_with_telemetry(rm, cfg, &telemetry::Telemetry::disabled())
+    }
+
+    /// [`start`](Self::start) with live telemetry: queue-depth gauge,
+    /// shed counters, and a flush-size histogram register in
+    /// `tel.registry`, and shed/flush events publish on `tel.bus`.
+    /// Recording mirrors [`FrontDoorReport`] field for field, so a
+    /// mid-run scrape reconciles with [`close`](Self::close)'s report.
+    pub fn start_with_telemetry(rm: M, cfg: FrontDoorConfig, tel: &telemetry::Telemetry) -> Self {
         assert!(cfg.max_batch >= 1, "front door max_batch must be >= 1");
         assert!(cfg.queue_cap >= 1, "front door queue_cap must be >= 1");
         assert!(cfg.sim_speed > 0.0, "front door sim_speed must be positive");
@@ -130,13 +191,25 @@ impl<M: ResourceManager + Send + 'static> IngestService<M> {
             }),
             arrivals: Condvar::new(),
         });
+        let svc_tel = SvcTel::new(tel);
+        let epoch = Instant::now();
         let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::spawn(move || worker_loop(worker_shared, rm, cfg));
+        let worker_tel = svc_tel.clone();
+        let worker =
+            std::thread::spawn(move || worker_loop(worker_shared, rm, cfg, worker_tel, epoch));
         IngestService {
             shared,
             cap: cfg.queue_cap,
             worker: Some(worker),
+            tel: svc_tel,
+            epoch,
+            sim_speed: cfg.sim_speed,
         }
+    }
+
+    /// The current simulated time, for event timestamps.
+    fn sim_now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64() * self.sim_speed)
     }
 
     /// Enqueue a job for batched admission. Returns immediately;
@@ -148,6 +221,7 @@ impl<M: ResourceManager + Send + 'static> IngestService<M> {
             return Err(SubmitError::Closed);
         }
         st.report.offered += 1;
+        self.tel.offered.inc();
         if st.queue.len() >= self.cap {
             // Shed by value: drop whichever candidate has the most slack.
             let incoming = laxity(&job);
@@ -159,15 +233,29 @@ impl<M: ResourceManager + Send + 'static> IngestService<M> {
                 .max_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
                 .expect("queue_cap >= 1 so a full queue is non-empty");
             st.report.shed_overflow += 1;
+            self.tel.shed.inc();
             if incoming >= victim_laxity {
+                self.tel.event(
+                    self.sim_now(),
+                    telemetry::EventKind::IngestShed,
+                    Some(u64::from(job.id.0)),
+                    "arrival had the most slack",
+                );
                 return Err(SubmitError::Shed);
             }
-            st.queue.remove(victim_idx);
+            let victim = st.queue.remove(victim_idx);
+            self.tel.event(
+                self.sim_now(),
+                telemetry::EventKind::IngestShed,
+                victim.map(|v| u64::from(v.id.0)),
+                "queued victim shed for a tighter arrival",
+            );
         }
         if st.queue.is_empty() {
             st.oldest = Some(Instant::now());
         }
         st.queue.push_back(job);
+        self.tel.queue_depth.set(st.queue.len() as i64);
         drop(st);
         self.shared.arrivals.notify_one();
         Ok(())
@@ -202,9 +290,10 @@ fn worker_loop<M: ResourceManager>(
     shared: Arc<Shared>,
     rm: M,
     cfg: FrontDoorConfig,
+    tel: SvcTel,
+    epoch: Instant,
 ) -> InstrumentedRm<M> {
     let mut rm = InstrumentedRm::new(rm);
-    let epoch = Instant::now();
     let sim_now = |at: Instant| -> SimTime {
         SimTime::from_secs_f64(at.duration_since(epoch).as_secs_f64() * cfg.sim_speed)
     };
@@ -240,6 +329,10 @@ fn worker_loop<M: ResourceManager>(
         };
         st.report.delivered += batch.len() as u64;
         st.report.flushes += 1;
+        tel.delivered.add(batch.len() as u64);
+        tel.flushes.inc();
+        tel.flush_jobs.record(batch.len() as u64);
+        tel.queue_depth.set(st.queue.len() as i64);
         drop(st);
         if batch.is_empty() {
             continue;
@@ -247,6 +340,12 @@ fn worker_loop<M: ResourceManager>(
         // One admission pass + one planning round per batch — the whole
         // point of the front door.
         let now = sim_now(Instant::now());
+        tel.event(
+            now,
+            telemetry::EventKind::IngestFlush,
+            None,
+            &format!("{} jobs", batch.len()),
+        );
         let _outcomes = rm.submit_batch(batch, now);
         rm.activate_due(now);
         let _plan = rm.reschedule(now);

@@ -1,0 +1,244 @@
+//! Export encoders: Prometheus text exposition (format 0.0.4) and a JSON
+//! snapshot, both rendered from one deterministic [`Snapshot`] so the two
+//! surfaces can never disagree.
+
+use crate::registry::{SampleValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Escape a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n` (the exposition-format rules).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Clamp a metric name to the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (every name this repo registers already
+/// conforms; this keeps a stray one from corrupting the whole page).
+fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(&v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render the snapshot as Prometheus text exposition. One `# TYPE` line
+/// per metric name (samples are sorted, so label sets of one name are
+/// consecutive); histograms expand to cumulative `_bucket{le=...}` series
+/// plus `_sum` and `_count`.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in &snap.metrics {
+        let name = sanitize_name(&s.name);
+        if last_name != Some(s.name.as_str()) {
+            let ty = match s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+            last_name = Some(s.name.as_str());
+        }
+        match &s.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{name}{} {v}", label_block(&s.labels, None));
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{name}{} {v}", label_block(&s.labels, None));
+            }
+            SampleValue::Histogram {
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => {
+                let mut cum = 0u64;
+                for (i, b) in buckets.iter().enumerate() {
+                    cum += b;
+                    let le = match bounds.get(i) {
+                        Some(bound) => bound.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        label_block(&s.labels, Some(("le", le)))
+                    );
+                }
+                let _ = writeln!(out, "{name}_sum{} {sum}", label_block(&s.labels, None));
+                let _ = writeln!(out, "{name}_count{} {count}", label_block(&s.labels, None));
+            }
+        }
+    }
+    out
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn json_u64s(xs: &[u64]) -> String {
+    let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Render the snapshot as one JSON document:
+/// `{"schema":"telemetry/v1","metrics":[{name, labels, kind, ...}]}`.
+/// Hand-rolled so the telemetry crate stays dependency-free; the output
+/// re-parses under any JSON parser (the sink test checks with the
+/// workspace's).
+pub fn json_snapshot(snap: &Snapshot) -> String {
+    let mut rows = Vec::with_capacity(snap.metrics.len());
+    for s in &snap.metrics {
+        let head = format!(
+            "{{\"name\":\"{}\",\"labels\":{},",
+            escape_json(&s.name),
+            json_labels(&s.labels)
+        );
+        let tail = match &s.value {
+            SampleValue::Counter(v) => format!("\"kind\":\"counter\",\"value\":{v}}}"),
+            SampleValue::Gauge(v) => format!("\"kind\":\"gauge\",\"value\":{v}}}"),
+            SampleValue::Histogram {
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => format!(
+                "\"kind\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{count},\"sum\":{sum}}}",
+                json_u64s(bounds),
+                json_u64s(buckets)
+            ),
+        };
+        rows.push(format!("{head}{tail}"));
+    }
+    format!(
+        "{{\"schema\":\"telemetry/v1\",\"metrics\":[{}]}}",
+        rows.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let reg = Registry::new();
+        reg.counter("weird_total", &[("path", "a\\b\"c\nd")]).inc();
+        let text = prometheus_text(&reg.snapshot());
+        assert!(
+            text.contains(r#"weird_total{path="a\\b\"c\nd"} 1"#),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_sanitizes_metric_names() {
+        let reg = Registry::new();
+        reg.counter("bad-name.total", &[]).inc();
+        let text = prometheus_text(&reg.snapshot());
+        assert!(
+            text.contains("# TYPE bad_name_total counter"),
+            "got: {text}"
+        );
+        assert!(text.contains("bad_name_total 1"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_with_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us", &[("cell", "0")], &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(
+            text.contains(r#"lat_us_bucket{cell="0",le="10"} 1"#),
+            "got: {text}"
+        );
+        assert!(text.contains(r#"lat_us_bucket{cell="0",le="100"} 2"#));
+        assert!(text.contains(r#"lat_us_bucket{cell="0",le="+Inf"} 3"#));
+        assert!(text.contains(r#"lat_us_sum{cell="0"} 555"#));
+        assert!(text.contains(r#"lat_us_count{cell="0"} 3"#));
+    }
+
+    #[test]
+    fn prometheus_emits_one_type_line_per_name() {
+        let reg = Registry::new();
+        reg.counter("x_total", &[("cell", "0")]).inc();
+        reg.counter("x_total", &[("cell", "1")]).inc();
+        let text = prometheus_text(&reg.snapshot());
+        assert_eq!(text.matches("# TYPE x_total counter").count(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let reg = Registry::new();
+        reg.counter("c_total", &[("k", "a\"b")]).add(2);
+        reg.gauge("g", &[]).set(-5);
+        reg.histogram("h", &[], &[10]).record(3);
+        let json = json_snapshot(&reg.snapshot());
+        assert!(json.starts_with("{\"schema\":\"telemetry/v1\""));
+        assert!(json.contains(r#""labels":{"k":"a\"b"}"#), "got: {json}");
+        assert!(json.contains(r#""kind":"gauge","value":-5"#));
+        assert!(json.contains(r#""bounds":[10],"buckets":[1,0],"count":1,"sum":3"#));
+    }
+}

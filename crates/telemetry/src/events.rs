@@ -1,0 +1,336 @@
+//! The structured-event bus: bounded, filtered, lossy-with-a-counter.
+//!
+//! Producers publish [`Event`]s; each [`Subscription`] holds its own
+//! bounded queue and a filter. Publishing never blocks and never grows a
+//! queue past its cap — when a subscriber's queue is full the event is
+//! dropped for that subscriber and counted, on both the subscription and
+//! the bus ([`EventBus::dropped_events`]). A slow consumer therefore
+//! loses *visibility*, never *liveness*, and the loss is auditable.
+//!
+//! The bus carries no timing of its own: events are stamped with the
+//! simulated clock by the producer, so a tail of the bus replays
+//! identically for identical runs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Default per-subscription queue bound. Sized so the integration tests'
+/// full runs fit without drops (asserted there); real consumers that
+/// fall behind see `dropped()` move instead of unbounded memory.
+pub const DEFAULT_QUEUE_CAP: usize = 4096;
+
+/// What happened, as a closed vocabulary (the variable parts ride in
+/// [`Event::cell`], [`Event::job`], [`Event::detail`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A job passed admission (detail: `admitted` / `renegotiated`).
+    AdmissionAdmitted,
+    /// A job was admitted with a relaxed deadline.
+    AdmissionRenegotiated,
+    /// A job was refused by the admission probe or the queue bound.
+    AdmissionRejected,
+    /// A pending job was shed to make room for a more urgent arrival.
+    JobShed,
+    /// A scheduling round completed (detail: the rung that served it).
+    RoundSolved,
+    /// A round was served below its primary rung (detail: the rung).
+    LadderEscalation,
+    /// A cell's circuit breaker changed state (detail: the new state).
+    BreakerTransition,
+    /// A cell process crashed (circuit opened).
+    CellCrash,
+    /// The supervisor restarted a cell.
+    CellRestore,
+    /// An unstarted job was failed over off a Down cell.
+    Failover,
+    /// A restarted cell's state was rebuilt from the durable store.
+    Rehydration,
+    /// The ingest front door flushed a batch (detail: batch size).
+    IngestFlush,
+    /// The ingest front door shed a job on queue overflow.
+    IngestShed,
+    /// A durable store wrote a snapshot and reset its WAL.
+    WalCheckpoint,
+    /// A manager crash-recovered from its durable store.
+    ManagerRecovery,
+}
+
+impl EventKind {
+    /// Stable lowercase identifier (used in exports and filters).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::AdmissionAdmitted => "admission_admitted",
+            EventKind::AdmissionRenegotiated => "admission_renegotiated",
+            EventKind::AdmissionRejected => "admission_rejected",
+            EventKind::JobShed => "job_shed",
+            EventKind::RoundSolved => "round_solved",
+            EventKind::LadderEscalation => "ladder_escalation",
+            EventKind::BreakerTransition => "breaker_transition",
+            EventKind::CellCrash => "cell_crash",
+            EventKind::CellRestore => "cell_restore",
+            EventKind::Failover => "failover",
+            EventKind::Rehydration => "rehydration",
+            EventKind::IngestFlush => "ingest_flush",
+            EventKind::IngestShed => "ingest_shed",
+            EventKind::WalCheckpoint => "wal_checkpoint",
+            EventKind::ManagerRecovery => "manager_recovery",
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time, milliseconds (producer-stamped).
+    pub at_ms: i64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The cell involved, if the producer is a federation layer.
+    pub cell: Option<u32>,
+    /// The job involved, if any.
+    pub job: Option<u64>,
+    /// Free-form qualifier (rung name, breaker state, batch size).
+    pub detail: String,
+}
+
+/// What a subscription wants to see. Empty filter = everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventFilter {
+    /// Keep only these kinds; `None` keeps all.
+    pub kinds: Option<Vec<EventKind>>,
+    /// Keep only this cell's events; `None` keeps all (including events
+    /// with no cell).
+    pub cell: Option<u32>,
+}
+
+impl EventFilter {
+    /// Does `e` pass?
+    pub fn matches(&self, e: &Event) -> bool {
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(&e.kind) {
+                return false;
+            }
+        }
+        if let Some(cell) = self.cell {
+            if e.cell != Some(cell) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[derive(Debug)]
+struct SubShared {
+    filter: EventFilter,
+    cap: usize,
+    queue: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+/// A tail of the bus: drain it faster than producers publish, or watch
+/// [`Subscription::dropped`] move.
+#[derive(Debug)]
+pub struct Subscription {
+    shared: Arc<SubShared>,
+}
+
+impl Subscription {
+    /// The oldest queued event, if any.
+    pub fn poll(&self) -> Option<Event> {
+        self.shared
+            .queue
+            .lock()
+            .expect("event bus poisoned")
+            .pop_front()
+    }
+
+    /// Drain everything queued right now.
+    pub fn drain(&self) -> Vec<Event> {
+        self.shared
+            .queue
+            .lock()
+            .expect("event bus poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Events dropped on *this* subscription because its queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Currently queued events.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("event bus poisoned").len()
+    }
+
+    /// No queued events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    subs: Mutex<Vec<Weak<SubShared>>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// The bus handle. Cloning shares the subscriber list.
+#[derive(Debug, Clone, Default)]
+pub struct EventBus {
+    inner: Option<Arc<BusInner>>,
+}
+
+impl EventBus {
+    /// A live bus.
+    pub fn new() -> EventBus {
+        EventBus {
+            inner: Some(Arc::new(BusInner::default())),
+        }
+    }
+
+    /// The no-op bus: publishes vanish, subscriptions never fill.
+    pub fn disabled() -> EventBus {
+        EventBus { inner: None }
+    }
+
+    /// Whether publishes go anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Tail the bus through `filter` with a queue bounded at `cap`
+    /// events. Dropping the subscription unsubscribes (lazily).
+    pub fn subscribe(&self, filter: EventFilter, cap: usize) -> Subscription {
+        let shared = Arc::new(SubShared {
+            filter,
+            cap: cap.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        });
+        if let Some(inner) = &self.inner {
+            inner
+                .subs
+                .lock()
+                .expect("event bus poisoned")
+                .push(Arc::downgrade(&shared));
+        }
+        Subscription { shared }
+    }
+
+    /// Publish an event to every live, matching subscription. Full
+    /// queues drop the event (counted); nothing blocks.
+    pub fn publish(&self, event: Event) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        inner.published.fetch_add(1, Ordering::Relaxed);
+        let mut subs = inner.subs.lock().expect("event bus poisoned");
+        subs.retain(|w| {
+            let Some(sub) = w.upgrade() else {
+                return false; // subscriber gone; prune
+            };
+            if sub.filter.matches(&event) {
+                let mut q = sub.queue.lock().expect("event bus poisoned");
+                if q.len() < sub.cap {
+                    q.push_back(event.clone());
+                } else {
+                    sub.dropped.fetch_add(1, Ordering::Relaxed);
+                    inner.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            true
+        });
+    }
+
+    /// Total events published (matching or not).
+    pub fn published(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.published.load(Ordering::Relaxed))
+    }
+
+    /// Total events dropped across every subscription because a queue
+    /// was full. Zero on a healthy run — the integration tests assert
+    /// it — and the audit trail of backpressure when a consumer lags.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.dropped.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, cell: Option<u32>) -> Event {
+        Event {
+            at_ms: 0,
+            kind,
+            cell,
+            job: None,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn filters_select_kind_and_cell() {
+        let bus = EventBus::new();
+        let crashes = bus.subscribe(
+            EventFilter {
+                kinds: Some(vec![EventKind::CellCrash]),
+                cell: Some(1),
+            },
+            16,
+        );
+        let all = bus.subscribe(EventFilter::default(), 16);
+        bus.publish(ev(EventKind::CellCrash, Some(0)));
+        bus.publish(ev(EventKind::CellCrash, Some(1)));
+        bus.publish(ev(EventKind::Failover, Some(1)));
+        assert_eq!(crashes.drain().len(), 1);
+        assert_eq!(all.drain().len(), 3);
+        assert_eq!(bus.published(), 3);
+        assert_eq!(bus.dropped_events(), 0);
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(EventFilter::default(), 2);
+        for _ in 0..5 {
+            bus.publish(ev(EventKind::RoundSolved, None));
+        }
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.dropped(), 3);
+        assert_eq!(bus.dropped_events(), 3);
+        // Draining frees capacity again.
+        sub.drain();
+        bus.publish(ev(EventKind::RoundSolved, None));
+        assert_eq!(sub.len(), 1);
+        assert_eq!(bus.dropped_events(), 3);
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(EventFilter::default(), 2);
+        drop(sub);
+        bus.publish(ev(EventKind::RoundSolved, None));
+        assert_eq!(bus.dropped_events(), 0);
+    }
+
+    #[test]
+    fn disabled_bus_is_inert() {
+        let bus = EventBus::disabled();
+        let sub = bus.subscribe(EventFilter::default(), 2);
+        bus.publish(ev(EventKind::RoundSolved, None));
+        assert!(sub.is_empty());
+        assert_eq!(bus.published(), 0);
+    }
+}

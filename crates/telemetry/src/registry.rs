@@ -1,0 +1,476 @@
+//! The instrument registry: typed atomics addressed by name + label set.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a mutex for the
+//! duration of a map lookup — callers do it once at construction and keep
+//! the returned handle. Recording through a handle is one atomic RMW with
+//! `Relaxed` ordering: instruments are monotone streams scraped
+//! asynchronously, so no ordering edge is needed and the hot path never
+//! blocks a scheduling round.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, health state).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCells {
+    /// Upper bounds, ascending, `le` semantics: bucket `i` counts
+    /// observations `v <= bounds[i]`; the final implicit bucket is +Inf.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` non-cumulative cells (the encoder accumulates).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Buckets are chosen at registration and never
+/// reallocate, so recording is bounds lookup + two atomic adds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cells: Arc<HistCells>,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            cells: Arc::new(HistCells {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.cells;
+        // partition_point returns the count of bounds < v, i.e. the first
+        // bucket whose bound satisfies v <= bound; past the end = +Inf.
+        let idx = c.bounds.partition_point(|&b| b < v);
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Histogram {
+    /// An unregistered single-bucket histogram (disabled-mode handle).
+    fn default() -> Histogram {
+        Histogram::with_bounds(&[])
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+type Key = (String, Vec<(String, String)>);
+
+#[derive(Debug, Default)]
+struct Inner {
+    instruments: Mutex<BTreeMap<Key, Instrument>>,
+}
+
+/// The instrument registry handle. Cloning shares storage; a scoped
+/// clone ([`Registry::scoped`]) shares storage but stamps an extra label
+/// on everything registered through it.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// `None` = disabled: handles are handed out but registered nowhere.
+    inner: Option<Arc<Inner>>,
+    /// Labels this handle adds to every instrument (e.g. `cell=3`).
+    scope: Vec<(String, String)>,
+}
+
+impl Registry {
+    /// A live registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+            scope: Vec::new(),
+        }
+    }
+
+    /// The no-op registry: every instrument is a real atomic that is
+    /// registered nowhere, so recording costs the same as enabled mode
+    /// and snapshots are empty.
+    pub fn disabled() -> Registry {
+        Registry {
+            inner: None,
+            scope: Vec::new(),
+        }
+    }
+
+    /// Whether snapshots see anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle that adds `key=value` to every instrument registered
+    /// through it, sharing storage with `self`.
+    pub fn scoped(&self, key: &str, value: impl ToString) -> Registry {
+        let mut scope = self.scope.clone();
+        scope.push((key.to_string(), value.to_string()));
+        Registry {
+            inner: self.inner.clone(),
+            scope,
+        }
+    }
+
+    fn key(&self, name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut all: Vec<(String, String)> = self
+            .scope
+            .iter()
+            .cloned()
+            .chain(labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())))
+            .collect();
+        all.sort();
+        (name.to_string(), all)
+    }
+
+    /// The counter `name{labels}`, creating it on first request. Repeat
+    /// requests return a handle to the same cell.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::default();
+        };
+        let key = self.key(name, labels);
+        let mut map = inner.instruments.lock().expect("registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Counter::default()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, not a counter"),
+        }
+    }
+
+    /// The gauge `name{labels}`, creating it on first request.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::default();
+        };
+        let key = self.key(name, labels);
+        let mut map = inner.instruments.lock().expect("registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Gauge::default()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, not a gauge"),
+        }
+    }
+
+    /// The histogram `name{labels}` with the given bucket upper bounds
+    /// (`le` semantics; +Inf is implicit), creating it on first request.
+    /// Later requests must pass the same bounds.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::with_bounds(bounds);
+        };
+        let key = self.key(name, labels);
+        let mut map = inner.instruments.lock().expect("registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Histogram::with_bounds(bounds)))
+        {
+            Instrument::Histogram(h) => {
+                assert_eq!(
+                    h.cells.bounds, bounds,
+                    "metric {name:?} re-registered with different buckets"
+                );
+                h.clone()
+            }
+            other => panic!("metric {name:?} already registered as {other:?}, not a histogram"),
+        }
+    }
+
+    /// A deterministic point-in-time copy of every registered instrument,
+    /// sorted by (name, labels). Empty when disabled.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let map = inner.instruments.lock().expect("registry poisoned");
+        let metrics = map
+            .iter()
+            .map(|((name, labels), ins)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match ins {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram {
+                        bounds: h.cells.bounds.clone(),
+                        buckets: h
+                            .cells
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                },
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+/// One instrument's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: SampleValue,
+}
+
+/// A snapshotted instrument value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Point-in-time gauge.
+    Gauge(i64),
+    /// Fixed-bucket histogram (buckets non-cumulative; `buckets.len() ==
+    /// bounds.len() + 1`, the last being +Inf).
+    Histogram {
+        /// Upper bounds, `le` semantics.
+        bounds: Vec<u64>,
+        /// Per-bucket observation counts.
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+    },
+}
+
+/// A deterministic point-in-time view of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Every instrument, sorted by (name, labels).
+    pub metrics: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// The counter `name` with exactly these labels (order-insensitive).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.metrics.iter().find_map(|s| match s.value {
+            SampleValue::Counter(v) if s.name == name && s.labels == want => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Sum of the counter `name` over every label set — the fleet total
+    /// of a per-cell counter.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The gauge `name` with exactly these labels.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.metrics.iter().find_map(|s| match s.value {
+            SampleValue::Gauge(v) if s.name == name && s.labels == want => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Total observation count of the histogram `name` over every label
+    /// set.
+    pub fn histogram_count_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                SampleValue::Histogram { count, .. } => Some(count),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether any sample carries this metric name.
+    pub fn has(&self, name: &str) -> bool {
+        self.metrics.iter().any(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_a_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("requests_total", &[("cell", "0")]);
+        let b = reg.counter("requests_total", &[("cell", "0")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(
+            reg.snapshot().counter("requests_total", &[("cell", "0")]),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn scoped_labels_compose_and_sort() {
+        let reg = Registry::new();
+        let cell = reg.scoped("cell", 3);
+        cell.counter("x_total", &[("rung", "lns")]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("x_total", &[("rung", "lns"), ("cell", "3")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter_total("x_total"), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us", &[], &[10, 100, 1000]);
+        // Exactly-on-bound values land in that bound's bucket (le
+        // semantics); one-past goes to the next.
+        for v in [5, 10, 11, 100, 101, 1000, 1001, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let Some(Sample {
+            value:
+                SampleValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    ..
+                },
+            ..
+        }) = snap.metrics.first().cloned()
+        else {
+            panic!("histogram sample missing");
+        };
+        assert_eq!(bounds, vec![10, 100, 1000]);
+        assert_eq!(buckets, vec![2, 2, 2, 2]); // {5,10} {11,100} {101,1000} {1001,MAX}
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn histogram_sum_and_count_track_observations() {
+        let reg = Registry::new();
+        let h = reg.histogram("x", &[], &[100]);
+        h.record(40);
+        h.record(60);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 100);
+    }
+
+    #[test]
+    fn disabled_registry_records_nowhere() {
+        let reg = Registry::disabled();
+        let c = reg.counter("x_total", &[]);
+        c.add(7);
+        assert_eq!(c.get(), 7, "the handle itself still counts");
+        assert!(reg.snapshot().metrics.is_empty());
+        assert!(!reg.is_enabled());
+        // Disabled handles from the same name do NOT share a cell.
+        assert_eq!(reg.counter("x_total", &[]).get(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let reg = Registry::new();
+        reg.counter("b_total", &[]).inc();
+        reg.counter("a_total", &[("z", "1")]).inc();
+        reg.counter("a_total", &[("a", "1")]).inc();
+        let names: Vec<(String, Vec<(String, String)>)> = reg
+            .snapshot()
+            .metrics
+            .into_iter()
+            .map(|s| (s.name, s.labels))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(reg.snapshot(), reg.snapshot());
+    }
+}
